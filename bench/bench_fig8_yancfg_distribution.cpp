@@ -1,0 +1,46 @@
+// Figure 8: malware family distribution in the YANCFG dataset.
+//
+// Mirrors bench_fig7 for the 13-family VirusTotal-labelled corpus
+// (16,351 samples in the paper).
+
+#include "bench_util.hpp"
+
+#include "data/corpus.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace magic;
+  bench::BenchOptions defaults;
+  defaults.scale = 0.015;
+  const auto opt = bench::parse_options(argc, argv, defaults);
+  bench::banner("Figure 8: YANCFG family distribution",
+                "Fig. 8 of Yan et al., DSN 2019", opt);
+
+  util::ThreadPool pool(opt.threads);
+  const auto specs = data::yancfg_family_specs();
+  data::Dataset d = data::yancfg_like_corpus(opt.scale, opt.seed, pool);
+  const auto counts = d.family_counts();
+
+  std::size_t paper_total = 0;
+  for (const auto& s : specs) paper_total += s.corpus_count;
+
+  util::Table table({"Family", "Paper count", "Paper share", "Generated", "Share"});
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    table.add_row({specs[f].name, std::to_string(specs[f].corpus_count),
+                   util::format_fixed(100.0 * static_cast<double>(specs[f].corpus_count) /
+                                          static_cast<double>(paper_total),
+                                      1) + "%",
+                   std::to_string(counts[f]),
+                   util::format_fixed(100.0 * static_cast<double>(counts[f]) /
+                                          static_cast<double>(d.size()),
+                                      1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper total: " << paper_total << " samples; generated: " << d.size()
+            << " (scale " << opt.scale << ", min 10 per family)\n";
+  std::cout << "generated corpus structure: mean " << util::format_fixed(d.mean_vertices(), 1)
+            << " basic blocks per CFG, p90 " << d.vertex_count_percentile(90.0)
+            << ", max " << d.vertex_count_percentile(100.0) << "\n";
+  return 0;
+}

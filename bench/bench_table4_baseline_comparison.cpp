@@ -1,0 +1,198 @@
+// Table IV: cross-validation metric comparison on the Microsoft dataset.
+//
+// The paper compares MAGIC (log loss 0.0543, accuracy 99.25%) against five
+// prior works on handcrafted features. We reproduce the comparison's shape
+// on the same synthetic corpus: MAGIC (graph-structural DGCNN) vs.
+//   - XGBoost-style gradient boosting on aggregate features [13]
+//   - deep-autoencoder + gradient boosting [9]
+//   - random forest [11][14]
+//   - a sequence/SVM-style flat baseline (EnsembleSvc, standing in for the
+//     weaker flat models of Table IV).
+//
+// Expected shape: GBT-family baselines and MAGIC are close (within a few
+// points), flat margin-based models trail, as in the paper.
+
+#include "bench_util.hpp"
+
+#include "baselines/autoencoder.hpp"
+#include "baselines/gbdt.hpp"
+#include "baselines/ngram.hpp"
+#include "baselines/random_forest.hpp"
+#include "baselines/svm.hpp"
+#include "data/corpus.hpp"
+#include "ml/features.hpp"
+#include "ml/metrics.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace magic;
+
+struct BaselineResult {
+  std::string name;
+  double log_loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// K-fold CV of one flat-feature baseline over the same folds MAGIC uses.
+BaselineResult evaluate_baseline(const std::string& name,
+                                 baselines::Classifier& clf,
+                                 const data::Dataset& dataset,
+                                 const ml::FeatureMatrix& features,
+                                 std::size_t folds, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto splits = data::stratified_k_fold(dataset, folds, rng);
+  std::vector<std::vector<double>> probs;
+  std::vector<std::size_t> labels;
+  std::size_t correct = 0, total = 0;
+  for (const auto& split : splits) {
+    ml::FeatureMatrix train;
+    for (std::size_t i : split.train) {
+      train.rows.push_back(features.rows[i]);
+      train.labels.push_back(features.labels[i]);
+    }
+    clf.fit(train, dataset.num_families());
+    for (std::size_t i : split.validation) {
+      auto p = clf.predict_proba(features.rows[i]);
+      std::size_t arg = 0;
+      for (std::size_t c = 1; c < p.size(); ++c) {
+        if (p[c] > p[arg]) arg = c;
+      }
+      correct += (arg == features.labels[i]) ? 1 : 0;
+      ++total;
+      probs.push_back(std::move(p));
+      labels.push_back(features.labels[i]);
+    }
+  }
+  BaselineResult result;
+  result.name = name;
+  result.log_loss = ml::mean_log_loss(probs, labels);
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions defaults;
+  defaults.scale = 0.015;
+  defaults.epochs = 14;
+  const auto opt = bench::parse_options(argc, argv, defaults);
+  bench::banner("Table IV: MAGIC vs handcrafted-feature baselines (MSKCFG)",
+                "Table IV of Yan et al., DSN 2019", opt);
+
+  util::ThreadPool pool(opt.threads);
+  data::Dataset d = data::mskcfg_like_corpus(opt.scale, opt.seed, pool);
+  std::cout << "corpus: " << d.size() << " samples, " << d.num_families()
+            << " families\n\n";
+  const ml::FeatureMatrix features = ml::aggregate_feature_matrix(d.samples);
+
+  util::Timer timer;
+  std::vector<BaselineResult> rows;
+
+  // MAGIC itself (the best-MSKCFG DGCNN).
+  {
+    core::CvResult cv = bench::run_cv(bench::best_mskcfg_config(), d, opt, pool);
+    rows.push_back({"MAGIC (DGCNN, this work)", cv.mean_log_loss, cv.accuracy});
+    std::cout << "MAGIC CV done in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+  }
+  {
+    timer.reset();
+    baselines::Gbdt gbdt({.num_rounds = 40, .learning_rate = 0.25, .lambda = 1.0,
+                          .subsample = 0.9,
+                          .tree = {.max_depth = 5, .min_samples_leaf = 2,
+                                   .feature_fraction = 0.9},
+                          .seed = opt.seed});
+    rows.push_back(evaluate_baseline("GBT w/ aggregate features (XGBoost [13])",
+                                     gbdt, d, features, opt.folds, opt.seed));
+    std::cout << "GBT done in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+  }
+  {
+    timer.reset();
+    baselines::AutoencoderOptions ae;
+    ae.latent_dim = 16;
+    ae.epochs = 20;
+    ae.gbdt.num_rounds = 30;
+    ae.seed = opt.seed;
+    baselines::AutoencoderGbt clf(ae);
+    rows.push_back(evaluate_baseline("Autoencoder + GBT [9]", clf, d, features,
+                                     opt.folds, opt.seed));
+    std::cout << "AE+GBT done in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+  }
+  {
+    timer.reset();
+    baselines::RandomForest rf({.num_trees = 80,
+                                .tree = {.max_depth = 10, .min_samples_leaf = 1,
+                                         .feature_fraction = 0.5},
+                                .bootstrap_fraction = 1.0,
+                                .seed = opt.seed});
+    rows.push_back(evaluate_baseline("Random forest [11][14]", rf, d, features,
+                                     opt.folds, opt.seed));
+    std::cout << "RF done in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+  }
+  {
+    timer.reset();
+    baselines::EnsembleSvc svc({.lambda = 1e-4, .epochs = 15, .seed = opt.seed});
+    rows.push_back(evaluate_baseline("Flat margin baseline (SVM ensemble)", svc, d,
+                                     features, opt.folds, opt.seed));
+    std::cout << "SVM done in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+  }
+  {
+    // Opcode-sequence n-gram classifier (the [15] stand-in). Listings are
+    // regenerated with the corpus seed, so indices align with the dataset.
+    timer.reset();
+    const auto listings =
+        data::generate_listings(data::mskcfg_family_specs(), opt.scale, opt.seed);
+    util::Rng fold_rng(opt.seed);
+    const auto splits = data::stratified_k_fold(d, opt.folds, fold_rng);
+    std::vector<std::vector<double>> probs;
+    std::vector<std::size_t> labels;
+    std::size_t correct = 0, total = 0;
+    for (const auto& split : splits) {
+      std::vector<std::string> train_l;
+      std::vector<std::size_t> train_y;
+      for (std::size_t i : split.train) {
+        train_l.push_back(listings[i].first);
+        train_y.push_back(static_cast<std::size_t>(listings[i].second));
+      }
+      baselines::NgramSequenceClassifier ngram(3, 512);
+      ngram.fit(train_l, train_y, d.num_families());
+      for (std::size_t i : split.validation) {
+        auto p = ngram.predict_proba(listings[i].first);
+        std::size_t arg = 0;
+        for (std::size_t c = 1; c < p.size(); ++c) {
+          if (p[c] > p[arg]) arg = c;
+        }
+        const auto y = static_cast<std::size_t>(listings[i].second);
+        correct += (arg == y) ? 1 : 0;
+        ++total;
+        probs.push_back(std::move(p));
+        labels.push_back(y);
+      }
+    }
+    rows.push_back({"Opcode n-gram sequence classifier [15]",
+                    ml::mean_log_loss(probs, labels),
+                    static_cast<double>(correct) / static_cast<double>(total)});
+    std::cout << "n-gram done in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+  }
+
+  std::cout << "\n";
+  util::Table table({"Approach", "Mean log loss", "Accuracy %"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, util::format_fixed(r.log_loss, 4),
+                   util::format_fixed(100.0 * r.accuracy, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper (Table IV, full 10,868-sample corpus):\n";
+  util::Table paper({"Approach", "Mean log loss", "Accuracy %"});
+  paper.add_row({"MAGIC", "0.0543", "99.25"});
+  paper.add_row({"XGBoost w/ heavy feature engineering [13]", "0.0197", "99.42"});
+  paper.add_row({"Deep autoencoder based XGBoost [9]", "0.0748", "98.20"});
+  paper.add_row({"Strand gene sequence classifier [15]", "0.2228", "97.41"});
+  paper.add_row({"Ensemble of random forests [11]", "n/a", "99.30"});
+  paper.add_row({"Random forest w/ features [14]", "n/a", "99.21"});
+  paper.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace magic::bench {
+
+BenchOptions parse_options(int argc, char** argv, BenchOptions defaults) {
+  BenchOptions opt = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--scale") opt.scale = std::stod(next());
+    else if (flag == "--epochs") opt.epochs = std::stoul(next());
+    else if (flag == "--folds") opt.folds = std::stoul(next());
+    else if (flag == "--seed") opt.seed = std::stoull(next());
+    else if (flag == "--threads") opt.threads = std::stoul(next());
+    else if (flag == "--balance") {
+      opt.balance_strength = std::stod(next());
+      opt.balance = opt.balance_strength > 0.0;
+    }
+    else if (flag == "--help" || flag == "-h") {
+      std::cout << "flags: --scale S --epochs N --folds K --seed X --threads T "
+                   "--balance STRENGTH(0..1)\n";
+      std::exit(0);
+    } else if (util::starts_with(flag, "--benchmark")) {
+      // google-benchmark flags pass through (bench_overhead).
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+void banner(const std::string& title, const std::string& paper_ref,
+            const BenchOptions& options) {
+  std::cout << "=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "scale=" << options.scale << " epochs=" << options.epochs
+            << " folds=" << options.folds << " seed=" << options.seed << "\n\n";
+  util::set_log_level(util::LogLevel::Warn);
+}
+
+core::DgcnnConfig best_mskcfg_config() {
+  // Table II "Best Model for MSKCFG": Adaptive Pooling, ratio 0.64,
+  // graph conv (128, 64, 32, 32), 16 2-D conv channels, dropout 0.1.
+  core::DgcnnConfig cfg;
+  cfg.pooling = core::PoolingType::AdaptivePooling;
+  cfg.pooling_ratio = 0.64;
+  cfg.graph_conv_channels = {128, 64, 32, 32};
+  cfg.conv2d_channels = 16;
+  cfg.dropout_rate = 0.1;
+  return cfg;
+}
+
+core::DgcnnConfig best_yancfg_config() {
+  // Table II "Best Model for YANCFG": Adaptive Pooling, ratio 0.2,
+  // graph conv (32, 32, 32, 32), 16 2-D conv channels, dropout 0.5.
+  core::DgcnnConfig cfg;
+  cfg.pooling = core::PoolingType::AdaptivePooling;
+  cfg.pooling_ratio = 0.2;
+  cfg.graph_conv_channels = {32, 32, 32, 32};
+  cfg.conv2d_channels = 16;
+  cfg.dropout_rate = 0.5;
+  return cfg;
+}
+
+core::CvResult run_cv(const core::DgcnnConfig& config, const data::Dataset& dataset,
+                      const BenchOptions& options, util::ThreadPool& pool) {
+  core::CvOptions cv;
+  cv.folds = options.folds;
+  cv.seed = options.seed;
+  cv.train.epochs = options.epochs;
+  cv.train.batch_size = 10;
+  // Higher than typical GPU-scale runs: the scaled corpora see far fewer
+  // gradient steps per epoch, so training needs a hotter start (the
+  // plateau schedule still decays it).
+  cv.train.learning_rate = 3e-3;
+  cv.train.weight_decay = 1e-4;
+  // The paper's 10x-decay-after-2-increases rule assumes validation losses
+  // computed over thousands of samples; our scaled validation folds are two
+  // orders of magnitude smaller and noisy, so an unmodified rule decays far
+  // too early. Soften to 2x decay after 3 consecutive increases.
+  cv.train.lr_patience = 3;
+  cv.train.lr_factor = 0.5;
+  // Scaled corpora leave minority families with only a handful of samples;
+  // family-balanced oversampling keeps them represented in every epoch
+  // (see BenchOptions::balance for when it is disabled).
+  cv.train.balance_families = options.balance;
+  cv.train.balance_strength = options.balance_strength;
+  core::DgcnnConfig cfg = config;
+  cfg.num_classes = dataset.num_families();
+  return core::cross_validate(cfg, dataset, cv, pool);
+}
+
+void print_family_scores(const data::Dataset& dataset, const core::CvResult& cv,
+                         const std::vector<double>& paper_f1) {
+  const bool with_paper = !paper_f1.empty();
+  std::vector<std::string> header = {"Family", "Precision", "Recall", "F1"};
+  if (with_paper) {
+    header.push_back("Paper F1");
+  }
+  util::Table table(header);
+  for (std::size_t f = 0; f < dataset.num_families(); ++f) {
+    std::vector<std::string> row = {
+        dataset.family_names[f],
+        util::format_fixed(cv.confusion.precision(f), 6),
+        util::format_fixed(cv.confusion.recall(f), 6),
+        util::format_fixed(cv.confusion.f1(f), 6),
+    };
+    if (with_paper) {
+      row.push_back(util::format_fixed(paper_f1.at(f), 6));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\noverall accuracy " << util::format_fixed(cv.accuracy, 4)
+            << ", mean log loss " << util::format_fixed(cv.mean_log_loss, 4)
+            << ", macro F1 " << util::format_fixed(cv.confusion.macro_f1(), 4)
+            << "\n";
+}
+
+}  // namespace magic::bench

@@ -1,0 +1,61 @@
+#pragma once
+// Shared plumbing for the per-table/figure benchmark harnesses.
+//
+// Every bench accepts the same flags:
+//   --scale S    corpus scale relative to the paper's dataset (default per bench)
+//   --epochs N   training epochs per fold
+//   --folds K    cross-validation folds
+//   --seed X     master seed
+//   --threads T  worker threads (default: hardware)
+//
+// Defaults are sized for a single CPU core; EXPERIMENTS.md records both the
+// paper-scale and the default-scale regimes.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "magic/cross_validation.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::bench {
+
+struct BenchOptions {
+  double scale = 0.01;
+  std::size_t epochs = 8;
+  std::size_t folds = 5;
+  std::uint64_t seed = 2019;  // the paper's year
+  std::size_t threads = 0;    // 0 = hardware
+  /// Family-balanced oversampling during training. Strength 1 = uniform
+  /// (right for MSKCFG, whose minority families are learnable but rare),
+  /// 0.5 = sqrt compromise (right for YANCFG, whose generic families would
+  /// otherwise flood the gradient stream), 0 disables.
+  bool balance = true;
+  double balance_strength = 1.0;
+};
+
+/// Parses the common flags; unknown flags abort with a usage message.
+BenchOptions parse_options(int argc, char** argv, BenchOptions defaults = {});
+
+/// Prints the standard bench banner.
+void banner(const std::string& title, const std::string& paper_ref,
+            const BenchOptions& options);
+
+/// The best-model configs of Table II (column "Best Model for ...").
+core::DgcnnConfig best_mskcfg_config();
+core::DgcnnConfig best_yancfg_config();
+
+/// Runs K-fold CV of `config` and returns the result (single call shared by
+/// several benches).
+core::CvResult run_cv(const core::DgcnnConfig& config, const data::Dataset& dataset,
+                      const BenchOptions& options, util::ThreadPool& pool);
+
+/// Renders a per-family P/R/F1 table next to the paper's reference values.
+/// `paper_f1` may be empty (no reference column) or indexed by family.
+void print_family_scores(const data::Dataset& dataset, const core::CvResult& cv,
+                         const std::vector<double>& paper_f1);
+
+}  // namespace magic::bench

@@ -1,0 +1,85 @@
+// explain_verdict: gradient-based attribution of a classification.
+//
+// Trains a small model, classifies a sample, then shows which basic blocks
+// and which Table I attribute channels pushed the model toward its verdict
+// — the triage view an analyst would want next to "this is Kelihos".
+//
+// Run: ./explain_verdict
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "acfg/attributes.hpp"
+#include "acfg/extractor.hpp"
+#include "data/corpus.hpp"
+#include "data/program_generator.hpp"
+#include "magic/classifier.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace magic;
+
+  std::cout << "training a classifier on a small MSKCFG-style corpus...\n";
+  util::ThreadPool pool;
+  data::Dataset corpus = data::mskcfg_like_corpus(0.01, /*seed=*/5, pool);
+
+  core::DgcnnConfig config;
+  config.graph_conv_channels = {32, 32};
+  core::TrainOptions train;
+  train.epochs = 16;
+  train.learning_rate = 3e-3;
+  train.balance_families = true;
+  core::MagicClassifier clf(config, train, /*seed=*/17);
+  clf.fit(corpus, 0.15);
+
+  // A fresh sample from the Gatak profile (long string-op heavy blocks:
+  // its signature should light up the saliency view).
+  data::ProgramGenerator gen(data::mskcfg_family_specs()[8], util::Rng(99));
+  acfg::Acfg sample = acfg::extract_acfg_from_listing(gen.generate_listing());
+
+  core::Explanation ex = clf.explain(sample);
+  std::cout << "\nverdict: " << ex.prediction.family_name << " (p="
+            << util::format_fixed(ex.prediction.probabilities[ex.prediction.family_index], 3)
+            << ") over " << sample.num_vertices() << " basic blocks\n\n";
+
+  // Top-5 most influential basic blocks.
+  std::vector<std::size_t> order(ex.vertex_saliency.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ex.vertex_saliency[a] > ex.vertex_saliency[b];
+  });
+  util::Table blocks({"Block", "Saliency", "#Inst", "Arith", "Junk-ish (mov+arith)",
+                      "Out-deg"});
+  for (std::size_t r = 0; r < std::min<std::size_t>(5, order.size()); ++r) {
+    const std::size_t v = order[r];
+    auto attr = [&](std::size_t c) {
+      return sample.attributes[v * acfg::kNumChannels + c];
+    };
+    blocks.add_row({std::to_string(v),
+                    util::format_fixed(ex.vertex_saliency[v], 4),
+                    std::to_string(static_cast<long>(attr(acfg::kTotalInsts))),
+                    std::to_string(static_cast<long>(attr(acfg::kArithmeticInsts))),
+                    std::to_string(static_cast<long>(attr(acfg::kMovInsts) +
+                                                     attr(acfg::kArithmeticInsts))),
+                    std::to_string(static_cast<long>(attr(acfg::kOffspring)))});
+  }
+  std::cout << "most influential basic blocks:\n";
+  blocks.print(std::cout);
+
+  // Channel attribution (which Table I attributes mattered).
+  std::vector<std::size_t> channel_order(ex.channel_saliency.size());
+  std::iota(channel_order.begin(), channel_order.end(), 0u);
+  std::sort(channel_order.begin(), channel_order.end(), [&](std::size_t a, std::size_t b) {
+    return ex.channel_saliency[a] > ex.channel_saliency[b];
+  });
+  util::Table channels({"Attribute (Table I)", "Saliency share"});
+  for (std::size_t c : channel_order) {
+    channels.add_row({std::string(acfg::channel_name(c)),
+                      util::format_fixed(ex.channel_saliency[c], 4)});
+  }
+  std::cout << "\nattribute-channel attribution:\n";
+  channels.print(std::cout);
+  return 0;
+}

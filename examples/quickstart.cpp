@@ -1,0 +1,78 @@
+// Quickstart: the whole MAGIC pipeline in one file.
+//
+//  1. disassembled listing  ->  CFG   (two-pass builder, §IV-A)
+//  2. CFG                   ->  ACFG  (Table I block attributes)
+//  3. labelled ACFG corpus  ->  DGCNN training
+//  4. unknown listing       ->  family prediction
+//
+// Run: ./quickstart
+
+#include <iostream>
+
+#include "acfg/attributes.hpp"
+#include "acfg/extractor.hpp"
+#include "cfg/cfg_builder.hpp"
+#include "data/corpus.hpp"
+#include "data/program_generator.hpp"
+#include "magic/classifier.hpp"
+
+int main() {
+  using namespace magic;
+
+  // --- 1+2: one sample through the front end --------------------------------
+  const char* listing =
+      "; a tiny if/else with a loop\n"
+      "401000 push ebp\n"
+      "401001 mov ebp, esp\n"
+      "401003 mov ecx, 10\n"
+      "401008 cmp ecx, 0\n"
+      "40100b jz 0x401015\n"
+      "40100d add eax, ecx\n"
+      "40100f dec ecx\n"
+      "401011 jmp 0x401008\n"
+      "401015 pop ebp\n"
+      "401016 ret\n";
+
+  cfg::ControlFlowGraph graph = cfg::CfgBuilder::build_from_listing(listing);
+  std::cout << "CFG: " << graph.num_blocks() << " basic blocks, "
+            << graph.num_edges() << " edges\n";
+
+  acfg::Acfg sample = acfg::extract_acfg(graph);
+  std::cout << "ACFG: " << sample.num_vertices() << " vertices x "
+            << sample.num_channels() << " attribute channels (Table I)\n";
+  for (std::size_t c = 0; c < acfg::kNumChannels; ++c) {
+    double total = 0.0;
+    for (std::size_t v = 0; v < sample.num_vertices(); ++v) {
+      total += sample.attributes[v * acfg::kNumChannels + c];
+    }
+    std::cout << "  " << acfg::channel_name(c) << ": " << total << "\n";
+  }
+
+  // --- 3: train a classifier on a small synthetic corpus --------------------
+  std::cout << "\ngenerating a small 9-family corpus and training DGCNN...\n";
+  util::ThreadPool pool;
+  data::Dataset corpus = data::mskcfg_like_corpus(0.004, /*seed=*/42, pool);
+  std::cout << "corpus: " << corpus.size() << " samples, "
+            << corpus.num_families() << " families\n";
+
+  core::DgcnnConfig config;  // defaults: AdaptivePooling, (32,32,32,32)
+  config.graph_conv_channels = {32, 32};
+  core::TrainOptions train;
+  train.epochs = 6;
+  train.learning_rate = 1e-3;
+  core::MagicClassifier classifier(config, train, /*seed=*/7);
+  core::TrainResult result = classifier.fit(corpus, /*holdout_fraction=*/0.15);
+  std::cout << "trained " << result.history.size() << " epochs; best validation "
+            << "loss " << result.best_validation_loss << " at epoch "
+            << result.best_epoch << "\n";
+
+  // --- 4: classify unknown samples ------------------------------------------
+  data::ProgramGenerator unknown(data::mskcfg_family_specs()[2], util::Rng(9));
+  for (int i = 0; i < 3; ++i) {
+    core::Prediction p = classifier.predict_listing(unknown.generate_listing());
+    std::cout << "unknown sample " << i << " -> " << p.family_name
+              << " (p=" << p.probabilities[p.family_index] << ")\n";
+  }
+  std::cout << "(samples were drawn from the Kelihos_ver3 profile)\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "acfg/acfg.hpp"
+
+#include <stdexcept>
+
+namespace magic::acfg {
+
+std::size_t Acfg::num_edges() const noexcept {
+  std::size_t m = 0;
+  for (const auto& out : out_edges) m += out.size();
+  return m;
+}
+
+void Acfg::validate() const {
+  const std::size_t n = out_edges.size();
+  if (attributes.rank() != 2 || attributes.dim(0) != n) {
+    throw std::invalid_argument("Acfg: attribute rows != vertex count");
+  }
+  for (const auto& out : out_edges) {
+    for (std::size_t v : out) {
+      if (v >= n) throw std::invalid_argument("Acfg: edge target out of range");
+    }
+  }
+}
+
+tensor::SparseMatrix Acfg::propagation_operator() const {
+  return tensor::SparseMatrix::propagation_operator(out_edges);
+}
+
+}  // namespace magic::acfg

@@ -1,0 +1,38 @@
+#pragma once
+// Attributed control flow graph (ACFG): the ML-ready representation.
+//
+// An ACFG is the CFG topology (out-edge adjacency) plus a per-vertex
+// attribute matrix X in R^{n x c} (Table I channels). It is the unit of
+// input to DGCNN and what the MSKCFG/YANCFG corpora store on disk.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse.hpp"
+#include "tensor/tensor.hpp"
+
+namespace magic::acfg {
+
+/// ACFG sample: attributes + topology + (optional) family label.
+struct Acfg {
+  tensor::Tensor attributes;                       // (n x channels)
+  std::vector<std::vector<std::size_t>> out_edges; // adjacency by vertex id
+  int label = -1;                                  // family index; -1 = unlabeled
+  std::string id;                                  // sample identifier
+
+  std::size_t num_vertices() const noexcept { return out_edges.size(); }
+  std::size_t num_edges() const noexcept;
+  std::size_t num_channels() const {
+    return attributes.rank() == 2 ? attributes.dim(1) : 0;
+  }
+
+  /// Validates internal consistency (attribute rows == vertices, edge
+  /// targets in range). Throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// DGCNN propagation operator D^-1 (A + I) of this graph.
+  tensor::SparseMatrix propagation_operator() const;
+};
+
+}  // namespace magic::acfg

@@ -1,0 +1,27 @@
+#pragma once
+// CFG -> ACFG extraction, single and batched (the paper extracts ACFGs for
+// 10,868 + 16,351 samples; batch extraction is parallelized over a thread
+// pool as in the prototype's multi-threaded generator, §IV-C).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "cfg/cfg.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::acfg {
+
+/// Computes the Table I attribute matrix for every block of `graph`.
+/// Vertex i of the ACFG is block id i of the CFG.
+Acfg extract_acfg(const cfg::ControlFlowGraph& graph);
+
+/// End-to-end: textual assembly listing -> tagged program -> CFG -> ACFG.
+Acfg extract_acfg_from_listing(std::string_view listing);
+
+/// Parallel batch extraction of listings. Order of results matches inputs.
+std::vector<Acfg> extract_batch(const std::vector<std::string>& listings,
+                                util::ThreadPool& pool);
+
+}  // namespace magic::acfg

@@ -1,0 +1,105 @@
+#include "acfg/serialization.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace magic::acfg {
+namespace {
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string tok;
+  if (!(is >> tok) || tok != expected) {
+    throw std::runtime_error("read_acfg: expected '" + expected + "', got '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+void write_acfg(std::ostream& os, const Acfg& acfg) {
+  acfg.validate();
+  const std::size_t n = acfg.num_vertices();
+  const std::size_t c = acfg.num_channels();
+  os << "ACFG v1\n";
+  os << "id " << (acfg.id.empty() ? "-" : acfg.id) << "\n";
+  os << "label " << acfg.label << "\n";
+  os << "vertices " << n << " channels " << c << "\n";
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (j) os << ' ';
+      os << acfg.attributes[i * c + j];
+    }
+    os << '\n';
+  }
+  os << "edges " << acfg.num_edges() << "\n";
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : acfg.out_edges[u]) os << u << ' ' << v << '\n';
+  }
+}
+
+Acfg read_acfg(std::istream& is) {
+  expect_token(is, "ACFG");
+  expect_token(is, "v1");
+  Acfg out;
+  expect_token(is, "id");
+  is >> out.id;
+  if (out.id == "-") out.id.clear();
+  expect_token(is, "label");
+  is >> out.label;
+  std::size_t n = 0, c = 0;
+  expect_token(is, "vertices");
+  is >> n;
+  expect_token(is, "channels");
+  is >> c;
+  if (!is) throw std::runtime_error("read_acfg: bad header");
+  out.attributes = tensor::Tensor({n, c});
+  for (std::size_t i = 0; i < n * c; ++i) {
+    if (!(is >> out.attributes[i])) throw std::runtime_error("read_acfg: bad attribute");
+  }
+  std::size_t m = 0;
+  expect_token(is, "edges");
+  is >> m;
+  out.out_edges.assign(n, {});
+  for (std::size_t e = 0; e < m; ++e) {
+    std::size_t u = 0, v = 0;
+    if (!(is >> u >> v) || u >= n || v >= n) {
+      throw std::runtime_error("read_acfg: bad edge");
+    }
+    out.out_edges[u].push_back(v);
+  }
+  out.validate();
+  return out;
+}
+
+void write_corpus(std::ostream& os, const std::vector<Acfg>& corpus) {
+  os << "ACFG-CORPUS v1 count " << corpus.size() << "\n";
+  for (const auto& a : corpus) write_acfg(os, a);
+}
+
+std::vector<Acfg> read_corpus(std::istream& is) {
+  expect_token(is, "ACFG-CORPUS");
+  expect_token(is, "v1");
+  expect_token(is, "count");
+  std::size_t count = 0;
+  if (!(is >> count)) throw std::runtime_error("read_corpus: bad count");
+  std::vector<Acfg> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) corpus.push_back(read_acfg(is));
+  return corpus;
+}
+
+void save_corpus(const std::string& path, const std::vector<Acfg>& corpus) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_corpus: cannot open " + path);
+  write_corpus(out, corpus);
+  if (!out) throw std::runtime_error("save_corpus: write failed for " + path);
+}
+
+std::vector<Acfg> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_corpus: cannot open " + path);
+  return read_corpus(in);
+}
+
+}  // namespace magic::acfg

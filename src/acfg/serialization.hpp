@@ -1,0 +1,42 @@
+#pragma once
+// Plain-text ACFG serialization.
+//
+// Format (versioned, line-oriented, whitespace-separated):
+//
+//   ACFG v1
+//   id <string-without-spaces>
+//   label <int>
+//   vertices <n> channels <c>
+//   <c doubles>            x n lines (attribute rows)
+//   edges <m>
+//   <u> <v>                x m lines
+//
+// YANCFG-style corpora of pre-extracted CFGs are stored/loaded in this
+// format; it round-trips exactly for the integer-valued Table I attributes.
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+
+namespace magic::acfg {
+
+/// Writes one ACFG.
+void write_acfg(std::ostream& os, const Acfg& acfg);
+
+/// Reads one ACFG; throws std::runtime_error on malformed input.
+Acfg read_acfg(std::istream& is);
+
+/// Writes a whole corpus (count header + concatenated records).
+void write_corpus(std::ostream& os, const std::vector<Acfg>& corpus);
+
+/// Reads a whole corpus.
+std::vector<Acfg> read_corpus(std::istream& is);
+
+/// File helpers.
+void save_corpus(const std::string& path, const std::vector<Acfg>& corpus);
+std::vector<Acfg> load_corpus(const std::string& path);
+
+}  // namespace magic::acfg

@@ -1,0 +1,15 @@
+#include "asmx/instruction.hpp"
+
+#include <algorithm>
+
+namespace magic::asmx {
+
+std::size_t Program::index_of(std::uint64_t addr) const noexcept {
+  auto it = std::lower_bound(
+      instructions.begin(), instructions.end(), addr,
+      [](const Instruction& inst, std::uint64_t a) { return inst.addr < a; });
+  if (it == instructions.end() || it->addr != addr) return npos;
+  return static_cast<std::size_t>(it - instructions.begin());
+}
+
+}  // namespace magic::asmx

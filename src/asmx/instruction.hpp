@@ -1,0 +1,89 @@
+#pragma once
+// Instruction model for the assembly front end.
+//
+// MAGIC consumes disassembled listings (the paper uses IDA Pro .asm output;
+// we parse an equivalent plain-text listing format). A parsed program is
+// "a one-to-one mapping from sorted addresses to assembly instructions,
+// P : Z+ -> I" (§IV-A). Instructions carry the tag set
+// {start, branchTo, fallThrough, return} that the first pass computes and
+// the second pass (CfgBuilder) consumes.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace magic::asmx {
+
+/// Coarse operand classification; enough for attribute extraction.
+enum class OperandKind {
+  Register,   // eax, rbx, ...
+  Immediate,  // numeric constant
+  Memory,     // [...] effective address
+  Target,     // code address / label reference (jump & call destinations)
+  Other,
+};
+
+/// One operand with its raw text and (when numeric) decoded value.
+struct Operand {
+  OperandKind kind = OperandKind::Other;
+  std::string text;
+  std::uint64_t value = 0;  // immediates and targets
+
+  bool is_numeric() const noexcept {
+    return kind == OperandKind::Immediate || kind == OperandKind::Target;
+  }
+};
+
+/// Semantic groups used both by CFG construction (jump/call/return) and by
+/// the Table I block attributes (transfer/call/arith/compare/mov/termination/
+/// data declaration).
+enum class OpcodeClass {
+  ConditionalJump,
+  UnconditionalJump,
+  Call,
+  Return,
+  Arithmetic,
+  Compare,
+  Mov,
+  Termination,   // non-return terminators (hlt, int3, ud2, ...)
+  DataDecl,      // db/dw/dd/dq/align pseudo-instructions
+  Other,
+};
+
+/// A single disassembled instruction plus the CFG-construction tags
+/// (Algorithm 1 of the paper).
+struct Instruction {
+  std::uint64_t addr = 0;
+  std::uint32_t size = 1;  // bytes; fall-through target is addr + size
+  std::string mnemonic;
+  std::vector<Operand> operands;
+  OpcodeClass opclass = OpcodeClass::Other;
+
+  // --- tags written by the first (tagging) pass --------------------------
+  bool start = false;                        // begins a basic block
+  std::optional<std::uint64_t> branch_to;    // jump/call destination
+  bool fall_through = false;                 // control may reach addr + size
+  bool is_return = false;
+
+  /// Number of numeric-constant operands (Table I attribute).
+  std::size_t numeric_constant_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& op : operands) {
+      if (op.kind == OperandKind::Immediate) ++n;
+    }
+    return n;
+  }
+};
+
+/// A program: instructions sorted by strictly increasing address.
+struct Program {
+  std::vector<Instruction> instructions;
+
+  /// Index of the instruction at `addr`, or npos.
+  std::size_t index_of(std::uint64_t addr) const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace magic::asmx

@@ -1,0 +1,51 @@
+#pragma once
+// Autoencoder-based feature learning + gradient boosting: the baseline of
+// [9] ("Deep Autoencoder based XGBoost", Table IV). A one-hidden-layer
+// autoencoder is trained with MSE on standardized aggregate features; the
+// encoder's latent representation then feeds the Gbdt classifier.
+
+#include <memory>
+
+#include "baselines/classifier.hpp"
+#include "baselines/gbdt.hpp"
+#include "baselines/scaler.hpp"
+#include "nn/linear.hpp"
+#include "nn/activations.hpp"
+#include "nn/optimizer.hpp"
+
+namespace magic::baselines {
+
+struct AutoencoderOptions {
+  std::size_t latent_dim = 16;
+  std::size_t epochs = 30;
+  double learning_rate = 1e-3;
+  GbdtOptions gbdt;
+  std::uint64_t seed = 1;
+};
+
+class AutoencoderGbt : public Classifier {
+ public:
+  explicit AutoencoderGbt(AutoencoderOptions options = {});
+
+  void fit(const ml::FeatureMatrix& data, std::size_t num_classes) override;
+  std::vector<double> predict_proba(const std::vector<double>& x) const override;
+
+  /// Mean squared reconstruction error on the training set after fitting.
+  double reconstruction_mse() const noexcept { return reconstruction_mse_; }
+
+ private:
+  std::vector<double> encode(const std::vector<double>& x) const;
+  /// Latent code tanh(W x + b) of an already-standardized row.
+  std::vector<double> encode_from_scaled(const std::vector<double>& scaled) const;
+
+  AutoencoderOptions options_;
+  StandardScaler scaler_;
+  // Encoder/decoder weights are captured as plain matrices after training
+  // (the nn modules are training-time scaffolding only).
+  std::vector<std::vector<double>> enc_w_;  // (latent x input)
+  std::vector<double> enc_b_;
+  Gbdt gbdt_;
+  double reconstruction_mse_ = 0.0;
+};
+
+}  // namespace magic::baselines

@@ -1,0 +1,34 @@
+#pragma once
+// Common interface for the handcrafted-feature baseline classifiers the
+// paper compares against in Table IV and Fig. 11.
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/features.hpp"
+
+namespace magic::baselines {
+
+/// Multi-class probabilistic classifier over flat feature vectors.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the given matrix; labels must lie in [0, num_classes).
+  virtual void fit(const ml::FeatureMatrix& data, std::size_t num_classes) = 0;
+
+  /// Predicted class distribution (sums to 1).
+  virtual std::vector<double> predict_proba(const std::vector<double>& x) const = 0;
+
+  /// Arg-max prediction.
+  std::size_t predict(const std::vector<double>& x) const {
+    const auto p = predict_proba(x);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < p.size(); ++c) {
+      if (p[c] > p[best]) best = c;
+    }
+    return best;
+  }
+};
+
+}  // namespace magic::baselines

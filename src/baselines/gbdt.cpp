@@ -1,0 +1,82 @@
+#include "baselines/gbdt.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace magic::baselines {
+namespace {
+
+void softmax_inplace(std::vector<double>& scores) {
+  double m = scores.front();
+  for (double s : scores) m = std::max(m, s);
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - m);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+}
+
+}  // namespace
+
+Gbdt::Gbdt(GbdtOptions options) : options_(options) {}
+
+void Gbdt::fit(const ml::FeatureMatrix& data, std::size_t num_classes) {
+  if (data.rows.empty()) throw std::invalid_argument("Gbdt::fit: empty data");
+  num_classes_ = num_classes;
+  trees_.clear();
+  trees_.reserve(options_.num_rounds * num_classes);
+  util::Rng rng(options_.seed);
+  const std::size_t n = data.rows.size();
+
+  // Current raw score per (sample, class); starts at zero (uniform softmax).
+  std::vector<std::vector<double>> raw(n, std::vector<double>(num_classes, 0.0));
+  std::vector<double> grads(n), hess(n);
+
+  for (std::size_t round = 0; round < options_.num_rounds; ++round) {
+    // Softmax probabilities from current raw scores.
+    std::vector<std::vector<double>> probs = raw;
+    for (auto& row : probs) softmax_inplace(row);
+
+    // Row subsample shared across this round's K trees.
+    std::vector<std::size_t> indices;
+    indices.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.uniform() < options_.subsample) indices.push_back(i);
+    }
+    if (indices.empty()) indices.push_back(0);
+
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double y = data.labels[i] == c ? 1.0 : 0.0;
+        grads[i] = y - probs[i][c];              // negative gradient
+        hess[i] = probs[i][c] * (1.0 - probs[i][c]);
+      }
+      RegressionTree tree(options_.tree, options_.lambda);
+      util::Rng tree_rng = rng.split();
+      tree.fit(data.rows, grads, hess, indices, tree_rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        raw[i][c] += options_.learning_rate * tree.predict(data.rows[i]);
+      }
+      trees_.push_back(std::move(tree));
+    }
+  }
+}
+
+std::vector<double> Gbdt::scores(const std::vector<double>& x) const {
+  std::vector<double> s(num_classes_, 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    s[t % num_classes_] += options_.learning_rate * trees_[t].predict(x);
+  }
+  return s;
+}
+
+std::vector<double> Gbdt::predict_proba(const std::vector<double>& x) const {
+  if (trees_.empty()) throw std::logic_error("Gbdt: not fitted");
+  std::vector<double> s = scores(x);
+  softmax_inplace(s);
+  return s;
+}
+
+}  // namespace magic::baselines

@@ -1,0 +1,42 @@
+#pragma once
+// Gradient-boosted decision trees with the multi-class softmax objective —
+// the XGBoost-style baseline of [13] ("XGBoost with Heavy Feature
+// Engineering", the best log-loss in Table IV). Each boosting round fits
+// one Newton regression tree per class on the softmax residuals
+// (y_ic - p_ic) with hessians p_ic (1 - p_ic).
+
+#include "baselines/classifier.hpp"
+#include "baselines/tree.hpp"
+
+namespace magic::baselines {
+
+struct GbdtOptions {
+  std::size_t num_rounds = 60;
+  double learning_rate = 0.2;
+  double lambda = 1.0;       // L2 on leaf values
+  double subsample = 0.9;    // row subsample per round
+  TreeOptions tree{.max_depth = 5, .min_samples_leaf = 2, .feature_fraction = 0.9};
+  std::uint64_t seed = 1;
+};
+
+class Gbdt : public Classifier {
+ public:
+  explicit Gbdt(GbdtOptions options = {});
+
+  void fit(const ml::FeatureMatrix& data, std::size_t num_classes) override;
+  std::vector<double> predict_proba(const std::vector<double>& x) const override;
+
+  std::size_t rounds_fitted() const noexcept {
+    return num_classes_ == 0 ? 0 : trees_.size() / num_classes_;
+  }
+
+ private:
+  /// Raw scores for all classes.
+  std::vector<double> scores(const std::vector<double>& x) const;
+
+  GbdtOptions options_;
+  std::size_t num_classes_ = 0;
+  std::vector<RegressionTree> trees_;  // round-major: [round * K + class]
+};
+
+}  // namespace magic::baselines

@@ -1,0 +1,121 @@
+#include "baselines/ngram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "asmx/parser.hpp"
+
+namespace magic::baselines {
+
+OpcodeNgramHasher::OpcodeNgramHasher(std::size_t n, std::size_t buckets)
+    : n_(n), buckets_(buckets) {
+  if (n == 0 || buckets == 0) {
+    throw std::invalid_argument("OpcodeNgramHasher: n and buckets must be positive");
+  }
+}
+
+std::vector<double> OpcodeNgramHasher::extract(const asmx::Program& program) const {
+  std::vector<double> counts(buckets_, 0.0);
+  const auto& insts = program.instructions;
+  if (insts.size() < n_) return counts;
+  for (std::size_t i = 0; i + n_ <= insts.size(); ++i) {
+    // FNV-1a over the opcode-class codes of the window.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t k = 0; k < n_; ++k) {
+      h ^= static_cast<std::uint64_t>(insts[i + k].opclass) + 1;
+      h *= 0x100000001b3ULL;
+    }
+    counts[h % buckets_] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> OpcodeNgramHasher::extract_listing(std::string_view listing) const {
+  return extract(asmx::parse_listing(listing).program);
+}
+
+MultinomialNaiveBayes::MultinomialNaiveBayes(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0) throw std::invalid_argument("MultinomialNaiveBayes: alpha > 0 required");
+}
+
+void MultinomialNaiveBayes::fit(const std::vector<std::vector<double>>& rows,
+                                const std::vector<std::size_t>& labels,
+                                std::size_t num_classes) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    throw std::invalid_argument("MultinomialNaiveBayes::fit: bad inputs");
+  }
+  const std::size_t d = rows.front().size();
+  std::vector<double> class_count(num_classes, 0.0);
+  std::vector<std::vector<double>> feature_sum(num_classes, std::vector<double>(d, 0.0));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (labels[i] >= num_classes) {
+      throw std::out_of_range("MultinomialNaiveBayes::fit: label out of range");
+    }
+    class_count[labels[i]] += 1.0;
+    for (std::size_t j = 0; j < d; ++j) feature_sum[labels[i]][j] += rows[i][j];
+  }
+  log_prior_.assign(num_classes, 0.0);
+  log_likelihood_.assign(num_classes, std::vector<double>(d, 0.0));
+  const double total = static_cast<double>(rows.size());
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    log_prior_[c] = std::log((class_count[c] + 1.0) / (total + num_classes));
+    double denom = alpha_ * static_cast<double>(d);
+    for (std::size_t j = 0; j < d; ++j) denom += feature_sum[c][j];
+    for (std::size_t j = 0; j < d; ++j) {
+      log_likelihood_[c][j] = std::log((feature_sum[c][j] + alpha_) / denom);
+    }
+  }
+}
+
+std::vector<double> MultinomialNaiveBayes::predict_proba(
+    const std::vector<double>& x) const {
+  if (log_prior_.empty()) throw std::logic_error("MultinomialNaiveBayes: not fitted");
+  std::vector<double> scores(log_prior_.size());
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    double s = log_prior_[c];
+    for (std::size_t j = 0; j < x.size(); ++j) s += x[j] * log_likelihood_[c][j];
+    scores[c] = s;
+  }
+  double m = scores.front();
+  for (double s : scores) m = std::max(m, s);
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - m);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+  return scores;
+}
+
+std::size_t MultinomialNaiveBayes::predict(const std::vector<double>& x) const {
+  const auto p = predict_proba(x);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < p.size(); ++c) {
+    if (p[c] > p[best]) best = c;
+  }
+  return best;
+}
+
+NgramSequenceClassifier::NgramSequenceClassifier(std::size_t n, std::size_t buckets,
+                                                 double alpha)
+    : hasher_(n, buckets), bayes_(alpha) {}
+
+void NgramSequenceClassifier::fit(const std::vector<std::string>& listings,
+                                  const std::vector<std::size_t>& labels,
+                                  std::size_t num_classes) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(listings.size());
+  for (const auto& text : listings) rows.push_back(hasher_.extract_listing(text));
+  bayes_.fit(rows, labels, num_classes);
+}
+
+std::vector<double> NgramSequenceClassifier::predict_proba(
+    const std::string& listing) const {
+  return bayes_.predict_proba(hasher_.extract_listing(listing));
+}
+
+std::size_t NgramSequenceClassifier::predict(const std::string& listing) const {
+  return bayes_.predict(hasher_.extract_listing(listing));
+}
+
+}  // namespace magic::baselines

@@ -1,0 +1,75 @@
+#pragma once
+// Opcode-sequence n-gram baseline — the stand-in for Table IV's "Strand
+// gene sequence classifier" [15] (Drew et al., polymorphic malware detection
+// via sequence classification) and for the classic n-gram malware features
+// of [4].
+//
+// The model hashes overlapping n-grams of opcode-class sequences (basic
+// blocks concatenated in address order) into a fixed-size feature space and
+// classifies with multinomial naive Bayes. It sees *order* but no graph
+// structure, which is exactly why the paper expects it to trail the
+// CFG-structural approaches.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmx/instruction.hpp"
+
+namespace magic::baselines {
+
+/// Extracts hashed n-gram counts from a program's opcode sequence.
+class OpcodeNgramHasher {
+ public:
+  /// `n` = gram length, `buckets` = hashed feature dimension.
+  OpcodeNgramHasher(std::size_t n, std::size_t buckets);
+
+  /// Counts n-grams of inst.opclass over the address-ordered program.
+  std::vector<double> extract(const asmx::Program& program) const;
+
+  /// Convenience: parse a listing then extract.
+  std::vector<double> extract_listing(std::string_view listing) const;
+
+  std::size_t buckets() const noexcept { return buckets_; }
+
+ private:
+  std::size_t n_;
+  std::size_t buckets_;
+};
+
+/// Multinomial naive Bayes over count vectors with Laplace smoothing.
+class MultinomialNaiveBayes {
+ public:
+  explicit MultinomialNaiveBayes(double alpha = 1.0);
+
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<std::size_t>& labels, std::size_t num_classes);
+
+  /// Posterior distribution (softmax of log joint).
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+  std::size_t predict(const std::vector<double>& x) const;
+
+ private:
+  double alpha_;
+  std::vector<double> log_prior_;                 // per class
+  std::vector<std::vector<double>> log_likelihood_;  // class x feature
+};
+
+/// End-to-end sequence classifier: listing -> hashed n-grams -> naive Bayes.
+class NgramSequenceClassifier {
+ public:
+  NgramSequenceClassifier(std::size_t n = 3, std::size_t buckets = 512,
+                          double alpha = 1.0);
+
+  void fit(const std::vector<std::string>& listings,
+           const std::vector<std::size_t>& labels, std::size_t num_classes);
+
+  std::vector<double> predict_proba(const std::string& listing) const;
+  std::size_t predict(const std::string& listing) const;
+
+ private:
+  OpcodeNgramHasher hasher_;
+  MultinomialNaiveBayes bayes_;
+};
+
+}  // namespace magic::baselines

@@ -1,0 +1,42 @@
+#include "baselines/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace magic::baselines {
+
+RandomForest::RandomForest(RandomForestOptions options) : options_(options) {}
+
+void RandomForest::fit(const ml::FeatureMatrix& data, std::size_t num_classes) {
+  if (data.rows.empty()) throw std::invalid_argument("RandomForest::fit: empty data");
+  num_classes_ = num_classes;
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  util::Rng rng(options_.seed);
+  const auto n = data.rows.size();
+  const auto sample_n = static_cast<std::size_t>(
+      std::max(1.0, options_.bootstrap_fraction * static_cast<double>(n)));
+  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<std::size_t> bootstrap(sample_n);
+    for (auto& i : bootstrap) {
+      i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    DecisionTree tree(options_.tree);
+    util::Rng tree_rng = rng.split();
+    tree.fit(data, num_classes, bootstrap, tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(const std::vector<double>& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> probs(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < num_classes_; ++c) probs[c] += p[c];
+  }
+  for (double& p : probs) p /= static_cast<double>(trees_.size());
+  return probs;
+}
+
+}  // namespace magic::baselines

@@ -1,0 +1,37 @@
+#pragma once
+// Random forest baseline (the paper compares against [11] "Ensemble
+// Multiple Random Forest Classifiers" and [14] "Random Forest with Feature
+// Engineering", Table IV). Bagged gini trees with per-split feature
+// subsampling; probabilities are averaged across trees.
+
+#include <memory>
+
+#include "baselines/classifier.hpp"
+#include "baselines/tree.hpp"
+
+namespace magic::baselines {
+
+struct RandomForestOptions {
+  std::size_t num_trees = 100;
+  TreeOptions tree;
+  /// Bootstrap sample fraction per tree.
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {});
+
+  void fit(const ml::FeatureMatrix& data, std::size_t num_classes) override;
+  std::vector<double> predict_proba(const std::vector<double>& x) const override;
+
+  std::size_t num_trees() const noexcept { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::size_t num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace magic::baselines

@@ -1,0 +1,47 @@
+#include "baselines/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace magic::baselines {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("StandardScaler::fit: empty data");
+  const std::size_t d = rows.front().size();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(rows.size()));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace magic::baselines

@@ -1,0 +1,28 @@
+#pragma once
+// Feature standardization (z-score) for scale-sensitive models (SVM,
+// autoencoder). Tree models are scale-invariant and skip it.
+
+#include <vector>
+
+#include "ml/features.hpp"
+
+namespace magic::baselines {
+
+/// Per-feature mean/stddev learned from training rows.
+class StandardScaler {
+ public:
+  /// Learns statistics; constant features get stddev 1 (pass-through).
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  std::vector<double> transform(const std::vector<double>& x) const;
+  std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace magic::baselines

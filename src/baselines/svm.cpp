@@ -1,0 +1,90 @@
+#include "baselines/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace magic::baselines {
+
+LinearSvm::LinearSvm(SvmOptions options) : options_(options) {}
+
+void LinearSvm::fit(const std::vector<std::vector<double>>& rows,
+                    const std::vector<int>& labels) {
+  if (rows.empty() || rows.size() != labels.size()) {
+    throw std::invalid_argument("LinearSvm::fit: bad inputs");
+  }
+  const std::size_t d = rows.front().size();
+  const std::size_t n = rows.size();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  util::Rng rng(options_.seed);
+  std::size_t t = 0;
+  // Pegasos: eta_t = 1 / (lambda t); hinge sub-gradient step + shrink.
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (std::size_t step = 0; step < n; ++step) {
+      ++t;
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      const double y = static_cast<double>(labels[i]);
+      double margin = b_;
+      for (std::size_t j = 0; j < d; ++j) margin += w_[j] * rows[i][j];
+      const double shrink = 1.0 - eta * options_.lambda;
+      for (double& wj : w_) wj *= shrink;
+      if (y * margin < 1.0) {
+        for (std::size_t j = 0; j < d; ++j) w_[j] += eta * y * rows[i][j];
+        b_ += eta * y * 0.1;  // lightly regularized bias
+      }
+    }
+  }
+}
+
+double LinearSvm::decision(const std::vector<double>& x) const {
+  if (w_.empty()) throw std::logic_error("LinearSvm: not fitted");
+  double margin = b_;
+  for (std::size_t j = 0; j < x.size(); ++j) margin += w_[j] * x[j];
+  return margin;
+}
+
+EnsembleSvc::EnsembleSvc(SvmOptions options) : options_(options) {}
+
+void EnsembleSvc::fit(const ml::FeatureMatrix& data, std::size_t num_classes) {
+  if (data.rows.empty()) throw std::invalid_argument("EnsembleSvc::fit: empty data");
+  scaler_.fit(data.rows);
+  const auto scaled = scaler_.transform_all(data.rows);
+  machines_.clear();
+  machines_.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::vector<int> labels(scaled.size());
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      labels[i] = data.labels[i] == c ? 1 : -1;
+    }
+    SvmOptions per_class = options_;
+    per_class.seed = options_.seed + c * 7919;
+    LinearSvm svm(per_class);
+    svm.fit(scaled, labels);
+    machines_.push_back(std::move(svm));
+  }
+}
+
+std::vector<double> EnsembleSvc::predict_proba(const std::vector<double>& x) const {
+  if (machines_.empty()) throw std::logic_error("EnsembleSvc: not fitted");
+  const auto scaled = scaler_.transform(x);
+  std::vector<double> scores(machines_.size());
+  for (std::size_t c = 0; c < machines_.size(); ++c) {
+    scores[c] = machines_[c].decision(scaled);
+  }
+  // Softmax over margins: a calibrated-enough probability proxy.
+  double m = scores.front();
+  for (double s : scores) m = std::max(m, s);
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - m);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+  return scores;
+}
+
+}  // namespace magic::baselines

@@ -1,0 +1,51 @@
+#pragma once
+// Linear SVMs trained with Pegasos (primal stochastic sub-gradient), and
+// the ensemble one-vs-rest classifier standing in for ESVC — the paper's
+// Fig. 11 comparator [8], which "sequentially integrates SVM-based malware
+// classifiers trained from heterogeneous features". Our stand-in chains
+// one-vs-rest linear SVMs over the aggregate feature vector and converts
+// margins to probabilities with a softmax over class scores.
+
+#include "baselines/classifier.hpp"
+#include "baselines/scaler.hpp"
+
+namespace magic::baselines {
+
+struct SvmOptions {
+  double lambda = 1e-4;        // Pegasos regularization
+  std::size_t epochs = 20;     // passes over the data
+  std::uint64_t seed = 1;
+};
+
+/// Binary linear SVM: sign(w.x + b). Labels are +1 / -1.
+class LinearSvm {
+ public:
+  explicit LinearSvm(SvmOptions options = {});
+
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<int>& labels);
+
+  /// Signed margin w.x + b.
+  double decision(const std::vector<double>& x) const;
+
+ private:
+  SvmOptions options_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// One-vs-rest ensemble of linear SVMs with internal standardization.
+class EnsembleSvc : public Classifier {
+ public:
+  explicit EnsembleSvc(SvmOptions options = {});
+
+  void fit(const ml::FeatureMatrix& data, std::size_t num_classes) override;
+  std::vector<double> predict_proba(const std::vector<double>& x) const override;
+
+ private:
+  SvmOptions options_;
+  StandardScaler scaler_;
+  std::vector<LinearSvm> machines_;  // one per class
+};
+
+}  // namespace magic::baselines

@@ -1,0 +1,232 @@
+#include "baselines/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace magic::baselines {
+namespace {
+
+/// Picks the feature subset considered at a split.
+std::vector<std::size_t> sample_features(std::size_t total, double fraction,
+                                         util::Rng& rng) {
+  std::vector<std::size_t> features(total);
+  std::iota(features.begin(), features.end(), 0u);
+  const auto want = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(fraction * static_cast<double>(total))));
+  if (want >= total) return features;
+  rng.shuffle(features);
+  features.resize(want);
+  return features;
+}
+
+/// Candidate thresholds: midpoints between distinct consecutive sorted values.
+struct SplitResult {
+  bool found = false;
+  int feature = -1;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // lower is better
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeOptions options) : options_(options) {}
+
+void DecisionTree::fit(const ml::FeatureMatrix& data, std::size_t num_classes,
+                       const std::vector<std::size_t>& indices, util::Rng& rng) {
+  if (indices.empty()) throw std::invalid_argument("DecisionTree::fit: no samples");
+  num_classes_ = num_classes;
+  nodes_.clear();
+  std::vector<std::size_t> idx = indices;
+  grow(data, idx, 0, rng);
+}
+
+std::size_t DecisionTree::grow(const ml::FeatureMatrix& data,
+                               std::vector<std::size_t>& idx, std::size_t depth,
+                               util::Rng& rng) {
+  // Class histogram of this node.
+  std::vector<double> hist(num_classes_, 0.0);
+  for (std::size_t i : idx) hist[data.labels[i]] += 1.0;
+  const double total = static_cast<double>(idx.size());
+  bool pure = false;
+  for (double h : hist) {
+    if (h == total) {
+      pure = true;
+      break;
+    }
+  }
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.distribution = hist;
+    for (double& v : leaf.distribution) v /= total;
+    nodes_.push_back(std::move(leaf));
+    return nodes_.size() - 1;
+  };
+
+  if (pure || depth >= options_.max_depth ||
+      idx.size() < 2 * options_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Search the best gini split over a feature subset.
+  SplitResult best;
+  const std::size_t dims = data.rows.front().size();
+  for (std::size_t f : sample_features(dims, options_.feature_fraction, rng)) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return data.rows[a][f] < data.rows[b][f];
+    });
+    std::vector<double> left_hist(num_classes_, 0.0);
+    std::vector<double> right_hist = hist;
+    for (std::size_t pos = 0; pos + 1 < idx.size(); ++pos) {
+      const std::size_t lbl = data.labels[idx[pos]];
+      left_hist[lbl] += 1.0;
+      right_hist[lbl] -= 1.0;
+      const double lv = data.rows[idx[pos]][f];
+      const double rv = data.rows[idx[pos + 1]][f];
+      if (lv == rv) continue;
+      const std::size_t nl = pos + 1, nr = idx.size() - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) continue;
+      auto gini = [](const std::vector<double>& h, double n) {
+        double g = 1.0;
+        for (double v : h) g -= (v / n) * (v / n);
+        return g;
+      };
+      const double score =
+          (static_cast<double>(nl) * gini(left_hist, static_cast<double>(nl)) +
+           static_cast<double>(nr) * gini(right_hist, static_cast<double>(nr))) /
+          total;
+      if (score < best.score) {
+        best = {true, static_cast<int>(f), 0.5 * (lv + rv), score};
+      }
+    }
+  }
+  if (!best.found) return make_leaf();
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : idx) {
+    (data.rows[i][static_cast<std::size_t>(best.feature)] <= best.threshold
+         ? left_idx
+         : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  const std::size_t me = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[me].feature = best.feature;
+  nodes_[me].threshold = best.threshold;
+  const std::size_t left = grow(data, left_idx, depth + 1, rng);
+  const std::size_t right = grow(data, right_idx, depth + 1, rng);
+  nodes_[me].left = left;
+  nodes_[me].right = right;
+  return me;
+}
+
+std::vector<double> DecisionTree::predict_proba(const std::vector<double>& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    node = x[f] <= nodes_[node].threshold ? nodes_[node].left : nodes_[node].right;
+  }
+  return nodes_[node].distribution;
+}
+
+RegressionTree::RegressionTree(TreeOptions options, double lambda)
+    : options_(options), lambda_(lambda) {}
+
+void RegressionTree::fit(const std::vector<std::vector<double>>& rows,
+                         const std::vector<double>& targets,
+                         const std::vector<double>& hessians,
+                         const std::vector<std::size_t>& indices, util::Rng& rng) {
+  if (indices.empty()) throw std::invalid_argument("RegressionTree::fit: no samples");
+  nodes_.clear();
+  std::vector<std::size_t> idx = indices;
+  grow(rows, targets, hessians, idx, 0, rng);
+}
+
+std::size_t RegressionTree::grow(const std::vector<std::vector<double>>& rows,
+                                 const std::vector<double>& targets,
+                                 const std::vector<double>& hessians,
+                                 std::vector<std::size_t>& idx, std::size_t depth,
+                                 util::Rng& rng) {
+  double sum_g = 0.0, sum_h = 0.0;
+  for (std::size_t i : idx) {
+    sum_g += targets[i];
+    sum_h += hessians.empty() ? 1.0 : hessians[i];
+  }
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = sum_g / (sum_h + lambda_);
+    nodes_.push_back(leaf);
+    return nodes_.size() - 1;
+  };
+
+  if (depth >= options_.max_depth || idx.size() < 2 * options_.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Best split by maximum gain of the Newton objective:
+  //   gain = GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l).
+  SplitResult best;
+  best.score = 0.0;  // require strictly positive gain (stored negated below)
+  bool found = false;
+  const std::size_t dims = rows.front().size();
+  const double parent_obj = sum_g * sum_g / (sum_h + lambda_);
+  for (std::size_t f : sample_features(dims, options_.feature_fraction, rng)) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return rows[a][f] < rows[b][f];
+    });
+    double gl = 0.0, hl = 0.0;
+    for (std::size_t pos = 0; pos + 1 < idx.size(); ++pos) {
+      gl += targets[idx[pos]];
+      hl += hessians.empty() ? 1.0 : hessians[idx[pos]];
+      const double lv = rows[idx[pos]][f];
+      const double rv = rows[idx[pos + 1]][f];
+      if (lv == rv) continue;
+      const std::size_t nl = pos + 1, nr = idx.size() - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) continue;
+      const double gr = sum_g - gl, hr = sum_h - hl;
+      const double gain = gl * gl / (hl + lambda_) + gr * gr / (hr + lambda_) - parent_obj;
+      if (gain > best.score + 1e-12) {
+        best = {true, static_cast<int>(f), 0.5 * (lv + rv), gain};
+        found = true;
+      }
+    }
+  }
+  if (!found) return make_leaf();
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : idx) {
+    (rows[i][static_cast<std::size_t>(best.feature)] <= best.threshold ? left_idx
+                                                                       : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  const std::size_t me = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[me].feature = best.feature;
+  nodes_[me].threshold = best.threshold;
+  const std::size_t left = grow(rows, targets, hessians, left_idx, depth + 1, rng);
+  const std::size_t right = grow(rows, targets, hessians, right_idx, depth + 1, rng);
+  nodes_[me].left = left;
+  nodes_[me].right = right;
+  return me;
+}
+
+double RegressionTree::predict(const std::vector<double>& x) const {
+  if (nodes_.empty()) throw std::logic_error("RegressionTree: not fitted");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto f = static_cast<std::size_t>(nodes_[node].feature);
+    node = x[f] <= nodes_[node].threshold ? nodes_[node].left : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace magic::baselines

@@ -1,0 +1,88 @@
+#pragma once
+// CART decision trees: a gini-impurity classification tree (building block
+// of the random-forest baselines [11][14]) and a squared-error regression
+// tree with Newton leaf values (building block of the XGBoost-style
+// gradient-boosting baseline [13]).
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "util/rng.hpp"
+
+namespace magic::baselines {
+
+/// Shared growth limits.
+struct TreeOptions {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  /// Fraction of features considered at each split (1.0 = all; random
+  /// forests use sqrt-ish fractions for decorrelation).
+  double feature_fraction = 1.0;
+};
+
+/// Axis-aligned binary classification tree.
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeOptions options = {});
+
+  /// Fits on the rows selected by `indices` (bootstrap support).
+  void fit(const ml::FeatureMatrix& data, std::size_t num_classes,
+           const std::vector<std::size_t>& indices, util::Rng& rng);
+
+  /// Leaf class distribution for x.
+  std::vector<double> predict_proba(const std::vector<double>& x) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 = leaf
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    std::vector<double> distribution;  // leaves only
+  };
+
+  std::size_t grow(const ml::FeatureMatrix& data, std::vector<std::size_t>& idx,
+                   std::size_t depth, util::Rng& rng);
+
+  TreeOptions options_;
+  std::size_t num_classes_ = 0;
+  std::vector<Node> nodes_;
+};
+
+/// Regression tree minimizing squared error, with optional Newton-style
+/// leaf values sum(grad) / (sum(hess) + lambda) when hessians are provided.
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions options = {}, double lambda = 1.0);
+
+  /// `targets` are per-row gradients; `hessians` may be empty (plain mean
+  /// leaves) or per-row curvature values.
+  void fit(const std::vector<std::vector<double>>& rows,
+           const std::vector<double>& targets, const std::vector<double>& hessians,
+           const std::vector<std::size_t>& indices, util::Rng& rng);
+
+  double predict(const std::vector<double>& x) const;
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double value = 0.0;  // leaves only
+  };
+
+  std::size_t grow(const std::vector<std::vector<double>>& rows,
+                   const std::vector<double>& targets,
+                   const std::vector<double>& hessians,
+                   std::vector<std::size_t>& idx, std::size_t depth, util::Rng& rng);
+
+  TreeOptions options_;
+  double lambda_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace magic::baselines

@@ -1,0 +1,218 @@
+#include "cfg/graph_algo.hpp"
+
+#include <algorithm>
+#include <stack>
+
+namespace magic::cfg {
+
+std::vector<bool> reachable_from(const AdjacencyList& adj, std::size_t source) {
+  std::vector<bool> seen(adj.size(), false);
+  if (source >= adj.size()) return seen;
+  std::stack<std::size_t> st;
+  st.push(source);
+  seen[source] = true;
+  while (!st.empty()) {
+    const std::size_t u = st.top();
+    st.pop();
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        st.push(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::size_t weakly_connected_components(const AdjacencyList& adj) {
+  const std::size_t n = adj.size();
+  AdjacencyList undirected(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : adj[u]) {
+      undirected[u].push_back(v);
+      undirected[v].push_back(u);
+    }
+  }
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++components;
+    std::stack<std::size_t> st;
+    st.push(s);
+    seen[s] = true;
+    while (!st.empty()) {
+      const std::size_t u = st.top();
+      st.pop();
+      for (std::size_t v : undirected[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          st.push(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::size_t strongly_connected_components(const AdjacencyList& adj) {
+  const std::size_t n = adj.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+  std::size_t scc_count = 0;
+
+  // Iterative Tarjan with an explicit DFS frame stack.
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          ++scc_count;
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            if (w == f.v) break;
+          }
+        }
+        const std::size_t child = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[child]);
+        }
+      }
+    }
+  }
+  return scc_count;
+}
+
+DegreeStats degree_stats(const AdjacencyList& adj) {
+  DegreeStats s;
+  for (const auto& out : adj) {
+    s.edges += out.size();
+    s.max = std::max(s.max, out.size());
+  }
+  s.mean = adj.empty() ? 0.0 : static_cast<double>(s.edges) / static_cast<double>(adj.size());
+  return s;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> back_edges(const AdjacencyList& adj) {
+  const std::size_t n = adj.size();
+  std::vector<int> state(n, 0);  // 0 = white, 1 = on path, 2 = done
+  std::vector<std::pair<std::size_t, std::size_t>> result;
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<Frame> frames{{root, 0}};
+    state[root] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.edge++];
+        if (state[w] == 1) {
+          result.emplace_back(f.v, w);
+        } else if (state[w] == 0) {
+          state[w] = 1;
+          frames.push_back({w, 0});
+        }
+      } else {
+        state[f.v] = 2;
+        frames.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t dag_depth_from(const AdjacencyList& adj, std::size_t source) {
+  const std::size_t n = adj.size();
+  if (source >= n) return 0;
+  // Memoized longest path with cycle guarding: vertices on the current path
+  // contribute no further depth (each SCC is effectively traversed once).
+  std::vector<int> state(n, 0);
+  std::vector<std::size_t> depth(n, 0);
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames{{source, 0}};
+  state[source] = 1;
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.edge < adj[f.v].size()) {
+      const std::size_t w = adj[f.v][f.edge++];
+      if (state[w] == 0) {
+        state[w] = 1;
+        frames.push_back({w, 0});
+      } else if (state[w] == 2) {
+        depth[f.v] = std::max(depth[f.v], depth[w] + 1);
+      }
+      // state == 1 (on path): back edge, ignore.
+    } else {
+      state[f.v] = 2;
+      const std::size_t child = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t parent = frames.back().v;
+        depth[parent] = std::max(depth[parent], depth[child] + 1);
+      }
+    }
+  }
+  return depth[source];
+}
+
+bool has_cycle(const AdjacencyList& adj) {
+  const std::size_t n = adj.size();
+  std::vector<int> state(n, 0);  // 0 = white, 1 = on path, 2 = done
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<Frame> frames{{root, 0}};
+    state[root] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.edge++];
+        if (state[w] == 1) return true;
+        if (state[w] == 0) {
+          state[w] = 1;
+          frames.push_back({w, 0});
+        }
+      } else {
+        state[f.v] = 2;
+        frames.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace magic::cfg

@@ -1,0 +1,41 @@
+#pragma once
+// Graph utilities over adjacency lists: reachability, components, degree
+// statistics. Used for dataset validation, tests and CFG diagnostics.
+
+#include <cstddef>
+#include <vector>
+
+namespace magic::cfg {
+
+using AdjacencyList = std::vector<std::vector<std::size_t>>;
+
+/// Vertices reachable from `source` (including it) via directed edges.
+std::vector<bool> reachable_from(const AdjacencyList& adj, std::size_t source);
+
+/// Number of weakly connected components.
+std::size_t weakly_connected_components(const AdjacencyList& adj);
+
+/// Number of strongly connected components (Tarjan, iterative).
+std::size_t strongly_connected_components(const AdjacencyList& adj);
+
+/// Out-degree histogram statistics.
+struct DegreeStats {
+  double mean = 0.0;
+  std::size_t max = 0;
+  std::size_t edges = 0;
+};
+DegreeStats degree_stats(const AdjacencyList& adj);
+
+/// True if the directed graph contains a cycle.
+bool has_cycle(const AdjacencyList& adj);
+
+/// DFS back edges (u -> v with v on the current DFS path), a proxy for
+/// loop count in CFG statistics. Deterministic for a given adjacency list
+/// (DFS roots in index order, edges in list order).
+std::vector<std::pair<std::size_t, std::size_t>> back_edges(const AdjacencyList& adj);
+
+/// Longest path length (in edges) from `source` over the DAG of SCCs —
+/// an upper-bound "depth" metric; cycles within an SCC count once.
+std::size_t dag_depth_from(const AdjacencyList& adj, std::size_t source);
+
+}  // namespace magic::cfg

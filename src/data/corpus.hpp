@@ -1,0 +1,57 @@
+#pragma once
+// Corpus builders for the two evaluation datasets of the paper.
+//
+//  - MSKCFG-like: 9 families with the exact family proportions of the 2015
+//    Microsoft Malware Classification Challenge training set (Fig. 7);
+//  - YANCFG-like: 13 families (12 malware + Benign) with proportions
+//    matching Fig. 8, including the small hard families whose F1 the paper
+//    reports as poor (Ldpinch, Sdbot, Rbot, Lmir).
+//
+// Both corpora are generated as assembly listings and pushed through the
+// full pipeline (parse -> tag -> CFG -> ACFG), in parallel over a thread
+// pool. `scale` in (0, 1] shrinks every family proportionally (minimum
+// kept per family so 5-fold stratified CV stays valid).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "data/dataset.hpp"
+#include "data/family_spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::data {
+
+/// The 9 MSKCFG family profiles with full-scale counts (total 10,868).
+std::vector<FamilySpec> mskcfg_family_specs();
+
+/// The 13 YANCFG family profiles with full-scale counts (total 16,351).
+std::vector<FamilySpec> yancfg_family_specs();
+
+/// Generates a labelled ACFG corpus from family specs.
+/// Each family gets max(min_per_family, round(corpus_count * scale)) samples.
+Dataset generate_corpus(const std::vector<FamilySpec>& specs, double scale,
+                        std::uint64_t seed, util::ThreadPool& pool,
+                        std::size_t min_per_family = 10);
+
+/// Convenience wrappers.
+Dataset mskcfg_like_corpus(double scale, std::uint64_t seed, util::ThreadPool& pool);
+Dataset yancfg_like_corpus(double scale, std::uint64_t seed, util::ThreadPool& pool);
+
+/// Generates raw listings (family label attached) without ACFG extraction;
+/// used by examples and the §V-E overhead bench.
+std::vector<std::pair<std::string, int>> generate_listings(
+    const std::vector<FamilySpec>& specs, double scale, std::uint64_t seed,
+    std::size_t min_per_family = 10);
+
+/// Simulates malware evolution ("malware development trends after the
+/// collection of these two datasets", §V-E): each family's polymorphism
+/// knobs grow with `drift` in [0, 1] — more junk code, more per-sample
+/// jitter, and a pull toward the generic profile. drift = 0 returns the
+/// specs unchanged; drift = 1 roughly doubles jitter/junk and adds 0.3
+/// overlap (clamped).
+std::vector<FamilySpec> drift_family_specs(std::vector<FamilySpec> specs,
+                                           double drift);
+
+}  // namespace magic::data

@@ -1,0 +1,101 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace magic::data {
+
+std::vector<std::size_t> Dataset::family_counts() const {
+  std::vector<std::size_t> counts(family_names.size(), 0);
+  for (const auto& s : samples) {
+    if (s.label >= 0 && static_cast<std::size_t>(s.label) < counts.size()) {
+      ++counts[static_cast<std::size_t>(s.label)];
+    }
+  }
+  return counts;
+}
+
+double Dataset::mean_vertices() const noexcept {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : samples) total += static_cast<double>(s.num_vertices());
+  return total / static_cast<double>(samples.size());
+}
+
+std::size_t Dataset::vertex_count_percentile(double pct) const {
+  if (samples.empty()) return 0;
+  std::vector<std::size_t> counts;
+  counts.reserve(samples.size());
+  for (const auto& s : samples) counts.push_back(s.num_vertices());
+  std::sort(counts.begin(), counts.end());
+  const double rank = std::clamp(pct, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(counts.size() - 1);
+  return counts[static_cast<std::size_t>(std::llround(rank))];
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.family_names = family_names;
+  out.samples.reserve(indices.size());
+  for (std::size_t i : indices) out.samples.push_back(samples.at(i));
+  return out;
+}
+
+std::vector<FoldSplit> stratified_k_fold(const Dataset& dataset, std::size_t k,
+                                         util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_k_fold: k must be >= 2");
+  // Group sample indices by family, shuffle within family, deal round-robin.
+  std::vector<std::vector<std::size_t>> by_family(dataset.num_families());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const int label = dataset.samples[i].label;
+    if (label < 0 || static_cast<std::size_t>(label) >= by_family.size()) {
+      throw std::invalid_argument("stratified_k_fold: sample with invalid label");
+    }
+    by_family[static_cast<std::size_t>(label)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> fold_members(k);
+  for (auto& members : by_family) {
+    rng.shuffle(members);
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      fold_members[j % k].push_back(members[j]);
+    }
+  }
+  std::vector<FoldSplit> splits(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    splits[f].validation = fold_members[f];
+    for (std::size_t other = 0; other < k; ++other) {
+      if (other == f) continue;
+      splits[f].train.insert(splits[f].train.end(), fold_members[other].begin(),
+                             fold_members[other].end());
+    }
+    std::sort(splits[f].validation.begin(), splits[f].validation.end());
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+FoldSplit stratified_holdout(const Dataset& dataset, double train_fraction,
+                             util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_holdout: fraction must be in (0, 1)");
+  }
+  std::vector<std::vector<std::size_t>> by_family(dataset.num_families());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_family[static_cast<std::size_t>(dataset.samples[i].label)].push_back(i);
+  }
+  FoldSplit split;
+  for (auto& members : by_family) {
+    rng.shuffle(members);
+    const auto n_train = static_cast<std::size_t>(
+        std::llround(train_fraction * static_cast<double>(members.size())));
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      (j < n_train ? split.train : split.validation).push_back(members[j]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.validation.begin(), split.validation.end());
+  return split;
+}
+
+}  // namespace magic::data

@@ -1,0 +1,51 @@
+#pragma once
+// Labelled ACFG dataset plus splitting utilities (stratified K-fold cross
+// validation, §V-B: "the dataset is splitted into five equal-size subsets"
+// with training never seeing the validation samples).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "util/rng.hpp"
+
+namespace magic::data {
+
+/// A labelled corpus: samples plus the family-name table.
+struct Dataset {
+  std::vector<acfg::Acfg> samples;
+  std::vector<std::string> family_names;
+
+  std::size_t size() const noexcept { return samples.size(); }
+  std::size_t num_families() const noexcept { return family_names.size(); }
+
+  /// Per-family sample counts (indexed by label).
+  std::vector<std::size_t> family_counts() const;
+
+  /// Mean vertex count across samples.
+  double mean_vertices() const noexcept;
+
+  /// Sorted vertex counts -> value at the given percentile in [0, 100].
+  std::size_t vertex_count_percentile(double pct) const;
+
+  /// Subset by sample indices (copies).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+};
+
+/// One train/validation split expressed as index sets into the dataset.
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+/// Builds K stratified folds: samples of each family are shuffled and dealt
+/// round-robin so every fold preserves the family ratio within rounding.
+std::vector<FoldSplit> stratified_k_fold(const Dataset& dataset, std::size_t k,
+                                         util::Rng& rng);
+
+/// Simple stratified holdout split with the given train fraction.
+FoldSplit stratified_holdout(const Dataset& dataset, double train_fraction,
+                             util::Rng& rng);
+
+}  // namespace magic::data

@@ -1,0 +1,53 @@
+#pragma once
+// Synthetic malware family specification.
+//
+// The paper's corpora (MSKCFG: Microsoft Kaggle 2015; YANCFG: VirusTotal-
+// labelled CFGs from [8]) are proprietary. We substitute a generator that
+// produces x86-style assembly listings whose control-flow structure and
+// instruction mix differ by family, then run them through the SAME pipeline
+// the paper uses (parse -> tag -> CFG -> ACFG -> DGCNN). A family is a
+// parameter profile; samples are polymorphic variants drawn around it.
+// The `overlap` knob blends a family toward a generic profile so rare,
+// hard-to-separate families (Ldpinch/Sdbot/Rbot/Lmir in Fig. 10) reproduce
+// the paper's low-F1 behaviour.
+
+#include <cstddef>
+#include <string>
+
+namespace magic::data {
+
+/// Generation profile of one malware family.
+struct FamilySpec {
+  std::string name;
+
+  // --- program shape -------------------------------------------------------
+  double functions_mean = 6.0;        // functions per sample
+  double blocks_per_function = 8.0;   // basic blocks per function
+  double block_length_mean = 6.0;     // instructions per block
+
+  // --- control-flow texture -------------------------------------------------
+  double branch_prob = 0.45;   // block ends with a conditional jump
+  double loop_prob = 0.25;     // a conditional jump goes backwards (loop)
+  double goto_prob = 0.10;     // block ends with an unconditional jump
+  double dispatch_prob = 0.05; // block is a multi-way dispatch (switch-like)
+  double call_density = 0.10;  // per-instruction probability of a call
+
+  // --- instruction mix (relative weights within a block body) ---------------
+  double arith_weight = 1.0;
+  double mov_weight = 1.5;
+  double compare_weight = 0.4;
+  double data_decl_weight = 0.05;
+  double string_op_weight = 0.1;
+
+  double numeric_const_prob = 0.5;  // operand is an immediate
+  double junk_prob = 0.05;          // junk/no-op padding (polymorphism)
+
+  // --- sample-level randomization -------------------------------------------
+  double jitter = 0.15;   // relative noise applied to every parameter per sample
+  double overlap = 0.0;   // 0 = fully distinctive, 1 = generic profile
+
+  // --- corpus bookkeeping ----------------------------------------------------
+  std::size_t corpus_count = 0;  // samples in the full-scale corpus (Fig. 7/8)
+};
+
+}  // namespace magic::data

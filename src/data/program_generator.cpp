@@ -1,0 +1,325 @@
+#include "data/program_generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace magic::data {
+namespace {
+
+constexpr std::uint64_t kBaseAddr = 0x401000;
+
+const char* const kRegisters[] = {"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp"};
+const char* const kArith[] = {"add", "sub", "xor", "and", "or",  "shl",
+                              "shr", "imul", "inc", "dec", "neg", "lea"};
+const char* const kMov[] = {"mov", "movzx", "push", "pop", "xchg"};
+const char* const kStringOps[] = {"lodsb", "stosb", "movsb", "cmpsb"};
+const char* const kCondJumps[] = {"jz", "jnz", "jl", "jge", "ja", "jbe", "js", "jo"};
+
+double blend(double a, double b, double t) { return (1.0 - t) * a + t * b; }
+
+}  // namespace
+
+FamilySpec ProgramGenerator::generic_profile() {
+  FamilySpec g;
+  g.name = "generic";
+  g.functions_mean = 6.0;
+  g.blocks_per_function = 8.0;
+  g.block_length_mean = 6.0;
+  g.branch_prob = 0.45;
+  g.loop_prob = 0.25;
+  g.goto_prob = 0.10;
+  g.dispatch_prob = 0.05;
+  g.call_density = 0.10;
+  g.arith_weight = 1.0;
+  g.mov_weight = 1.5;
+  g.compare_weight = 0.4;
+  g.data_decl_weight = 0.05;
+  g.string_op_weight = 0.1;
+  g.numeric_const_prob = 0.5;
+  g.junk_prob = 0.05;
+  return g;
+}
+
+FamilySpec blend_with_generic(const FamilySpec& spec) {
+  const FamilySpec g = ProgramGenerator::generic_profile();
+  const double t = std::clamp(spec.overlap, 0.0, 1.0);
+  FamilySpec out = spec;
+  out.functions_mean = blend(spec.functions_mean, g.functions_mean, t);
+  out.blocks_per_function = blend(spec.blocks_per_function, g.blocks_per_function, t);
+  out.block_length_mean = blend(spec.block_length_mean, g.block_length_mean, t);
+  out.branch_prob = blend(spec.branch_prob, g.branch_prob, t);
+  out.loop_prob = blend(spec.loop_prob, g.loop_prob, t);
+  out.goto_prob = blend(spec.goto_prob, g.goto_prob, t);
+  out.dispatch_prob = blend(spec.dispatch_prob, g.dispatch_prob, t);
+  out.call_density = blend(spec.call_density, g.call_density, t);
+  out.arith_weight = blend(spec.arith_weight, g.arith_weight, t);
+  out.mov_weight = blend(spec.mov_weight, g.mov_weight, t);
+  out.compare_weight = blend(spec.compare_weight, g.compare_weight, t);
+  out.data_decl_weight = blend(spec.data_decl_weight, g.data_decl_weight, t);
+  out.string_op_weight = blend(spec.string_op_weight, g.string_op_weight, t);
+  out.numeric_const_prob = blend(spec.numeric_const_prob, g.numeric_const_prob, t);
+  out.junk_prob = blend(spec.junk_prob, g.junk_prob, t);
+  return out;
+}
+
+ProgramGenerator::ProgramGenerator(FamilySpec spec, util::Rng rng)
+    : spec_(blend_with_generic(spec)), rng_(rng) {}
+
+FamilySpec ProgramGenerator::jittered_spec() {
+  FamilySpec s = spec_;
+  auto jit = [this](double v) {
+    return std::max(0.0, v * (1.0 + spec_.jitter * rng_.uniform(-1.0, 1.0)));
+  };
+  s.functions_mean = std::max(1.0, jit(s.functions_mean));
+  s.blocks_per_function = std::max(2.0, jit(s.blocks_per_function));
+  s.block_length_mean = std::max(1.0, jit(s.block_length_mean));
+  s.branch_prob = std::min(0.95, jit(s.branch_prob));
+  s.loop_prob = std::min(0.95, jit(s.loop_prob));
+  s.goto_prob = std::min(0.6, jit(s.goto_prob));
+  s.dispatch_prob = std::min(0.5, jit(s.dispatch_prob));
+  s.call_density = std::min(0.6, jit(s.call_density));
+  s.numeric_const_prob = std::min(1.0, jit(s.numeric_const_prob));
+  s.junk_prob = std::min(0.6, jit(s.junk_prob));
+  return s;
+}
+
+std::string ProgramGenerator::random_register() {
+  return kRegisters[static_cast<std::size_t>(rng_.uniform_int(0, 6))];
+}
+
+std::string ProgramGenerator::random_immediate() {
+  // Small constants dominate real code; occasionally emit pointer-like ones.
+  if (rng_.bernoulli(0.15)) {
+    std::ostringstream oss;
+    oss << "0x" << std::hex << (0x400000 + rng_.uniform_int(0, 0xFFFF));
+    return oss.str();
+  }
+  return std::to_string(rng_.uniform_int(0, 255));
+}
+
+ProgramGenerator::PendingInst ProgramGenerator::random_body_inst(const FamilySpec& s) {
+  PendingInst inst;
+  inst.size = static_cast<std::uint32_t>(rng_.uniform_int(1, 6));
+  const std::vector<double> weights = {s.arith_weight, s.mov_weight,
+                                       s.compare_weight, s.data_decl_weight,
+                                       s.string_op_weight};
+  switch (rng_.weighted_index(weights)) {
+    case 0: {  // arithmetic
+      inst.mnemonic = kArith[static_cast<std::size_t>(rng_.uniform_int(0, 11))];
+      if (inst.mnemonic == "inc" || inst.mnemonic == "dec" || inst.mnemonic == "neg") {
+        inst.operands = {random_register()};
+      } else if (inst.mnemonic == "lea") {
+        inst.operands = {random_register(), "[" + random_register() + "+" +
+                                                std::to_string(rng_.uniform_int(0, 64)) + "]"};
+      } else if (rng_.bernoulli(s.numeric_const_prob)) {
+        inst.operands = {random_register(), random_immediate()};
+      } else {
+        inst.operands = {random_register(), random_register()};
+      }
+      break;
+    }
+    case 1: {  // data movement
+      inst.mnemonic = kMov[static_cast<std::size_t>(rng_.uniform_int(0, 4))];
+      if (inst.mnemonic == "push") {
+        inst.operands = {rng_.bernoulli(s.numeric_const_prob) ? random_immediate()
+                                                              : random_register()};
+      } else if (inst.mnemonic == "pop") {
+        inst.operands = {random_register()};
+      } else if (rng_.bernoulli(0.3)) {
+        inst.operands = {random_register(), "[" + random_register() + "]"};
+      } else if (rng_.bernoulli(s.numeric_const_prob)) {
+        inst.operands = {random_register(), random_immediate()};
+      } else {
+        inst.operands = {random_register(), random_register()};
+      }
+      break;
+    }
+    case 2: {  // compare
+      inst.mnemonic = rng_.bernoulli(0.7) ? "cmp" : "test";
+      inst.operands = {random_register(), rng_.bernoulli(s.numeric_const_prob)
+                                              ? random_immediate()
+                                              : random_register()};
+      break;
+    }
+    case 3: {  // data declaration pseudo-instruction
+      inst.mnemonic = rng_.bernoulli(0.5) ? "db" : "dd";
+      inst.operands = {random_immediate()};
+      break;
+    }
+    default: {  // string op
+      inst.mnemonic = kStringOps[static_cast<std::size_t>(rng_.uniform_int(0, 3))];
+      break;
+    }
+  }
+  return inst;
+}
+
+void ProgramGenerator::emit_body(const FamilySpec& s, Block& block,
+                                 const std::vector<std::size_t>& function_entries) {
+  const auto len = static_cast<std::size_t>(rng_.concentrated_count(s.block_length_mean, 0.35));
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng_.bernoulli(s.call_density) && !function_entries.empty()) {
+      PendingInst call;
+      call.mnemonic = "call";
+      call.size = 5;
+      if (rng_.bernoulli(0.85)) {
+        call.target_block = static_cast<int>(rng_.choice(function_entries));
+        call.operands = {"<patch>"};
+      } else {
+        // External import: a target outside the program image; the tagging
+        // pass counts it as unresolved and no edge is created.
+        call.operands = {"0x77e80000"};
+      }
+      block.insts.push_back(std::move(call));
+      continue;
+    }
+    block.insts.push_back(random_body_inst(s));
+    if (rng_.bernoulli(s.junk_prob)) {
+      PendingInst junk;
+      junk.mnemonic = rng_.bernoulli(0.5) ? "nop" : "xchg";
+      if (junk.mnemonic == "xchg") {
+        const std::string r = random_register();
+        junk.operands = {r, r};
+      }
+      junk.size = 1;
+      block.insts.push_back(std::move(junk));
+    }
+  }
+}
+
+void ProgramGenerator::generate_function(const FamilySpec& s, std::size_t first_block,
+                                         std::size_t n_blocks,
+                                         const std::vector<std::size_t>& function_entries) {
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    Block& block = blocks_[first_block + b];
+    emit_body(s, block, function_entries);
+    const bool last = (b + 1 == n_blocks);
+    if (last) {
+      PendingInst ret;
+      ret.mnemonic = "ret";
+      ret.size = 1;
+      block.insts.push_back(std::move(ret));
+      continue;
+    }
+    if (rng_.bernoulli(s.dispatch_prob) && n_blocks > 3) {
+      // Switch-like fan: a chain of compare+jump pairs targeting several
+      // forward blocks gives the high out-degree texture of dispatch code.
+      const std::size_t fan = std::min<std::size_t>(
+          3 + static_cast<std::size_t>(rng_.uniform_int(0, 2)), n_blocks - b - 1);
+      for (std::size_t f = 0; f < fan; ++f) {
+        PendingInst cmp;
+        cmp.mnemonic = "cmp";
+        cmp.operands = {"eax", std::to_string(f)};
+        cmp.size = 3;
+        block.insts.push_back(std::move(cmp));
+        PendingInst jcc;
+        jcc.mnemonic = "jz";
+        jcc.size = 2;
+        jcc.target_block =
+            static_cast<int>(first_block + b + 1 +
+                             static_cast<std::size_t>(rng_.uniform_int(
+                                 0, static_cast<std::int64_t>(n_blocks - b - 2))));
+        jcc.operands = {"<patch>"};
+        block.insts.push_back(std::move(jcc));
+      }
+      continue;  // falls through to the next block after the fan
+    }
+    if (rng_.bernoulli(s.branch_prob)) {
+      // Conditional branch; backwards with loop_prob (forming a loop),
+      // otherwise to a random forward block. Fall-through continues.
+      PendingInst cmp;
+      cmp.mnemonic = rng_.bernoulli(0.8) ? "cmp" : "test";
+      cmp.operands = {random_register(), rng_.bernoulli(s.numeric_const_prob)
+                                             ? random_immediate()
+                                             : random_register()};
+      cmp.size = 3;
+      block.insts.push_back(std::move(cmp));
+      PendingInst jcc;
+      jcc.mnemonic = kCondJumps[static_cast<std::size_t>(rng_.uniform_int(0, 7))];
+      jcc.size = 2;
+      const bool backwards = rng_.bernoulli(s.loop_prob) && b > 0;
+      if (backwards) {
+        jcc.target_block = static_cast<int>(
+            first_block + static_cast<std::size_t>(rng_.uniform_int(
+                              0, static_cast<std::int64_t>(b) - 1)));
+      } else {
+        jcc.target_block = static_cast<int>(
+            first_block + b + 1 +
+            static_cast<std::size_t>(rng_.uniform_int(
+                0, static_cast<std::int64_t>(n_blocks - b - 2))));
+      }
+      jcc.operands = {"<patch>"};
+      block.insts.push_back(std::move(jcc));
+      continue;
+    }
+    if (rng_.bernoulli(s.goto_prob) && b + 2 < n_blocks) {
+      PendingInst jmp;
+      jmp.mnemonic = "jmp";
+      jmp.size = 2;
+      jmp.target_block = static_cast<int>(
+          first_block + b + 1 +
+          static_cast<std::size_t>(rng_.uniform_int(
+              1, static_cast<std::int64_t>(n_blocks - b - 2))));
+      jmp.operands = {"<patch>"};
+      block.insts.push_back(std::move(jmp));
+      continue;
+    }
+    // Plain fall-through into the next block.
+  }
+}
+
+std::string ProgramGenerator::generate_listing() {
+  blocks_.clear();
+  const FamilySpec s = jittered_spec();
+
+  // Plan functions: contiguous runs of blocks; entry block = first of run.
+  // Counts are concentrated around the family profile: polymorphic variants
+  // of one family keep its structural scale (real packers/generators mutate
+  // instructions far more than program shape).
+  const auto n_funcs =
+      static_cast<std::size_t>(rng_.concentrated_count(s.functions_mean, 0.25));
+  std::vector<std::pair<std::size_t, std::size_t>> funcs;  // (first, count)
+  std::vector<std::size_t> function_entries;
+  for (std::size_t f = 0; f < n_funcs; ++f) {
+    const auto nb = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, rng_.concentrated_count(s.blocks_per_function, 0.25)));
+    funcs.emplace_back(blocks_.size(), nb);
+    function_entries.push_back(blocks_.size());
+    blocks_.resize(blocks_.size() + nb);
+  }
+  for (const auto& [first, count] : funcs) {
+    generate_function(s, first, count, function_entries);
+  }
+
+  // Layout: assign addresses sequentially (sizes were fixed at generation,
+  // so patching targets afterwards cannot shift code).
+  std::uint64_t addr = kBaseAddr;
+  for (auto& block : blocks_) {
+    block.addr = addr;
+    for (auto& inst : block.insts) addr += inst.size;
+  }
+
+  // Patch branch/call targets with concrete block addresses and print.
+  std::ostringstream oss;
+  oss << "; synthetic sample, family profile '" << spec_.name << "'\n";
+  for (auto& block : blocks_) {
+    std::uint64_t a = block.addr;
+    for (auto& inst : block.insts) {
+      if (inst.target_block >= 0) {
+        std::ostringstream target;
+        target << "0x" << std::hex
+               << blocks_[static_cast<std::size_t>(inst.target_block)].addr;
+        inst.operands.back() = target.str();
+      }
+      oss << std::hex << a << std::dec << " " << inst.mnemonic;
+      for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+        oss << (i ? ", " : " ") << inst.operands[i];
+      }
+      oss << "\n";
+      a += inst.size;
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace magic::data

@@ -1,0 +1,68 @@
+#pragma once
+// Synthetic x86-style program generator.
+//
+// Emits textual assembly listings (the format asmx::parse_listing accepts)
+// with family-dependent control-flow structure: functions made of basic
+// blocks wired with conditional branches, loops, unconditional jumps,
+// switch-style dispatch fans, intra-program calls and returns. The listing
+// is a faithful stand-in for an IDA .asm export, so the full front end
+// (parser, tagging pass, Algorithm 2) is exercised on every sample.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/family_spec.hpp"
+#include "util/rng.hpp"
+
+namespace magic::data {
+
+/// Generates polymorphic samples of one family.
+class ProgramGenerator {
+ public:
+  /// `rng` is copied: one generator instance = one deterministic stream.
+  ProgramGenerator(FamilySpec spec, util::Rng rng);
+
+  /// Generates one complete listing (deterministic given construction
+  /// state; successive calls yield different polymorphic variants).
+  std::string generate_listing();
+
+  /// The spec actually in use after overlap blending.
+  const FamilySpec& effective_spec() const noexcept { return spec_; }
+
+  /// The generic profile used as the overlap blending target.
+  static FamilySpec generic_profile();
+
+ private:
+  struct PendingInst {
+    std::string mnemonic;
+    std::vector<std::string> operands;  // textual; branch target filled late
+    int target_block = -1;              // index into blocks_, -1 = none
+    std::uint32_t size = 2;
+  };
+  struct Block {
+    std::vector<PendingInst> insts;
+    std::uint64_t addr = 0;  // assigned at layout time
+  };
+
+  /// Per-sample jittered copy of the family spec.
+  FamilySpec jittered_spec();
+
+  void generate_function(const FamilySpec& s, std::size_t first_block,
+                         std::size_t n_blocks,
+                         const std::vector<std::size_t>& function_entries);
+  void emit_body(const FamilySpec& s, Block& block,
+                 const std::vector<std::size_t>& function_entries);
+  PendingInst random_body_inst(const FamilySpec& s);
+  std::string random_register();
+  std::string random_immediate();
+
+  FamilySpec spec_;
+  util::Rng rng_;
+  std::vector<Block> blocks_;
+};
+
+/// Blends `spec` toward the generic profile by its own `overlap` factor.
+FamilySpec blend_with_generic(const FamilySpec& spec);
+
+}  // namespace magic::data

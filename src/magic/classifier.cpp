@@ -1,0 +1,167 @@
+#include "magic/classifier.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "acfg/extractor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::core {
+
+MagicClassifier::MagicClassifier(DgcnnConfig config, TrainOptions train_options,
+                                 std::uint64_t seed)
+    : config_(config), train_options_(train_options), seed_(seed) {}
+
+std::size_t MagicClassifier::derive_sort_k(const data::Dataset& dataset,
+                                           const std::vector<std::size_t>& train_indices,
+                                           double ratio) {
+  data::Dataset train = dataset.subset(train_indices);
+  const std::size_t k = train.vertex_count_percentile((1.0 - ratio) * 100.0);
+  return k < 4 ? 4 : k;
+}
+
+TrainResult MagicClassifier::fit(const data::Dataset& dataset,
+                                 double holdout_fraction) {
+  std::vector<std::size_t> train_idx, val_idx;
+  if (holdout_fraction > 0.0 && dataset.size() >= 20) {
+    util::Rng rng(seed_ ^ 0xA5A5A5A5ULL);
+    data::FoldSplit split =
+        data::stratified_holdout(dataset, 1.0 - holdout_fraction, rng);
+    train_idx = std::move(split.train);
+    val_idx = std::move(split.validation);
+  } else {
+    train_idx.resize(dataset.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i) train_idx[i] = i;
+  }
+  return fit_indices(dataset, train_idx, val_idx);
+}
+
+TrainResult MagicClassifier::fit_indices(const data::Dataset& dataset,
+                                         const std::vector<std::size_t>& train_indices,
+                                         const std::vector<std::size_t>& val_indices) {
+  family_names_ = dataset.family_names;
+  config_.num_classes = dataset.num_families();
+  util::Rng rng(seed_);
+  const std::size_t k =
+      derive_sort_k(dataset, train_indices, config_.pooling_ratio);
+  model_ = std::make_unique<DgcnnModel>(config_, rng, k);
+  return train_model(*model_, dataset, train_indices, val_indices, train_options_);
+}
+
+Prediction MagicClassifier::predict(const acfg::Acfg& sample) {
+  if (!fitted()) throw std::logic_error("MagicClassifier::predict: not fitted");
+  model_->set_training(false);
+  const nn::Tensor log_probs = model_->forward(sample);
+  const nn::Tensor probs = nn::exp_probs(log_probs);
+  Prediction pred;
+  pred.family_index = tensor::argmax(probs);
+  pred.family_name = pred.family_index < family_names_.size()
+                         ? family_names_[pred.family_index]
+                         : std::to_string(pred.family_index);
+  pred.probabilities.assign(probs.data(), probs.data() + probs.size());
+  return pred;
+}
+
+Prediction MagicClassifier::predict_listing(std::string_view listing) {
+  return predict(acfg::extract_acfg_from_listing(listing));
+}
+
+std::vector<Prediction> MagicClassifier::predict_batch(
+    const std::vector<acfg::Acfg>& samples, util::ThreadPool& pool) {
+  if (!fitted()) throw std::logic_error("MagicClassifier::predict_batch: not fitted");
+  // Serialize once; each chunk task materializes its own replica.
+  std::ostringstream snapshot;
+  save(snapshot);
+  const std::string blob = snapshot.str();
+
+  std::vector<Prediction> results(samples.size());
+  const std::size_t chunks = std::min(pool.size(), std::max<std::size_t>(1, samples.size()));
+  const std::size_t per_chunk = (samples.size() + chunks - 1) / chunks;
+  pool.parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(samples.size(), begin + per_chunk);
+    if (begin >= end) return;
+    std::istringstream in(blob);
+    MagicClassifier replica = MagicClassifier::load(in);
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = replica.predict(samples[i]);
+    }
+  });
+  return results;
+}
+
+Explanation MagicClassifier::explain(const acfg::Acfg& sample) {
+  if (!fitted()) throw std::logic_error("MagicClassifier::explain: not fitted");
+  // Save parameter grads so an explain() during a training loop is harmless.
+  auto params = model_->parameters();
+  std::vector<nn::Tensor> saved_grads;
+  saved_grads.reserve(params.size());
+  for (auto* p : params) saved_grads.push_back(p->grad);
+
+  model_->set_training(false);
+  const nn::Tensor log_probs = model_->forward(sample);
+  const std::size_t winner = tensor::argmax(log_probs);
+  // d(log p_winner)/d(inputs): seed the backward with a one-hot gradient.
+  nn::Tensor seed = nn::Tensor::zeros(log_probs.shape());
+  seed[winner] = 1.0;
+  model_->backward(seed);
+  const nn::Tensor& input_grad = model_->input_gradient();
+
+  Explanation out;
+  out.prediction.family_index = winner;
+  out.prediction.family_name = winner < family_names_.size()
+                                   ? family_names_[winner]
+                                   : std::to_string(winner);
+  const nn::Tensor probs = nn::exp_probs(log_probs);
+  out.prediction.probabilities.assign(probs.data(), probs.data() + probs.size());
+
+  const std::size_t n = input_grad.dim(0);
+  const std::size_t c = input_grad.dim(1);
+  out.vertex_saliency.assign(n, 0.0);
+  out.channel_saliency.assign(c, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double g = input_grad[i * c + j];
+      row += g * g;
+      out.channel_saliency[j] += std::abs(g);
+    }
+    out.vertex_saliency[i] = std::sqrt(row);
+  }
+  auto normalize = [](std::vector<double>& v) {
+    double total = 0.0;
+    for (double x : v) total += x;
+    if (total > 0.0) {
+      for (double& x : v) x /= total;
+    }
+  };
+  normalize(out.vertex_saliency);
+  normalize(out.channel_saliency);
+
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->grad = saved_grads[i];
+  return out;
+}
+
+EvalResult MagicClassifier::evaluate(const data::Dataset& dataset,
+                                     const std::vector<std::size_t>& indices) {
+  if (!fitted()) throw std::logic_error("MagicClassifier::evaluate: not fitted");
+  return evaluate_model(*model_, dataset, indices);
+}
+
+void MagicClassifier::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("MagicClassifier: cannot open " + path);
+  save(out);
+  if (!out) throw std::runtime_error("MagicClassifier: write failed for " + path);
+}
+
+MagicClassifier MagicClassifier::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("MagicClassifier: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace magic::core

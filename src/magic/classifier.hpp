@@ -1,0 +1,113 @@
+#pragma once
+// MagicClassifier: the public end-to-end API of the system.
+//
+// Mirrors the deployment story of §VII: train on a labelled ACFG corpus,
+// then classify unknown programs given either their ACFG or their raw
+// disassembly listing (the CFG/ACFG extraction happens inside). Models can
+// be saved and loaded, so a cloud-trained model can ship to clients.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "data/dataset.hpp"
+#include "magic/dgcnn.hpp"
+#include "magic/trainer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::core {
+
+/// One prediction: the winning family plus the full distribution.
+struct Prediction {
+  std::size_t family_index = 0;
+  std::string family_name;
+  std::vector<double> probabilities;
+};
+
+/// Gradient-based attribution of one prediction: which basic blocks (and
+/// which Table I attribute channels) pushed the model toward its verdict.
+struct Explanation {
+  Prediction prediction;
+  /// Per-vertex saliency: L2 norm of d(log p_predicted)/d(attributes_v).
+  /// Larger = this block mattered more. Sums normalized to 1.
+  std::vector<double> vertex_saliency;
+  /// Per-channel saliency aggregated over vertices (normalized to 1).
+  std::vector<double> channel_saliency;
+};
+
+/// Trainable + queryable malware family classifier.
+class MagicClassifier {
+ public:
+  /// Configures but does not yet build the model (the SortPooling k depends
+  /// on the training distribution and is derived in fit()).
+  MagicClassifier(DgcnnConfig config, TrainOptions train_options = {},
+                  std::uint64_t seed = 42);
+
+  /// Trains on the whole dataset (with an internal stratified holdout for
+  /// the lr-on-plateau schedule when `holdout_fraction` > 0).
+  TrainResult fit(const data::Dataset& dataset, double holdout_fraction = 0.1);
+
+  /// Trains with explicit train/validation index sets (cross-validation).
+  TrainResult fit_indices(const data::Dataset& dataset,
+                          const std::vector<std::size_t>& train_indices,
+                          const std::vector<std::size_t>& val_indices);
+
+  /// Classifies one ACFG. Requires a fitted or loaded model. Not const and
+  /// not thread-safe: forward passes cache activations inside the model
+  /// (clone the classifier per thread for parallel prediction).
+  Prediction predict(const acfg::Acfg& sample);
+
+  /// Full pipeline: assembly listing -> CFG -> ACFG -> prediction.
+  Prediction predict_listing(std::string_view listing);
+
+  /// Classifies a batch in parallel. Each worker thread gets its own model
+  /// replica (cloned via serialization), so this is safe despite forward
+  /// passes being stateful. Result order matches the input order.
+  std::vector<Prediction> predict_batch(const std::vector<acfg::Acfg>& samples,
+                                        util::ThreadPool& pool);
+
+  /// Classifies and attributes the verdict to basic blocks / attribute
+  /// channels via input gradients (saliency). Analyst triage tooling: "which
+  /// blocks made this look like Kelihos?". Does not disturb training state
+  /// (parameter gradients are restored afterwards).
+  Explanation explain(const acfg::Acfg& sample);
+
+  /// Evaluates on dataset[indices].
+  EvalResult evaluate(const data::Dataset& dataset,
+                      const std::vector<std::size_t>& indices);
+
+  bool fitted() const noexcept { return model_ != nullptr; }
+  const DgcnnConfig& config() const noexcept { return config_; }
+  const std::vector<std::string>& family_names() const noexcept { return family_names_; }
+
+  /// Model persistence (text format; includes config, k, family names and
+  /// all parameters). See model_io.cpp for the format.
+  void save(std::ostream& os) const;
+  static MagicClassifier load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static MagicClassifier load_file(const std::string& path);
+
+  /// Access for serialization/tests.
+  DgcnnModel* model() noexcept { return model_.get(); }
+  const DgcnnModel* model() const noexcept { return model_.get(); }
+
+ private:
+  friend MagicClassifier load_classifier(std::istream& is);
+
+  /// Derives the SortPooling k from the training-set size distribution:
+  /// the vertex count at the (1 - ratio) percentile, so that roughly
+  /// ratio-fraction of training graphs fill all k slots.
+  static std::size_t derive_sort_k(const data::Dataset& dataset,
+                                   const std::vector<std::size_t>& train_indices,
+                                   double ratio);
+
+  DgcnnConfig config_;
+  TrainOptions train_options_;
+  std::uint64_t seed_;
+  std::unique_ptr<DgcnnModel> model_;
+  std::vector<std::string> family_names_;
+};
+
+}  // namespace magic::core

@@ -1,0 +1,71 @@
+#include "magic/cross_validation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace magic::core {
+
+CvResult cross_validate(const DgcnnConfig& config, const data::Dataset& dataset,
+                        const CvOptions& options, util::ThreadPool& pool) {
+  util::Rng rng(options.seed);
+  const auto splits = data::stratified_k_fold(dataset, options.folds, rng);
+
+  CvResult result(dataset.num_families());
+  result.fold_loss.assign(options.folds, 0.0);
+  result.fold_accuracy.assign(options.folds, 0.0);
+  std::vector<std::vector<double>> epoch_losses(options.folds);
+  std::mutex merge_mutex;
+
+  std::vector<TrainResult> histories(options.folds);
+  auto run_fold_with_history = [&](std::size_t f) {
+    TrainOptions train = options.train;
+    train.seed = options.seed * 1000003ULL + f;
+    MagicClassifier clf(config, train, train.seed ^ 0x5bd1e995ULL);
+    TrainResult tr = clf.fit_indices(dataset, splits[f].train, splits[f].validation);
+    EvalResult eval = clf.evaluate(dataset, splits[f].validation);
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    histories[f] = std::move(tr);
+    result.fold_loss[f] = eval.mean_log_loss;
+    result.fold_accuracy[f] = eval.confusion.accuracy();
+    for (std::size_t i = 0; i < splits[f].validation.size(); ++i) {
+      std::size_t pred = 0;
+      const auto& row = eval.probabilities[i];
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        if (row[c] > row[pred]) pred = c;
+      }
+      result.confusion.add(eval.labels[i], pred);
+    }
+  };
+
+  if (options.parallel_folds && pool.size() > 1) {
+    pool.parallel_for(options.folds, run_fold_with_history);
+  } else {
+    for (std::size_t f = 0; f < options.folds; ++f) run_fold_with_history(f);
+  }
+
+  // Average the per-epoch validation losses over folds; min is the score.
+  const std::size_t epochs = options.train.epochs;
+  result.mean_epoch_val_loss.assign(epochs, 0.0);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    double total = 0.0;
+    for (std::size_t f = 0; f < options.folds; ++f) {
+      total += e < histories[f].history.size() ? histories[f].history[e].validation_loss
+                                               : histories[f].best_validation_loss;
+    }
+    result.mean_epoch_val_loss[e] = total / static_cast<double>(options.folds);
+  }
+  result.score = *std::min_element(result.mean_epoch_val_loss.begin(),
+                                   result.mean_epoch_val_loss.end());
+
+  double loss_total = 0.0;
+  for (double l : result.fold_loss) loss_total += l;
+  result.mean_log_loss = loss_total / static_cast<double>(options.folds);
+  result.accuracy = result.confusion.accuracy();
+  return result;
+}
+
+}  // namespace magic::core

@@ -1,0 +1,48 @@
+#pragma once
+// Stratified K-fold cross-validation driver (§V-B): each fold trains a
+// fresh randomly-initialized model on 80% of the data and validates on the
+// remaining 20%; per-epoch validation losses are averaged across folds and
+// the minimum average is the model's score. Per-family precision/recall/F1
+// (Tables III & V) are computed from the pooled validation confusion.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "magic/classifier.hpp"
+#include "ml/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::core {
+
+/// Aggregated result of a K-fold run.
+struct CvResult {
+  /// mean-over-folds validation loss per epoch; the min is the model score.
+  std::vector<double> mean_epoch_val_loss;
+  double score = 0.0;  // min of mean_epoch_val_loss (paper's model criterion)
+
+  /// Pooled validation confusion across folds (each sample validated once).
+  ml::ConfusionMatrix confusion;
+  /// Mean over folds of final-epoch validation log loss.
+  double mean_log_loss = 0.0;
+  double accuracy = 0.0;
+
+  /// Per-fold final validation losses/accuracies.
+  std::vector<double> fold_loss;
+  std::vector<double> fold_accuracy;
+
+  explicit CvResult(std::size_t num_classes) : confusion(num_classes) {}
+};
+
+struct CvOptions {
+  std::size_t folds = 5;
+  TrainOptions train;
+  std::uint64_t seed = 11;
+  /// Train folds concurrently on the pool (each fold is single-threaded).
+  bool parallel_folds = true;
+};
+
+/// Runs K-fold CV of one DGCNN config over the dataset.
+CvResult cross_validate(const DgcnnConfig& config, const data::Dataset& dataset,
+                        const CvOptions& options, util::ThreadPool& pool);
+
+}  // namespace magic::core

@@ -1,0 +1,176 @@
+#include "magic/dgcnn.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/reshape.hpp"
+
+namespace magic::core {
+
+std::size_t DgcnnConfig::total_graph_channels() const {
+  std::size_t total = 0;
+  for (std::size_t c : graph_conv_channels) total += c;
+  return total;
+}
+
+std::size_t DgcnnConfig::adaptive_grid() const {
+  // Ratio -> grid side. Floor of 3: a 2x2 grid retains too little of the
+  // Z^{1:h} map for multi-family classification (the paper leaves the exact
+  // mapping unspecified).
+  const auto g = static_cast<std::size_t>(std::llround(10.0 * pooling_ratio));
+  return g < 3 ? 3 : g;
+}
+
+std::string DgcnnConfig::describe() const {
+  std::ostringstream oss;
+  oss << (pooling == PoolingType::AdaptivePooling ? "AMP" : "SortPool");
+  oss << " ratio=" << pooling_ratio;
+  oss << " gc=(";
+  for (std::size_t i = 0; i < graph_conv_channels.size(); ++i) {
+    if (i) oss << ',';
+    oss << graph_conv_channels[i];
+  }
+  oss << ")";
+  if (pooling == PoolingType::SortPooling) {
+    if (remaining == RemainingLayer::Conv1D) {
+      oss << " conv1d(k=" << conv1d_kernel << ")";
+    } else {
+      oss << " wv";
+    }
+  } else {
+    oss << " c2d=" << conv2d_channels;
+  }
+  oss << " do=" << dropout_rate;
+  return oss.str();
+}
+
+DgcnnModel::DgcnnModel(DgcnnConfig cfg, util::Rng& rng, std::size_t sort_k_hint)
+    : cfg_(cfg),
+      stack_(cfg.input_channels, cfg.graph_conv_channels,
+             cfg.graph_conv_activation, rng) {
+  if (cfg_.num_classes < 2) {
+    throw std::invalid_argument("DgcnnModel: at least two classes required");
+  }
+  const std::size_t C = cfg_.total_graph_channels();
+  std::size_t flat_dim = 0;
+
+  if (cfg_.pooling == PoolingType::SortPooling) {
+    sort_k_ = cfg_.sort_k != 0 ? cfg_.sort_k : sort_k_hint;
+    if (sort_k_ < 4) sort_k_ = 4;
+    sort_pool_ = std::make_unique<nn::SortPooling>(sort_k_);
+
+    if (cfg_.remaining == RemainingLayer::Conv1D) {
+      // Original DGCNN head: Conv1D over the flattened (k x C) descriptor
+      // with kernel = stride = C (one vertex per step), max-pool, then a
+      // small-kernel Conv1D (§III-A4).
+      head_.emplace<nn::FixedReshape>(tensor::Shape{1, sort_k_ * C});
+      head_.emplace<nn::Conv1D>(1, cfg_.conv1d_channels_first, C, C, rng);
+      head_.emplace<nn::ReLU>();
+      const std::size_t l1 = sort_k_;
+      const std::size_t l2 = (l1 - 2) / 2 + 1;
+      head_.emplace<nn::MaxPool1D>(2, 2);
+      const std::size_t k2 = std::min(cfg_.conv1d_kernel, l2);
+      head_.emplace<nn::Conv1D>(cfg_.conv1d_channels_first,
+                                cfg_.conv1d_channels_second, k2, 1, rng);
+      head_.emplace<nn::ReLU>();
+      const std::size_t l3 = l2 - k2 + 1;
+      flat_dim = cfg_.conv1d_channels_second * l3;
+      head_.emplace<nn::Flatten>();
+    } else {
+      // The paper's WeightedVertices extension (Eq. 3-4): a learned
+      // weighted sum of the k kept vertex embeddings.
+      head_.emplace<nn::WeightedVertices>(sort_k_, nn::Activation::ReLU, rng);
+      flat_dim = C;
+    }
+  } else {
+    // AdaptiveMaxPooling path (§III-C): Conv2D over Z^{1:h} viewed as a
+    // one-channel image, adaptive max pool to a fixed grid, then a
+    // VGG-inspired Conv2D stack.
+    const std::size_t g = cfg_.adaptive_grid();
+    const std::size_t f = cfg_.conv2d_channels;
+    pre_pool_conv_ = std::make_unique<nn::Conv2D>(1, f, 3, 3, 1, rng);
+    pre_pool_act_ = std::make_unique<nn::ReLU>();
+    adaptive_pool_ = std::make_unique<nn::AdaptiveMaxPool2D>(g, g);
+    head_.emplace<nn::Conv2D>(f, 2 * f, 3, 3, 1, rng);
+    head_.emplace<nn::ReLU>();
+    head_.emplace<nn::Conv2D>(2 * f, 2 * f, 3, 3, 1, rng);
+    head_.emplace<nn::ReLU>();
+    flat_dim = 2 * f * g * g;
+    head_.emplace<nn::Flatten>();
+  }
+
+  head_.emplace<nn::Linear>(flat_dim, cfg_.hidden_dim, rng);
+  head_.emplace<nn::ReLU>();
+  head_.emplace<nn::Dropout>(cfg_.dropout_rate, rng);
+  head_.emplace<nn::Linear>(cfg_.hidden_dim, cfg_.num_classes, rng);
+  head_.emplace<nn::LogSoftmax>();
+}
+
+nn::Tensor DgcnnModel::preprocess(const acfg::Acfg& sample) const {
+  nn::Tensor x = sample.attributes;
+  if (cfg_.log1p_attributes) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::log1p(x[i]);
+  }
+  return x;
+}
+
+nn::Tensor DgcnnModel::forward(const acfg::Acfg& sample) {
+  if (sample.num_vertices() == 0) {
+    throw std::invalid_argument("DgcnnModel::forward: empty graph");
+  }
+  if (sample.num_channels() != cfg_.input_channels) {
+    throw std::invalid_argument("DgcnnModel::forward: channel mismatch");
+  }
+  last_prop_ = std::make_unique<tensor::SparseMatrix>(
+      cfg_.normalize_propagation
+          ? sample.propagation_operator()
+          : tensor::SparseMatrix::augmented_adjacency(sample.out_edges));
+  const nn::Tensor x = preprocess(sample);
+  nn::Tensor z = stack_.forward(*last_prop_, x);
+  stack_out_shape_ = z.shape();
+
+  if (cfg_.pooling == PoolingType::SortPooling) {
+    return head_.forward(sort_pool_->forward(z));
+  }
+  const std::size_t n = z.dim(0), c = z.dim(1);
+  nn::Tensor img = z.reshape({1, n, c});
+  nn::Tensor act = pre_pool_act_->forward(pre_pool_conv_->forward(img));
+  nn::Tensor pooled = adaptive_pool_->forward(act);
+  pool_out_shape_ = pooled.shape();
+  return head_.forward(pooled);
+}
+
+void DgcnnModel::backward(const nn::Tensor& grad_log_probs) {
+  nn::Tensor g = head_.backward(grad_log_probs);
+  if (cfg_.pooling == PoolingType::SortPooling) {
+    g = sort_pool_->backward(g);
+  } else {
+    g = adaptive_pool_->backward(g);
+    g = pre_pool_conv_->backward(pre_pool_act_->backward(g));
+    g = g.reshape(stack_out_shape_);
+  }
+  last_input_grad_ = stack_.backward(g);
+}
+
+std::vector<nn::Parameter*> DgcnnModel::parameters() {
+  std::vector<nn::Parameter*> params = stack_.parameters();
+  if (pre_pool_conv_) {
+    for (auto* p : pre_pool_conv_->parameters()) params.push_back(p);
+  }
+  for (auto* p : head_.parameters()) params.push_back(p);
+  return params;
+}
+
+void DgcnnModel::set_training(bool training) {
+  head_.set_training(training);
+  if (pre_pool_act_) pre_pool_act_->set_training(training);
+}
+
+std::size_t DgcnnModel::parameter_count() {
+  std::size_t total = 0;
+  for (auto* p : parameters()) total += p->value.size();
+  return total;
+}
+
+}  // namespace magic::core

@@ -1,0 +1,150 @@
+#include "magic/hyperparam.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace magic::core {
+namespace {
+
+const std::vector<std::vector<std::size_t>>& conv_size_options() {
+  static const std::vector<std::vector<std::size_t>> options = {
+      {32, 32, 32, 1},     // only for sort pooling (Table II footnote 1)
+      {32, 32, 32, 32},
+      {128, 64, 32, 32},
+  };
+  return options;
+}
+
+constexpr double kRatios[] = {0.2, 0.64};
+constexpr double kDropouts[] = {0.1, 0.5};
+constexpr std::size_t kBatchSizes[] = {10, 40};
+constexpr double kWeightDecays[] = {0.0001, 0.0005};
+constexpr std::size_t kConv2dChannels[] = {16, 32};
+constexpr std::size_t kConv1dKernels[] = {5, 7};
+
+}  // namespace
+
+std::string GridPoint::describe() const {
+  std::ostringstream oss;
+  oss << config.describe() << " bs=" << batch_size << " l2=" << weight_decay;
+  return oss.str();
+}
+
+std::vector<GridPoint> full_table2_grid() {
+  std::vector<GridPoint> grid;
+  auto push_common = [&grid](DgcnnConfig cfg) {
+    for (double dropout : kDropouts) {
+      for (std::size_t batch : kBatchSizes) {
+        for (double l2 : kWeightDecays) {
+          GridPoint p;
+          p.config = cfg;
+          p.config.dropout_rate = dropout;
+          p.batch_size = batch;
+          p.weight_decay = l2;
+          grid.push_back(p);
+        }
+      }
+    }
+  };
+
+  for (double ratio : kRatios) {
+    // Adaptive pooling: conv sizes exclude (32,32,32,1); 2D channels vary.
+    // 2 ratio x 2 conv x 2 ch2d x 2 dropout x 2 batch x 2 l2 = 64 models.
+    for (std::size_t cs = 1; cs < conv_size_options().size(); ++cs) {
+      for (std::size_t ch2d : kConv2dChannels) {
+        DgcnnConfig cfg;
+        cfg.pooling = PoolingType::AdaptivePooling;
+        cfg.pooling_ratio = ratio;
+        cfg.graph_conv_channels = conv_size_options()[cs];
+        cfg.conv2d_channels = ch2d;
+        push_common(cfg);
+      }
+    }
+    // Sort pooling + Conv1D: all 3 conv sizes, channel pair fixed (16,32),
+    // kernel in {5,7}. 2 x 3 x 2 x 2 x 2 x 2 = 96 models.
+    for (const auto& conv : conv_size_options()) {
+      for (std::size_t kernel : kConv1dKernels) {
+        DgcnnConfig cfg;
+        cfg.pooling = PoolingType::SortPooling;
+        cfg.remaining = RemainingLayer::Conv1D;
+        cfg.pooling_ratio = ratio;
+        cfg.graph_conv_channels = conv;
+        cfg.conv1d_kernel = kernel;
+        push_common(cfg);
+      }
+    }
+    // Sort pooling + WeightedVertices: 2 ratio x 3 conv x 2 dropout x
+    // 2 batch x 2 l2 = 48 models.
+    for (const auto& conv : conv_size_options()) {
+      DgcnnConfig cfg;
+      cfg.pooling = PoolingType::SortPooling;
+      cfg.remaining = RemainingLayer::WeightedVertices;
+      cfg.pooling_ratio = ratio;
+      cfg.graph_conv_channels = conv;
+      push_common(cfg);
+    }
+  }
+  return grid;
+}
+
+std::vector<GridPoint> reduced_grid() {
+  std::vector<GridPoint> grid;
+  auto add = [&grid](PoolingType pool, RemainingLayer rem, double ratio,
+                     std::vector<std::size_t> conv, double dropout,
+                     std::size_t batch, double l2) {
+    GridPoint p;
+    p.config.pooling = pool;
+    p.config.remaining = rem;
+    p.config.pooling_ratio = ratio;
+    p.config.graph_conv_channels = std::move(conv);
+    p.config.dropout_rate = dropout;
+    p.batch_size = batch;
+    p.weight_decay = l2;
+    grid.push_back(p);
+  };
+  // One representative per structural family, covering both ratios and the
+  // Table II best-model settings for both datasets.
+  add(PoolingType::AdaptivePooling, RemainingLayer::Conv1D, 0.64,
+      {128, 64, 32, 32}, 0.1, 10, 0.0001);  // best MSKCFG model (Table II)
+  add(PoolingType::AdaptivePooling, RemainingLayer::Conv1D, 0.2,
+      {32, 32, 32, 32}, 0.5, 40, 0.0005);   // best YANCFG model (Table II)
+  add(PoolingType::SortPooling, RemainingLayer::Conv1D, 0.64,
+      {32, 32, 32, 32}, 0.1, 10, 0.0001);
+  add(PoolingType::SortPooling, RemainingLayer::Conv1D, 0.2,
+      {32, 32, 32, 1}, 0.5, 10, 0.0001);
+  add(PoolingType::SortPooling, RemainingLayer::WeightedVertices, 0.64,
+      {32, 32, 32, 32}, 0.1, 10, 0.0001);
+  add(PoolingType::SortPooling, RemainingLayer::WeightedVertices, 0.2,
+      {128, 64, 32, 32}, 0.5, 40, 0.0001);
+  return grid;
+}
+
+SearchResult grid_search(const std::vector<GridPoint>& grid,
+                         const data::Dataset& dataset, CvOptions options,
+                         util::ThreadPool& pool) {
+  SearchResult result;
+  result.entries.reserve(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    CvOptions per_point = options;
+    per_point.train.batch_size = grid[g].batch_size;
+    per_point.train.weight_decay = grid[g].weight_decay;
+    DgcnnConfig cfg = grid[g].config;
+    cfg.num_classes = dataset.num_families();
+    MAGIC_LOG_INFO("grid " << (g + 1) << "/" << grid.size() << ": "
+                           << grid[g].describe());
+    CvResult cv = cross_validate(cfg, dataset, per_point, pool);
+    SearchEntry entry;
+    entry.point = grid[g];
+    entry.score = cv.score;
+    entry.accuracy = cv.accuracy;
+    entry.mean_log_loss = cv.mean_log_loss;
+    result.entries.push_back(std::move(entry));
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const SearchEntry& a, const SearchEntry& b) { return a.score < b.score; });
+  return result;
+}
+
+}  // namespace magic::core

@@ -1,0 +1,54 @@
+#pragma once
+// Exhaustive hyper-parameter search over the Table II grid.
+//
+// The paper enumerates 208 settings: 64 adaptive-pooling models, 96
+// sort-pooling + Conv1D models and 48 sort-pooling + WeightedVertices
+// models, five-fold cross-validates each, and picks the model with the
+// minimum epoch-averaged validation loss. full_table2_grid() reproduces
+// that exact enumeration; reduced_grid() is a documented scaled-down
+// version for CPU-budget runs.
+
+#include <string>
+#include <vector>
+
+#include "magic/cross_validation.hpp"
+
+namespace magic::core {
+
+/// One grid entry plus its training knobs that belong to the grid
+/// (batch size, L2 factor live in TrainOptions).
+struct GridPoint {
+  DgcnnConfig config;
+  std::size_t batch_size = 10;
+  double weight_decay = 1e-4;
+
+  std::string describe() const;
+};
+
+/// The full 208-point Table II grid.
+std::vector<GridPoint> full_table2_grid();
+
+/// A reduced grid (one point per structural family x a few knobs) that
+/// keeps every pooling/remaining-layer variant represented.
+std::vector<GridPoint> reduced_grid();
+
+/// Search outcome for one grid point.
+struct SearchEntry {
+  GridPoint point;
+  double score = 0.0;       // min mean epoch validation loss
+  double accuracy = 0.0;
+  double mean_log_loss = 0.0;
+};
+
+/// Full search result, sorted by ascending score (best first).
+struct SearchResult {
+  std::vector<SearchEntry> entries;
+  const SearchEntry& best() const { return entries.front(); }
+};
+
+/// Cross-validates every grid point and ranks them.
+SearchResult grid_search(const std::vector<GridPoint>& grid,
+                         const data::Dataset& dataset, CvOptions options,
+                         util::ThreadPool& pool);
+
+}  // namespace magic::core

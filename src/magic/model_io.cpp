@@ -1,0 +1,173 @@
+// Text serialization for MagicClassifier (format "MAGIC-MODEL v1").
+//
+// The file stores the config, the derived SortPooling k, the family-name
+// table and every parameter tensor in the deterministic order returned by
+// DgcnnModel::parameters(). Loading rebuilds the identical architecture and
+// overwrites its weights, so save -> load -> predict is bit-reproducible.
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "magic/classifier.hpp"
+
+namespace magic::core {
+namespace {
+
+void expect(std::istream& is, const std::string& token) {
+  std::string got;
+  if (!(is >> got) || got != token) {
+    throw std::runtime_error("MagicClassifier::load: expected '" + token +
+                             "', got '" + got + "'");
+  }
+}
+
+const char* pooling_name(PoolingType p) {
+  return p == PoolingType::SortPooling ? "sort" : "amp";
+}
+const char* remaining_name(RemainingLayer r) {
+  return r == RemainingLayer::Conv1D ? "conv1d" : "wv";
+}
+const char* activation_name(nn::Activation a) {
+  switch (a) {
+    case nn::Activation::ReLU: return "relu";
+    case nn::Activation::Tanh: return "tanh";
+    case nn::Activation::Identity: return "id";
+  }
+  return "relu";
+}
+
+PoolingType parse_pooling(const std::string& s) {
+  if (s == "sort") return PoolingType::SortPooling;
+  if (s == "amp") return PoolingType::AdaptivePooling;
+  throw std::runtime_error("MagicClassifier::load: bad pooling '" + s + "'");
+}
+RemainingLayer parse_remaining(const std::string& s) {
+  if (s == "conv1d") return RemainingLayer::Conv1D;
+  if (s == "wv") return RemainingLayer::WeightedVertices;
+  throw std::runtime_error("MagicClassifier::load: bad remaining layer '" + s + "'");
+}
+nn::Activation parse_activation(const std::string& s) {
+  if (s == "relu") return nn::Activation::ReLU;
+  if (s == "tanh") return nn::Activation::Tanh;
+  if (s == "id") return nn::Activation::Identity;
+  throw std::runtime_error("MagicClassifier::load: bad activation '" + s + "'");
+}
+
+}  // namespace
+
+void MagicClassifier::save(std::ostream& os) const {
+  if (!fitted()) throw std::logic_error("MagicClassifier::save: not fitted");
+  const DgcnnConfig& c = model_->config();
+  os << "MAGIC-MODEL v1\n";
+  os << "families " << family_names_.size() << "\n";
+  for (const auto& name : family_names_) os << name << "\n";
+  os << "pooling " << pooling_name(c.pooling) << " ratio " << c.pooling_ratio
+     << " sort_k " << model_->sort_k() << " remaining " << remaining_name(c.remaining)
+     << " conv1d " << c.conv1d_channels_first << " " << c.conv1d_channels_second
+     << " " << c.conv1d_kernel << " conv2d " << c.conv2d_channels << " hidden "
+     << c.hidden_dim << " dropout " << c.dropout_rate << " log1p "
+     << (c.log1p_attributes ? 1 : 0) << " norm "
+     << (c.normalize_propagation ? 1 : 0) << " act "
+     << activation_name(c.graph_conv_activation) << " classes " << c.num_classes
+     << " input_channels " << c.input_channels << "\n";
+  os << "graph_conv " << c.graph_conv_channels.size();
+  for (std::size_t ch : c.graph_conv_channels) os << " " << ch;
+  os << "\n";
+
+  auto params = const_cast<DgcnnModel*>(model_.get())->parameters();
+  os << "params " << params.size() << "\n";
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const nn::Parameter* p : params) {
+    os << p->name << " " << p->value.size() << "\n";
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      if (i) os << ' ';
+      os << p->value[i];
+    }
+    os << "\n";
+  }
+}
+
+MagicClassifier MagicClassifier::load(std::istream& is) {
+  expect(is, "MAGIC-MODEL");
+  expect(is, "v1");
+  expect(is, "families");
+  std::size_t n_families = 0;
+  is >> n_families;
+  std::vector<std::string> names(n_families);
+  for (auto& name : names) is >> name;
+
+  DgcnnConfig cfg;
+  std::size_t sort_k = 0;
+  std::string tok;
+  expect(is, "pooling");
+  is >> tok;
+  cfg.pooling = parse_pooling(tok);
+  expect(is, "ratio");
+  is >> cfg.pooling_ratio;
+  expect(is, "sort_k");
+  is >> sort_k;
+  expect(is, "remaining");
+  is >> tok;
+  cfg.remaining = parse_remaining(tok);
+  expect(is, "conv1d");
+  is >> cfg.conv1d_channels_first >> cfg.conv1d_channels_second >> cfg.conv1d_kernel;
+  expect(is, "conv2d");
+  is >> cfg.conv2d_channels;
+  expect(is, "hidden");
+  is >> cfg.hidden_dim;
+  expect(is, "dropout");
+  is >> cfg.dropout_rate;
+  expect(is, "log1p");
+  int log1p_flag = 0;
+  is >> log1p_flag;
+  cfg.log1p_attributes = log1p_flag != 0;
+  expect(is, "norm");
+  int norm_flag = 1;
+  is >> norm_flag;
+  cfg.normalize_propagation = norm_flag != 0;
+  expect(is, "act");
+  is >> tok;
+  cfg.graph_conv_activation = parse_activation(tok);
+  expect(is, "classes");
+  is >> cfg.num_classes;
+  expect(is, "input_channels");
+  is >> cfg.input_channels;
+  expect(is, "graph_conv");
+  std::size_t depth = 0;
+  is >> depth;
+  cfg.graph_conv_channels.assign(depth, 0);
+  for (auto& ch : cfg.graph_conv_channels) is >> ch;
+  if (!is) throw std::runtime_error("MagicClassifier::load: truncated header");
+  cfg.sort_k = sort_k;
+
+  MagicClassifier clf(cfg);
+  clf.family_names_ = std::move(names);
+  util::Rng rng(1);  // weights are overwritten below
+  clf.model_ = std::make_unique<DgcnnModel>(cfg, rng, sort_k == 0 ? 16 : sort_k);
+
+  expect(is, "params");
+  std::size_t n_params = 0;
+  is >> n_params;
+  auto params = clf.model_->parameters();
+  if (params.size() != n_params) {
+    throw std::runtime_error("MagicClassifier::load: parameter count mismatch");
+  }
+  for (nn::Parameter* p : params) {
+    std::string name;
+    std::size_t size = 0;
+    if (!(is >> name >> size) || size != p->value.size()) {
+      throw std::runtime_error("MagicClassifier::load: parameter shape mismatch for " +
+                               p->name);
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      if (!(is >> p->value[i])) {
+        throw std::runtime_error("MagicClassifier::load: truncated values for " + name);
+      }
+    }
+  }
+  return clf;
+}
+
+}  // namespace magic::core

@@ -1,0 +1,89 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+
+#include "acfg/attributes.hpp"
+
+namespace magic::ml {
+namespace {
+
+constexpr std::size_t kStatsPerChannel = 4;  // sum, mean, max, stddev
+constexpr std::size_t kStructural = 6;       // n, m, mean/max out-degree, density, leaf ratio
+
+}  // namespace
+
+std::size_t aggregate_feature_count(std::size_t channels) {
+  return channels * kStatsPerChannel + kStructural;
+}
+
+std::vector<std::string> aggregate_feature_names(std::size_t channels) {
+  std::vector<std::string> names;
+  names.reserve(aggregate_feature_count(channels));
+  for (std::size_t c = 0; c < channels; ++c) {
+    const std::string base = c < acfg::kNumChannels
+                                 ? std::string(acfg::channel_name(c))
+                                 : "channel" + std::to_string(c);
+    names.push_back(base + " (sum)");
+    names.push_back(base + " (mean)");
+    names.push_back(base + " (max)");
+    names.push_back(base + " (std)");
+  }
+  names.push_back("vertices");
+  names.push_back("edges");
+  names.push_back("mean out-degree");
+  names.push_back("max out-degree");
+  names.push_back("edge density");
+  names.push_back("leaf block ratio");
+  return names;
+}
+
+std::vector<double> aggregate_features(const acfg::Acfg& acfg) {
+  const std::size_t n = acfg.num_vertices();
+  const std::size_t c = acfg.num_channels();
+  std::vector<double> out;
+  out.reserve(aggregate_feature_count(c));
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0, maxv = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = acfg.attributes[i * c + ch];
+      sum += v;
+      sq += v * v;
+      if (v > maxv) maxv = v;
+    }
+    const double mean = n ? sum / static_cast<double>(n) : 0.0;
+    const double var = n ? std::max(0.0, sq / static_cast<double>(n) - mean * mean) : 0.0;
+    out.push_back(sum);
+    out.push_back(mean);
+    out.push_back(maxv);
+    out.push_back(std::sqrt(var));
+  }
+  const std::size_t m = acfg.num_edges();
+  double max_deg = 0.0;
+  std::size_t leaves = 0;
+  for (const auto& edges : acfg.out_edges) {
+    max_deg = std::max(max_deg, static_cast<double>(edges.size()));
+    if (edges.empty()) ++leaves;
+  }
+  out.push_back(static_cast<double>(n));
+  out.push_back(static_cast<double>(m));
+  out.push_back(n ? static_cast<double>(m) / static_cast<double>(n) : 0.0);
+  out.push_back(max_deg);
+  out.push_back(n > 1 ? static_cast<double>(m) /
+                            (static_cast<double>(n) * static_cast<double>(n - 1))
+                      : 0.0);
+  out.push_back(n ? static_cast<double>(leaves) / static_cast<double>(n) : 0.0);
+  return out;
+}
+
+FeatureMatrix aggregate_feature_matrix(const std::vector<acfg::Acfg>& corpus) {
+  FeatureMatrix fm;
+  fm.rows.reserve(corpus.size());
+  fm.labels.reserve(corpus.size());
+  for (const auto& a : corpus) {
+    fm.rows.push_back(aggregate_features(a));
+    fm.labels.push_back(a.label < 0 ? 0 : static_cast<std::size_t>(a.label));
+  }
+  return fm;
+}
+
+}  // namespace magic::ml

@@ -1,0 +1,37 @@
+#pragma once
+// Handcrafted aggregate feature vectors for the baseline classifiers.
+//
+// The paper contrasts MAGIC with "state-of-the-art methods applied on
+// handcrafted malware features" (XGBoost [13], random forests [11][14],
+// autoencoder+GBT [9], ESVC [8]). Those baselines consume flat vectors, so
+// we aggregate each ACFG into a fixed-length descriptor: per-channel sums,
+// means, maxima and standard deviations of the Table I attributes plus
+// global structure statistics (vertex/edge counts, degree moments). This
+// deliberately discards fine-grained structure — exactly the information
+// DGCNN can exploit and flat models cannot.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+
+namespace magic::ml {
+
+/// Number of features emitted per ACFG.
+std::size_t aggregate_feature_count(std::size_t channels);
+
+/// Names of the features, in emission order (for reports).
+std::vector<std::string> aggregate_feature_names(std::size_t channels);
+
+/// Flattens one ACFG into an aggregate feature vector.
+std::vector<double> aggregate_features(const acfg::Acfg& acfg);
+
+/// Feature matrix + label vector for a whole corpus.
+struct FeatureMatrix {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> labels;
+};
+FeatureMatrix aggregate_feature_matrix(const std::vector<acfg::Acfg>& corpus);
+
+}  // namespace magic::ml

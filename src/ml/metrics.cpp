@@ -1,0 +1,96 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace magic::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0) throw std::invalid_argument("ConfusionMatrix: zero classes");
+}
+
+void ConfusionMatrix::add(std::size_t true_label, std::size_t predicted_label) {
+  if (true_label >= n_ || predicted_label >= n_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++cells_[true_label * n_ + predicted_label];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t true_label, std::size_t predicted) const {
+  if (true_label >= n_ || predicted >= n_) {
+    throw std::out_of_range("ConfusionMatrix::at");
+  }
+  return cells_[true_label * n_ + predicted];
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t tp = at(cls, cls), predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += at(t, cls);
+  return predicted == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t tp = at(cls, cls), actual = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual += at(cls, p);
+  return actual == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::size_t cls) const {
+  const double p = precision(cls), r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) sum += f1(c);
+  return sum / static_cast<double>(n_);
+}
+
+std::vector<ClassScores> per_class_scores(const ConfusionMatrix& cm) {
+  std::vector<ClassScores> scores(cm.num_classes());
+  for (std::size_t c = 0; c < cm.num_classes(); ++c) {
+    scores[c] = {cm.precision(c), cm.recall(c), cm.f1(c)};
+  }
+  return scores;
+}
+
+double mean_log_loss(const std::vector<std::vector<double>>& probs,
+                     const std::vector<std::size_t>& labels, double eps) {
+  if (probs.size() != labels.size()) {
+    throw std::invalid_argument("mean_log_loss: size mismatch");
+  }
+  if (probs.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (labels[i] >= probs[i].size()) {
+      throw std::out_of_range("mean_log_loss: label out of range");
+    }
+    const double p = std::max(eps, std::min(1.0, probs[i][labels[i]]));
+    total += -std::log(p);
+  }
+  return total / static_cast<double>(probs.size());
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace magic::ml

@@ -1,0 +1,70 @@
+#pragma once
+// Classification metrics used throughout §V: per-family precision/recall/F1
+// (Tables III & V, Figs. 9-11), overall accuracy and mean negative
+// logarithmic loss (Table IV).
+
+#include <cstddef>
+#include <vector>
+
+namespace magic::ml {
+
+/// Row-major confusion matrix: entry (true, predicted).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t true_label, std::size_t predicted_label);
+
+  std::size_t num_classes() const noexcept { return n_; }
+  std::size_t at(std::size_t true_label, std::size_t predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// Per-class precision: tp / (tp + fp); 0 when the class was never predicted.
+  double precision(std::size_t cls) const;
+  /// Per-class recall: tp / (tp + fn); 0 when the class has no samples.
+  double recall(std::size_t cls) const;
+  /// Harmonic mean of precision and recall (0 when both are 0).
+  double f1(std::size_t cls) const;
+  /// Overall accuracy.
+  double accuracy() const;
+  /// Unweighted mean of per-class F1.
+  double macro_f1() const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // n_ x n_
+};
+
+/// Per-class metric triple.
+struct ClassScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// All per-class scores of a confusion matrix.
+std::vector<ClassScores> per_class_scores(const ConfusionMatrix& cm);
+
+/// Mean negative log-likelihood over predicted probability rows.
+/// `probs[i]` is the predicted distribution of sample i; probabilities are
+/// clamped to [eps, 1] before the log, matching common implementations.
+double mean_log_loss(const std::vector<std::vector<double>>& probs,
+                     const std::vector<std::size_t>& labels, double eps = 1e-15);
+
+/// Running mean/stddev accumulator (Welford) for timing and CV statistics.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace magic::ml

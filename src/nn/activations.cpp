@@ -1,0 +1,76 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace magic::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  return tensor::map(input, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_input_)) {
+    throw std::invalid_argument("ReLU::backward: shape mismatch");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0) grad[i] = 0.0;
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  cached_output_ = tensor::map(input, [](double x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_output_)) {
+    throw std::invalid_argument("Tanh::backward: shape mismatch");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= 1.0 - cached_output_[i] * cached_output_[i];
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  cached_output_ = tensor::map(input, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+  return cached_output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_output_)) {
+    throw std::invalid_argument("Sigmoid::backward: shape mismatch");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= cached_output_[i] * (1.0 - cached_output_[i]);
+  }
+  return grad;
+}
+
+double activate(Activation a, double x) noexcept {
+  switch (a) {
+    case Activation::ReLU: return x > 0.0 ? x : 0.0;
+    case Activation::Tanh: return std::tanh(x);
+    case Activation::Identity: return x;
+  }
+  return x;
+}
+
+double activate_grad(Activation a, double x) noexcept {
+  switch (a) {
+    case Activation::ReLU: return x > 0.0 ? 1.0 : 0.0;
+    case Activation::Tanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::Identity: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace magic::nn

@@ -1,0 +1,50 @@
+#pragma once
+// Elementwise activation modules: ReLU (paper's worked example, Fig. 3/5),
+// Tanh (original DGCNN's graph-conv nonlinearity) and Sigmoid.
+
+#include "nn/module.hpp"
+
+namespace magic::nn {
+
+/// f(x) = max(x, 0).
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// f(x) = tanh(x).
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// f(x) = 1 / (1 + exp(-x)).
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Which nonlinearity a graph-convolution layer applies (Eq. 1's f).
+enum class Activation { ReLU, Tanh, Identity };
+
+/// Functional forms used by layers that fuse the activation.
+double activate(Activation a, double x) noexcept;
+/// Derivative expressed via the *pre-activation* input x.
+double activate_grad(Activation a, double x) noexcept;
+
+}  // namespace magic::nn

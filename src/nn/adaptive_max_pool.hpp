@@ -1,0 +1,38 @@
+#pragma once
+// Adaptive max pooling (§III-C of the paper, Fig. 6).
+//
+// Inputs of any (H x W) spatial size are reduced to a fixed (OH x OW) grid:
+// the layer partitions each input into OH x OW sub-windows whose sizes are
+// derived from the input dimensions, and keeps the maximum per sub-window
+// and channel. This unifies variable-size graph-convolution outputs Z^{1:h}
+// without sorting, and is the paper's best-performing pooling on both
+// datasets (Table II).
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace magic::nn {
+
+/// AdaptiveMaxPool2D over (C x H x W) -> (C x OH x OW). Requires H >= 1,
+/// W >= 1; windows follow the standard adaptive rule
+/// rows(i) = [floor(i*H/OH), ceil((i+1)*H/OH)).
+class AdaptiveMaxPool2D : public Module {
+ public:
+  AdaptiveMaxPool2D(std::size_t out_h, std::size_t out_w);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AdaptiveMaxPool2D"; }
+
+  std::size_t out_h() const noexcept { return oh_; }
+  std::size_t out_w() const noexcept { return ow_; }
+
+ private:
+  std::size_t oh_;
+  std::size_t ow_;
+  Shape input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace magic::nn

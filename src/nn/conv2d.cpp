@@ -1,0 +1,139 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+
+#include "nn/init.hpp"
+
+namespace magic::nn {
+namespace {
+
+// Valid output range [lo, hi) for one kernel offset k with padding p over
+// an input extent `in` and output extent `out`: iy = oy + k - p must lie in
+// [0, in).
+inline void valid_range(std::size_t k, std::size_t pad, std::size_t in,
+                        std::size_t out, std::size_t& lo, std::size_t& hi) noexcept {
+  const std::ptrdiff_t lo_s = static_cast<std::ptrdiff_t>(pad) - static_cast<std::ptrdiff_t>(k);
+  lo = lo_s > 0 ? static_cast<std::size_t>(lo_s) : 0;
+  const std::ptrdiff_t hi_s = static_cast<std::ptrdiff_t>(in + pad) - static_cast<std::ptrdiff_t>(k);
+  hi = hi_s < 0 ? 0 : std::min<std::size_t>(out, static_cast<std::size_t>(hi_s));
+}
+
+}  // namespace
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_h, std::size_t kernel_w, std::size_t padding,
+               util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      pad_(padding),
+      weight_("conv2d.weight",
+              xavier_uniform({out_channels, in_channels, kernel_h, kernel_w},
+                             in_channels * kernel_h * kernel_w,
+                             out_channels * kernel_h * kernel_w, rng)),
+      bias_("conv2d.bias", Tensor::zeros({out_channels})) {
+  if (kernel_h == 0 || kernel_w == 0) {
+    throw std::invalid_argument("Conv2D: kernel must be positive");
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.rank() != 3 || input.dim(0) != in_channels_) {
+    throw std::invalid_argument("Conv2D::forward: expected (" +
+                                std::to_string(in_channels_) + " x H x W), got " +
+                                input.describe());
+  }
+  const std::size_t H = input.dim(1), W = input.dim(2);
+  if (H + 2 * pad_ < kh_ || W + 2 * pad_ < kw_) {
+    throw std::invalid_argument("Conv2D: input too small for kernel");
+  }
+  cached_input_ = input;
+  const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
+  const std::size_t Wo = W + 2 * pad_ - kw_ + 1;
+  Tensor out({out_channels_, Ho, Wo});
+  const double* pin = input.data();
+  double* pout = out.data();
+  // Kernel-offset decomposition: for each (ky, kx) the contribution is a
+  // shifted elementwise product, so the inner loop is a contiguous axpy.
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    double* ochan = pout + oc * Ho * Wo;
+    const double b = bias_.value[oc];
+    for (std::size_t i = 0; i < Ho * Wo; ++i) ochan[i] = b;
+    for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+      const double* ichan = pin + ic * H * W;
+      for (std::size_t ky = 0; ky < kh_; ++ky) {
+        std::size_t oy_lo, oy_hi;
+        valid_range(ky, pad_, H, Ho, oy_lo, oy_hi);
+        for (std::size_t kx = 0; kx < kw_; ++kx) {
+          std::size_t ox_lo, ox_hi;
+          valid_range(kx, pad_, W, Wo, ox_lo, ox_hi);
+          if (ox_hi <= ox_lo) continue;
+          const double w = weight_.value[((oc * in_channels_ + ic) * kh_ + ky) * kw_ + kx];
+          if (w == 0.0) continue;
+          for (std::size_t oy = oy_lo; oy < oy_hi; ++oy) {
+            const std::size_t iy = oy + ky - pad_;
+            const double* irow = ichan + iy * W + (ox_lo + kx - pad_);
+            double* orow = ochan + oy * Wo + ox_lo;
+            const std::size_t span = ox_hi - ox_lo;
+            for (std::size_t j = 0; j < span; ++j) orow[j] += w * irow[j];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const std::size_t H = cached_input_.dim(1), W = cached_input_.dim(2);
+  const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
+  const std::size_t Wo = W + 2 * pad_ - kw_ + 1;
+  if (grad_output.rank() != 3 || grad_output.dim(0) != out_channels_ ||
+      grad_output.dim(1) != Ho || grad_output.dim(2) != Wo) {
+    throw std::invalid_argument("Conv2D::backward: grad shape mismatch");
+  }
+  Tensor grad_in = Tensor::zeros(cached_input_.shape());
+  const double* pin = cached_input_.data();
+  const double* pgo = grad_output.data();
+  double* pgi = grad_in.data();
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    const double* gchan = pgo + oc * Ho * Wo;
+    double bsum = 0.0;
+    for (std::size_t i = 0; i < Ho * Wo; ++i) bsum += gchan[i];
+    bias_.grad[oc] += bsum;
+    for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+      const double* ichan = pin + ic * H * W;
+      double* gichan = pgi + ic * H * W;
+      for (std::size_t ky = 0; ky < kh_; ++ky) {
+        std::size_t oy_lo, oy_hi;
+        valid_range(ky, pad_, H, Ho, oy_lo, oy_hi);
+        for (std::size_t kx = 0; kx < kw_; ++kx) {
+          std::size_t ox_lo, ox_hi;
+          valid_range(kx, pad_, W, Wo, ox_lo, ox_hi);
+          if (ox_hi <= ox_lo || oy_hi <= oy_lo) continue;
+          const std::size_t widx = ((oc * in_channels_ + ic) * kh_ + ky) * kw_ + kx;
+          const double w = weight_.value[widx];
+          double wgrad = 0.0;
+          const std::size_t span = ox_hi - ox_lo;
+          for (std::size_t oy = oy_lo; oy < oy_hi; ++oy) {
+            const std::size_t iy = oy + ky - pad_;
+            const double* irow = ichan + iy * W + (ox_lo + kx - pad_);
+            double* girow = gichan + iy * W + (ox_lo + kx - pad_);
+            const double* grow = gchan + oy * Wo + ox_lo;
+            for (std::size_t j = 0; j < span; ++j) {
+              wgrad += grow[j] * irow[j];
+              girow[j] += w * grow[j];
+            }
+          }
+          weight_.grad[widx] += wgrad;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2D::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace magic::nn

@@ -1,0 +1,119 @@
+#include "nn/graph_conv.hpp"
+
+#include "nn/init.hpp"
+
+namespace magic::nn {
+
+GraphConvLayer::GraphConvLayer(std::size_t in_channels, std::size_t out_channels,
+                               Activation activation, util::Rng& rng)
+    : in_(in_channels),
+      out_(out_channels),
+      activation_(activation),
+      weight_("graph_conv.weight",
+              xavier_uniform({in_channels, out_channels}, in_channels,
+                             out_channels, rng)) {}
+
+Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
+  if (z.rank() != 2 || z.dim(1) != in_) {
+    throw std::invalid_argument("GraphConvLayer::forward: expected (n x " +
+                                std::to_string(in_) + "), got " + z.describe());
+  }
+  if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
+    throw std::invalid_argument("GraphConvLayer::forward: operator size mismatch");
+  }
+  cached_prop_ = &prop;
+  cached_input_ = z;
+  // F = Z W, then S = P F (sparse), then Y = f(S).
+  Tensor f = tensor::matmul(z, weight_.value);
+  cached_preact_ = prop.multiply(f);
+  return tensor::map(cached_preact_, [this](double x) { return activate(activation_, x); });
+}
+
+Tensor GraphConvLayer::backward(const Tensor& grad_output) {
+  if (cached_prop_ == nullptr) {
+    throw std::logic_error("GraphConvLayer::backward before forward");
+  }
+  if (!grad_output.same_shape(cached_preact_)) {
+    throw std::invalid_argument("GraphConvLayer::backward: grad shape mismatch");
+  }
+  // dS = dY * f'(S)
+  Tensor ds = grad_output;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ds[i] *= activate_grad(activation_, cached_preact_[i]);
+  }
+  // dF = P^T dS ; dW += Z^T dF ; dZ = dF W^T
+  Tensor df = cached_prop_->multiply_transposed(ds);
+  weight_.grad += tensor::matmul(tensor::transpose(cached_input_), df);
+  return tensor::matmul(df, tensor::transpose(weight_.value));
+}
+
+GraphConvStack::GraphConvStack(std::size_t in_channels,
+                               const std::vector<std::size_t>& channels,
+                               Activation activation, util::Rng& rng) {
+  if (channels.empty()) {
+    throw std::invalid_argument("GraphConvStack: at least one layer required");
+  }
+  std::size_t prev = in_channels;
+  layers_.reserve(channels.size());
+  for (std::size_t c : channels) {
+    if (c == 0) throw std::invalid_argument("GraphConvStack: zero-width layer");
+    layers_.emplace_back(prev, c, activation, rng);
+    prev = c;
+    total_channels_ += c;
+  }
+}
+
+Tensor GraphConvStack::forward(const SparseMatrix& prop, const Tensor& x) {
+  layer_outputs_.clear();
+  layer_outputs_.reserve(layers_.size());
+  last_n_ = x.dim(0);
+  Tensor z = x;
+  for (auto& layer : layers_) {
+    z = layer.forward(prop, z);
+    layer_outputs_.push_back(z);
+  }
+  return tensor::concat_cols(layer_outputs_);
+}
+
+Tensor GraphConvStack::backward(const Tensor& grad_concat) {
+  if (grad_concat.rank() != 2 || grad_concat.dim(0) != last_n_ ||
+      grad_concat.dim(1) != total_channels_) {
+    throw std::invalid_argument("GraphConvStack::backward: grad shape mismatch");
+  }
+  // Split the concat gradient into per-layer slices.
+  std::vector<Tensor> slices;
+  slices.reserve(layers_.size());
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t c = layer.out_channels();
+    Tensor g({last_n_, c});
+    for (std::size_t i = 0; i < last_n_; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        g[i * c + j] = grad_concat[i * total_channels_ + offset + j];
+      }
+    }
+    slices.push_back(std::move(g));
+    offset += c;
+  }
+  // Each Z_t receives gradient both from the concat and from layer t+1.
+  Tensor g = slices.back();
+  for (std::size_t t = layers_.size(); t-- > 0;) {
+    Tensor gin = layers_[t].backward(g);
+    if (t > 0) {
+      g = slices[t - 1];
+      g += gin;
+    } else {
+      g = gin;  // gradient w.r.t. the original attribute matrix X
+    }
+  }
+  return g;
+}
+
+std::vector<Parameter*> GraphConvStack::parameters() {
+  std::vector<Parameter*> params;
+  params.reserve(layers_.size());
+  for (auto& layer : layers_) params.push_back(&layer.weight());
+  return params;
+}
+
+}  // namespace magic::nn

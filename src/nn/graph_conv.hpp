@@ -1,0 +1,82 @@
+#pragma once
+// Graph convolution (Eq. 1 of the paper):
+//
+//   Z_{t+1} = f( D^-1 * A_hat * Z_t * W_t )
+//
+// where A_hat = A + I is the augmented adjacency matrix of the (directed)
+// CFG and D its augmented diagonal degree matrix. The product D^-1 * A_hat
+// is precomputed once per graph as a sparse "propagation operator" P
+// (tensor::SparseMatrix::propagation_operator); each layer then computes
+// f(P Z W). Stacking h layers aggregates multi-scale substructure, and the
+// concatenation Z^{1:h} = [Z_1, ..., Z_h] feeds the pooling stage.
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/module.hpp"
+#include "tensor/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace magic::nn {
+
+using tensor::SparseMatrix;
+
+/// One graph-convolution layer with fused nonlinearity.
+///
+/// Unlike plain Module, forward takes the per-graph propagation operator P;
+/// backward reuses the P from the last forward (the caller keeps it alive).
+class GraphConvLayer {
+ public:
+  GraphConvLayer(std::size_t in_channels, std::size_t out_channels,
+                 Activation activation, util::Rng& rng);
+
+  /// Z_out = f(P Z W); caches Z, P and the pre-activation for backward.
+  Tensor forward(const SparseMatrix& prop, const Tensor& z);
+
+  /// Accumulates dW into the parameter grad and returns dZ (w.r.t. input).
+  Tensor backward(const Tensor& grad_output);
+
+  Parameter& weight() noexcept { return weight_; }
+  std::size_t in_channels() const noexcept { return in_; }
+  std::size_t out_channels() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Activation activation_;
+  Parameter weight_;  // (in x out)
+  const SparseMatrix* cached_prop_ = nullptr;
+  Tensor cached_input_;
+  Tensor cached_preact_;  // S = P Z W before f
+};
+
+/// Stack of h graph-convolution layers producing Z^{1:h}.
+class GraphConvStack {
+ public:
+  /// `channels` = {c_1, ..., c_h}: output width of each layer; the input
+  /// width of layer 1 is `in_channels` (the ACFG attribute count).
+  GraphConvStack(std::size_t in_channels, const std::vector<std::size_t>& channels,
+                 Activation activation, util::Rng& rng);
+
+  /// Returns the column-concatenated Z^{1:h} of shape (n x total_channels()).
+  Tensor forward(const SparseMatrix& prop, const Tensor& x);
+
+  /// Takes d(loss)/d(Z^{1:h}) and returns d(loss)/d(X).
+  Tensor backward(const Tensor& grad_concat);
+
+  std::vector<Parameter*> parameters();
+
+  std::size_t depth() const noexcept { return layers_.size(); }
+  std::size_t total_channels() const noexcept { return total_channels_; }
+  /// Output width of layer t (0-based).
+  std::size_t layer_channels(std::size_t t) const { return layers_.at(t).out_channels(); }
+
+ private:
+  std::vector<GraphConvLayer> layers_;
+  std::vector<Tensor> layer_outputs_;  // Z_1..Z_h from the last forward
+  std::size_t total_channels_ = 0;
+  std::size_t last_n_ = 0;
+};
+
+}  // namespace magic::nn

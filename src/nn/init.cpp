@@ -1,0 +1,18 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace magic::nn {
+
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::size_t fan_in,
+                              std::size_t fan_out, util::Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return tensor::Tensor::uniform(std::move(shape), rng, -a, a);
+}
+
+tensor::Tensor he_normal(tensor::Shape shape, std::size_t fan_in, util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return tensor::Tensor::normal(std::move(shape), rng, 0.0, stddev);
+}
+
+}  // namespace magic::nn

@@ -1,0 +1,16 @@
+#pragma once
+// Weight initialization schemes.
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace magic::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::size_t fan_in,
+                              std::size_t fan_out, util::Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)); suited to ReLU layers.
+tensor::Tensor he_normal(tensor::Shape shape, std::size_t fan_in, util::Rng& rng);
+
+}  // namespace magic::nn

@@ -1,0 +1,58 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+namespace magic::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+               bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_("linear.weight", xavier_uniform({in_features, out_features},
+                                              in_features, out_features, rng)),
+      bias_("linear.bias", Tensor::zeros({out_features})) {}
+
+Tensor Linear::forward(const Tensor& input) {
+  input_was_rank1_ = (input.rank() == 1);
+  cached_input_ = input_was_rank1_ ? input.reshape({1, input.dim(0)}) : input;
+  if (cached_input_.rank() != 2 || cached_input_.dim(1) != in_) {
+    throw std::invalid_argument("Linear::forward: expected (*, " +
+                                std::to_string(in_) + "), got " + input.describe());
+  }
+  Tensor out = tensor::matmul(cached_input_, weight_.value);
+  if (has_bias_) {
+    const std::size_t rows = out.dim(0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < out_; ++j) out[i * out_ + j] += bias_.value[j];
+    }
+  }
+  return input_was_rank1_ ? out.reshape({out_}) : out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  Tensor grad2 = grad_output.rank() == 1
+                     ? grad_output.reshape({1, grad_output.dim(0)})
+                     : grad_output;
+  if (grad2.rank() != 2 || grad2.dim(1) != out_ ||
+      grad2.dim(0) != cached_input_.dim(0)) {
+    throw std::invalid_argument("Linear::backward: grad shape mismatch");
+  }
+  // dW = X^T dY ; db = column sums of dY ; dX = dY W^T.
+  weight_.grad += tensor::matmul(tensor::transpose(cached_input_), grad2);
+  if (has_bias_) {
+    const std::size_t rows = grad2.dim(0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < out_; ++j) bias_.grad[j] += grad2[i * out_ + j];
+    }
+  }
+  Tensor grad_in = tensor::matmul(grad2, tensor::transpose(weight_.value));
+  return input_was_rank1_ ? grad_in.reshape({in_}) : grad_in;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace magic::nn

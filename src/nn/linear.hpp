@@ -1,0 +1,37 @@
+#pragma once
+// Fully connected layer: Y = X W + b.
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace magic::nn {
+
+/// Affine layer. Accepts rank-1 input (treated as 1 x in) or rank-2 input
+/// (batch x in); the output mirrors the input rank.
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+  Parameter& weight() noexcept { return weight_; }
+  Parameter& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  bool has_bias_;
+  Parameter weight_;  // (in x out)
+  Parameter bias_;    // (out)
+  Tensor cached_input_;  // as 2-D
+  bool input_was_rank1_ = false;
+};
+
+}  // namespace magic::nn

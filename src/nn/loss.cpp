@@ -1,0 +1,53 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace magic::nn {
+
+Tensor LogSoftmax::forward(const Tensor& input) {
+  if (input.rank() != 1) {
+    throw std::invalid_argument("LogSoftmax: rank-1 input required");
+  }
+  const double m = tensor::max(input);
+  double lse = 0.0;
+  for (std::size_t i = 0; i < input.size(); ++i) lse += std::exp(input[i] - m);
+  lse = m + std::log(lse);
+  cached_output_ = tensor::map(input, [lse](double x) { return x - lse; });
+  return cached_output_;
+}
+
+Tensor LogSoftmax::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(cached_output_)) {
+    throw std::invalid_argument("LogSoftmax::backward: shape mismatch");
+  }
+  // d/dx_j of log_softmax_i = delta_ij - softmax_j
+  double grad_sum = 0.0;
+  for (std::size_t i = 0; i < grad_output.size(); ++i) grad_sum += grad_output[i];
+  Tensor grad = grad_output;
+  for (std::size_t j = 0; j < grad.size(); ++j) {
+    grad[j] -= std::exp(cached_output_[j]) * grad_sum;
+  }
+  return grad;
+}
+
+double NllLoss::forward(const Tensor& log_probs, std::size_t target) {
+  if (log_probs.rank() != 1 || target >= log_probs.dim(0)) {
+    throw std::invalid_argument("NllLoss: bad target or input rank");
+  }
+  size_ = log_probs.dim(0);
+  target_ = target;
+  return -log_probs[target];
+}
+
+Tensor NllLoss::backward() const {
+  Tensor grad = Tensor::zeros({size_});
+  grad[target_] = -1.0;
+  return grad;
+}
+
+Tensor exp_probs(const Tensor& log_probs) {
+  return tensor::map(log_probs, [](double x) { return std::exp(x); });
+}
+
+}  // namespace magic::nn

@@ -1,0 +1,66 @@
+#pragma once
+// Neural-network module interface.
+//
+// magic::nn uses explicit per-module forward/backward (not tape autograd):
+// each module caches what it needs from its last forward() and its
+// backward() returns the gradient w.r.t. that input while accumulating
+// parameter gradients into Parameter::grad. Batches are processed one
+// sample at a time (CFGs have varying sizes), so gradients accumulate
+// across calls until the optimizer consumes and zeroes them. Every
+// module's backward is validated against central-difference numerical
+// gradients in tests/nn/.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace magic::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A learnable tensor with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(Tensor::zeros(value.shape())) {}
+
+  void zero_grad() { grad.fill(0.0); }
+};
+
+/// Base class for layers with a single dense input and output.
+///
+/// Contract: backward(grad_out) must be called after forward(input) with
+/// grad_out shaped like that forward's output; it returns d(loss)/d(input)
+/// and *adds* parameter gradients into Parameter::grad.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty by default).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Toggles training-only behaviour (e.g. dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const noexcept { return training_; }
+
+  /// Short layer name for diagnostics.
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace magic::nn

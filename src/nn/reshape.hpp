@@ -1,0 +1,43 @@
+#pragma once
+// Shape-adapter modules used to glue convolutional stages to dense heads.
+
+#include "nn/module.hpp"
+
+namespace magic::nn {
+
+/// Flattens any input to rank-1; backward restores the original shape.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override {
+    input_shape_ = input.shape();
+    return input.reshape({input.size()});
+  }
+  Tensor backward(const Tensor& grad_output) override {
+    return grad_output.reshape(input_shape_);
+  }
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+/// Reshapes to a fixed target shape (total size must match).
+class FixedReshape : public Module {
+ public:
+  explicit FixedReshape(Shape target) : target_(std::move(target)) {}
+
+  Tensor forward(const Tensor& input) override {
+    input_shape_ = input.shape();
+    return input.reshape(target_);
+  }
+  Tensor backward(const Tensor& grad_output) override {
+    return grad_output.reshape(input_shape_);
+  }
+  std::string name() const override { return "FixedReshape"; }
+
+ private:
+  Shape target_;
+  Shape input_shape_;
+};
+
+}  // namespace magic::nn

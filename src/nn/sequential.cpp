@@ -1,0 +1,32 @@
+#include "nn/sequential.hpp"
+
+namespace magic::nn {
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& m : modules_) x = m->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& m : modules_) {
+    for (Parameter* p : m->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& m : modules_) m->set_training(training);
+}
+
+}  // namespace magic::nn

@@ -1,0 +1,56 @@
+#include "nn/sort_pooling.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace magic::nn {
+
+SortPooling::SortPooling(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("SortPooling: k must be positive");
+}
+
+Tensor SortPooling::forward(const Tensor& input) {
+  if (input.rank() != 2) throw std::invalid_argument("SortPooling: rank-2 input");
+  const std::size_t n = input.dim(0), c = input.dim(1);
+  input_shape_ = input.shape();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  // Decreasing by the last channel; ties broken by the previous channel,
+  // continuing leftward until all ties are broken (§III-A3). A final
+  // comparison on the original index keeps the sort total and deterministic.
+  std::stable_sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+    for (std::size_t col = c; col-- > 0;) {
+      const double va = input[a * c + col];
+      const double vb = input[b * c + col];
+      if (va != vb) return va > vb;
+    }
+    return a < b;
+  });
+  Tensor out({k_, c});
+  const std::size_t keep = std::min(n, k_);
+  for (std::size_t p = 0; p < keep; ++p) {
+    const std::size_t src = order_[p];
+    for (std::size_t j = 0; j < c; ++j) out[p * c + j] = input[src * c + j];
+  }
+  // Rows beyond n stay zero (padding for small graphs).
+  return out;
+}
+
+Tensor SortPooling::backward(const Tensor& grad_output) {
+  const std::size_t n = input_shape_.at(0), c = input_shape_.at(1);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != k_ || grad_output.dim(1) != c) {
+    throw std::invalid_argument("SortPooling::backward: grad shape mismatch");
+  }
+  Tensor grad_in = Tensor::zeros(input_shape_);
+  const std::size_t keep = std::min(n, k_);
+  for (std::size_t p = 0; p < keep; ++p) {
+    const std::size_t src = order_[p];
+    for (std::size_t j = 0; j < c; ++j) {
+      grad_in[src * c + j] = grad_output[p * c + j];
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace magic::nn

@@ -1,0 +1,132 @@
+#include "tensor/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace magic::tensor {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+  for (const auto& t : entries) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::out_of_range("SparseMatrix: triplet out of range");
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  std::size_t prev_row = rows_;  // sentinel: no previous entry
+  std::size_t prev_col = 0;
+  for (const auto& t : entries) {
+    if (t.row == prev_row && t.col == prev_col) {
+      values_.back() += t.value;  // duplicate (row, col): accumulate
+      continue;
+    }
+    col_idx_.push_back(t.col);
+    values_.push_back(t.value);
+    row_ptr_[t.row + 1] = col_idx_.size();
+    prev_row = t.row;
+    prev_col = t.col;
+  }
+  // Rows without entries inherit the running prefix so row_ptr_ stays monotone.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    row_ptr_[r + 1] = std::max(row_ptr_[r + 1], row_ptr_[r]);
+  }
+}
+
+Tensor SparseMatrix::to_dense() const {
+  Tensor out(Shape{rows_, cols_});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out[r * cols_ + col_idx_[k]] += values_[k];
+    }
+  }
+  return out;
+}
+
+Tensor SparseMatrix::multiply(const Tensor& dense) const {
+  if (dense.rank() != 2 || dense.dim(0) != cols_) {
+    throw std::invalid_argument("SparseMatrix::multiply: shape mismatch");
+  }
+  const std::size_t n = dense.dim(1);
+  Tensor out(Shape{rows_, n});
+  const double* pd = dense.data();
+  double* po = out.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* orow = po + r * n;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* drow = pd + col_idx_[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+  return out;
+}
+
+Tensor SparseMatrix::multiply_transposed(const Tensor& dense) const {
+  if (dense.rank() != 2 || dense.dim(0) != rows_) {
+    throw std::invalid_argument("SparseMatrix::multiply_transposed: shape mismatch");
+  }
+  const std::size_t n = dense.dim(1);
+  Tensor out(Shape{cols_, n});
+  const double* pd = dense.data();
+  double* po = out.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* drow = pd + r * n;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      double* orow = po + col_idx_[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("SparseMatrix::at");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+SparseMatrix SparseMatrix::propagation_operator(
+    const std::vector<std::vector<std::size_t>>& out_edges) {
+  const std::size_t n = out_edges.size();
+  std::vector<Triplet> triplets;
+  triplets.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Augmented degree counts the self loop plus distinct out-neighbours;
+    // parallel edges contribute multiplicity, matching A_hat = A + I where A
+    // is the (possibly multi-) adjacency matrix.
+    const double deg_hat = 1.0 + static_cast<double>(out_edges[i].size());
+    const double w = 1.0 / deg_hat;
+    triplets.push_back({i, i, w});
+    for (std::size_t j : out_edges[i]) {
+      if (j >= n) throw std::out_of_range("propagation_operator: edge target out of range");
+      triplets.push_back({i, j, w});
+    }
+  }
+  return SparseMatrix(n, n, std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::augmented_adjacency(
+    const std::vector<std::vector<std::size_t>>& out_edges) {
+  const std::size_t n = out_edges.size();
+  std::vector<Triplet> triplets;
+  triplets.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    triplets.push_back({i, i, 1.0});
+    for (std::size_t j : out_edges[i]) {
+      if (j >= n) throw std::out_of_range("augmented_adjacency: edge target out of range");
+      triplets.push_back({i, j, 1.0});
+    }
+  }
+  return SparseMatrix(n, n, std::move(triplets));
+}
+
+}  // namespace magic::tensor

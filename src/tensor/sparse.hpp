@@ -1,0 +1,66 @@
+#pragma once
+// CSR sparse matrix used for the DGCNN propagation operator.
+//
+// Equation (1) of the paper multiplies by D^-1 * A_hat, where A_hat = A + I
+// is the augmented adjacency matrix and D its diagonal degree matrix. For a
+// CFG that product is sparse (average out-degree ~2), so we precompute it
+// once per graph as a CSR matrix and reuse it for every layer, epoch and
+// both the forward (P * X) and backward (P^T * dY) passes.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace magic::tensor {
+
+/// One nonzero entry for building a SparseMatrix.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR sparse matrix of doubles.
+class SparseMatrix {
+ public:
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  SparseMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// Dense copy (for tests / small matrices).
+  Tensor to_dense() const;
+
+  /// Sparse-dense product: (rows x cols) * (cols x n) -> (rows x n).
+  Tensor multiply(const Tensor& dense) const;
+
+  /// Transposed product: A^T * dense, i.e. (cols x rows) * (rows x n).
+  /// Used by backward passes without materializing the transpose.
+  Tensor multiply_transposed(const Tensor& dense) const;
+
+  /// Element lookup (O(log nnz_row)); 0 if absent.
+  double at(std::size_t row, std::size_t col) const;
+
+  /// The DGCNN propagation operator D^-1 (A + I) for a directed graph given
+  /// as an out-edge adjacency list. Row i holds weight 1/deg_hat(i) on column
+  /// j for each augmented neighbour j of i (including i itself).
+  static SparseMatrix propagation_operator(
+      const std::vector<std::vector<std::size_t>>& out_edges);
+
+  /// The unnormalized augmented adjacency A + I (ablation of the D^-1
+  /// row normalization in Eq. 1).
+  static SparseMatrix augmented_adjacency(
+      const std::vector<std::vector<std::size_t>>& out_edges);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_;   // rows_ + 1 entries
+  std::vector<std::size_t> col_idx_;   // nnz entries, sorted within each row
+  std::vector<double> values_;
+};
+
+}  // namespace magic::tensor

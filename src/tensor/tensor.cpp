@@ -1,0 +1,162 @@
+#include "tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace magic::tensor {
+namespace {
+
+std::size_t shape_size(const Shape& shape) {
+  std::size_t total = 1;
+  for (std::size_t d : shape) total *= d;
+  return total;
+}
+
+}  // namespace
+
+Tensor::Tensor() : shape_{}, data_(1, 0.0) {}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_size(shape_), 0.0) {
+  if (shape_.size() > 4) throw std::invalid_argument("Tensor: rank > 4 unsupported");
+}
+
+Tensor::Tensor(Shape shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_.size() > 4) throw std::invalid_argument("Tensor: rank > 4 unsupported");
+  if (data_.size() != shape_size(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0); }
+
+Tensor Tensor::full(Shape shape, double value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from_rows(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r ? rows.begin()->size() : 0;
+  Tensor t(Shape{r, c});
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    if (row.size() != c) throw std::invalid_argument("from_rows: ragged rows");
+    for (double v : row) t.data_[i++] = v;
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, double lo, double hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, util::Rng& rng, double mean, double stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t d) const {
+  if (d >= shape_.size()) throw std::out_of_range("Tensor::dim: axis out of range");
+  return shape_[d];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (shape_size(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+double& Tensor::at(std::size_t i) {
+  if (rank() != 1 || i >= shape_[0]) throw std::out_of_range("Tensor::at(i)");
+  return data_[i];
+}
+double Tensor::at(std::size_t i) const { return const_cast<Tensor*>(this)->at(i); }
+
+double& Tensor::at(std::size_t i, std::size_t j) {
+  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) throw std::out_of_range("Tensor::at(i,j)");
+  return data_[i * shape_[1] + j];
+}
+double Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+double& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  if (rank() != 3 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2]) {
+    throw std::out_of_range("Tensor::at(i,j,k)");
+  }
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+double Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+double& Tensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+  if (rank() != 4 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2] || l >= shape_[3]) {
+    throw std::out_of_range("Tensor::at(i,j,k,l)");
+  }
+  return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+double Tensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string("Tensor: shape mismatch in ") + op +
+                                " (" + describe() + " vs " + other.describe() + ")");
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  check_same_shape(rhs, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  check_same_shape(rhs, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double s) noexcept {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& rhs) {
+  check_same_shape(rhs, "mul_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& rhs, double s) {
+  check_same_shape(rhs, "add_scaled_");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+  return *this;
+}
+
+void Tensor::fill(double value) noexcept {
+  for (auto& v : data_) v = value;
+}
+
+std::string Tensor::describe() const {
+  std::ostringstream oss;
+  oss << "Tensor[";
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    if (d) oss << 'x';
+    oss << shape_[d];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+}  // namespace magic::tensor

@@ -1,0 +1,144 @@
+#pragma once
+// Dense row-major tensor of doubles, rank 0..4.
+//
+// This is the numeric substrate under magic::nn. It favours clarity and
+// testability over raw speed: all shapes are dynamic, storage is a
+// std::vector<double>, and operations validate shapes with exceptions.
+// DGCNN workloads here are small (graphs of tens-to-hundreds of vertices,
+// channel widths <= 128), so a straightforward implementation with good
+// locality is fast enough to run the paper's experiments on one CPU.
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace magic::tensor {
+
+/// Shape of a tensor; empty shape denotes a scalar.
+using Shape = std::vector<std::size_t>;
+
+/// Dense row-major double tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty scalar-shaped tensor holding a single zero.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents (size must match).
+  Tensor(Shape shape, std::vector<double> data);
+
+  // --- factories -----------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, double value);
+  /// 2-D tensor from nested initializer lists (rows must be equal length).
+  static Tensor from_rows(std::initializer_list<std::initializer_list<double>> rows);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, util::Rng& rng, double lo, double hi);
+  /// I.i.d. normal entries.
+  static Tensor normal(Shape shape, util::Rng& rng, double mean, double stddev);
+
+  // --- structure ------------------------------------------------------------
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  /// Dimension `d`; throws if out of range.
+  std::size_t dim(std::size_t d) const;
+  /// True when shapes match exactly.
+  bool same_shape(const Tensor& other) const noexcept { return shape_ == other.shape_; }
+
+  /// Returns a copy with a new shape of identical total size.
+  Tensor reshape(Shape new_shape) const;
+
+  // --- element access -------------------------------------------------------
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+  std::vector<double>& storage() noexcept { return data_; }
+  const std::vector<double>& storage() const noexcept { return data_; }
+
+  double& operator[](std::size_t flat) { return data_[flat]; }
+  double operator[](std::size_t flat) const { return data_[flat]; }
+
+  /// Checked N-d accessors.
+  double& at(std::size_t i);
+  double at(std::size_t i) const;
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+  double& at(std::size_t i, std::size_t j, std::size_t k);
+  double at(std::size_t i, std::size_t j, std::size_t k) const;
+  double& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  double at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  // --- in-place arithmetic ---------------------------------------------------
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(double s) noexcept;
+  /// Hadamard product in place.
+  Tensor& mul_(const Tensor& rhs);
+  /// this += s * rhs (axpy).
+  Tensor& add_scaled_(const Tensor& rhs, double s);
+  /// Sets every element to `value`.
+  void fill(double value) noexcept;
+
+  /// Human-readable description like "Tensor[3x4]".
+  std::string describe() const;
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<double> data_;
+};
+
+// --- free-function ops (implemented in tensor_ops.cpp) ------------------------
+
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, double s);
+Tensor operator*(double s, const Tensor& a);
+
+/// Elementwise (Hadamard) product.
+Tensor hadamard(const Tensor& a, const Tensor& b);
+
+/// Dense 2-D matrix product: (m x k) * (k x n) -> (m x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor transpose(const Tensor& a);
+
+/// Applies `fn` elementwise.
+template <typename F>
+Tensor map(const Tensor& a, F fn) {
+  Tensor out = a;
+  for (auto& v : out.storage()) v = fn(v);
+  return out;
+}
+
+/// Sum of all elements.
+double sum(const Tensor& a) noexcept;
+/// Mean of all elements (0 for empty).
+double mean(const Tensor& a) noexcept;
+/// Maximum element; throws on empty.
+double max(const Tensor& a);
+/// Index of the maximum element (first on ties); throws on empty.
+std::size_t argmax(const Tensor& a);
+/// Frobenius / L2 norm.
+double norm(const Tensor& a) noexcept;
+
+/// Row `i` of a 2-D tensor as a rank-1 tensor.
+Tensor row(const Tensor& a, std::size_t i);
+/// Concatenates 2-D tensors along columns; all must have equal row count.
+Tensor concat_cols(const std::vector<Tensor>& parts);
+/// Concatenates 2-D tensors along rows; all must have equal column count.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+/// True iff all elements differ by at most atol.
+bool allclose(const Tensor& a, const Tensor& b, double atol = 1e-9) noexcept;
+
+}  // namespace magic::tensor

@@ -1,0 +1,160 @@
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.hpp"
+
+namespace magic::tensor {
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out += b;
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out -= b;
+  return out;
+}
+
+Tensor operator*(const Tensor& a, double s) {
+  Tensor out = a;
+  out *= s;
+  return out;
+}
+
+Tensor operator*(double s, const Tensor& a) { return a * s; }
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.mul_(b);
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw std::invalid_argument("matmul: both operands must be rank-2");
+  }
+  const std::size_t m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  if (k != k2) {
+    throw std::invalid_argument("matmul: inner dimensions differ (" + a.describe() +
+                                " vs " + b.describe() + ")");
+  }
+  Tensor out(Shape{m, n});
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  // ikj loop order: streams over b and out rows for cache friendliness.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aval = pa[i * k + kk];
+      if (aval == 0.0) continue;
+      const double* brow = pb + kk * n;
+      double* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("transpose: rank-2 required");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+double sum(const Tensor& a) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+double mean(const Tensor& a) noexcept {
+  return a.size() ? sum(a) / static_cast<double>(a.size()) : 0.0;
+}
+
+double max(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("max: empty tensor");
+  double m = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+std::size_t argmax(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("argmax: empty tensor");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+double norm(const Tensor& a) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * a[i];
+  return std::sqrt(s);
+}
+
+Tensor row(const Tensor& a, std::size_t i) {
+  if (a.rank() != 2) throw std::invalid_argument("row: rank-2 required");
+  const std::size_t n = a.dim(1);
+  if (i >= a.dim(0)) throw std::out_of_range("row: index out of range");
+  Tensor out(Shape{n});
+  for (std::size_t j = 0; j < n; ++j) out[j] = a[i * n + j];
+  return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: empty input");
+  const std::size_t rows = parts.front().dim(0);
+  std::size_t cols = 0;
+  for (const auto& p : parts) {
+    if (p.rank() != 2 || p.dim(0) != rows) {
+      throw std::invalid_argument("concat_cols: row count mismatch");
+    }
+    cols += p.dim(1);
+  }
+  Tensor out(Shape{rows, cols});
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t offset = 0;
+    for (const auto& p : parts) {
+      const std::size_t pc = p.dim(1);
+      for (std::size_t j = 0; j < pc; ++j) out[i * cols + offset + j] = p[i * pc + j];
+      offset += pc;
+    }
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows: empty input");
+  const std::size_t cols = parts.front().dim(1);
+  std::size_t rows = 0;
+  for (const auto& p : parts) {
+    if (p.rank() != 2 || p.dim(1) != cols) {
+      throw std::invalid_argument("concat_rows: column count mismatch");
+    }
+    rows += p.dim(0);
+  }
+  Tensor out(Shape{rows, cols});
+  std::size_t r = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out.data() + r * cols);
+    r += p.dim(0);
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double atol) noexcept {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace magic::tensor

@@ -1,0 +1,28 @@
+#pragma once
+// Tiny CSV writer for exporting experiment results (EXPERIMENTS.md sources).
+
+#include <string>
+#include <vector>
+
+namespace magic::util {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Writes header + rows to `path`. Throws std::runtime_error on IO failure.
+  void write(const std::string& path) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace magic::util

@@ -1,0 +1,38 @@
+#pragma once
+// Minimal leveled logging used across MAGIC. Thread-safe; writes to stderr.
+//
+// Usage:
+//   MAGIC_LOG_INFO("trained fold " << fold << " loss=" << loss);
+// Level is a process-wide setting (default Info); benches lower it to Warn
+// so that table output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace magic::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one formatted line ("[LEVEL] message") to stderr under a mutex.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace magic::util
+
+#define MAGIC_LOG_AT(level, expr)                                   \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::magic::util::log_level())) {             \
+      std::ostringstream magic_log_oss_;                            \
+      magic_log_oss_ << expr;                                       \
+      ::magic::util::log_line(level, magic_log_oss_.str());         \
+    }                                                               \
+  } while (0)
+
+#define MAGIC_LOG_DEBUG(expr) MAGIC_LOG_AT(::magic::util::LogLevel::Debug, expr)
+#define MAGIC_LOG_INFO(expr) MAGIC_LOG_AT(::magic::util::LogLevel::Info, expr)
+#define MAGIC_LOG_WARN(expr) MAGIC_LOG_AT(::magic::util::LogLevel::Warn, expr)
+#define MAGIC_LOG_ERROR(expr) MAGIC_LOG_AT(::magic::util::LogLevel::Error, expr)

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole project.
+//
+// All stochastic components (weight init, dropout, dataset synthesis, fold
+// shuffling, tree/feature subsampling) draw from a magic::util::Rng so that
+// every experiment is reproducible from a single seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64.
+
+#include <cstdint>
+#include <vector>
+#include <algorithm>
+#include <cstddef>
+
+namespace magic::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience distributions.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be handed
+/// to <algorithm>/<random> facilities when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state via splitmix64 so that nearby seeds produce
+  /// uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+  /// Geometric-ish positive count: 1 + floor of exponential with given mean.
+  /// Heavy-tailed; use for quantities where bursts are realistic.
+  std::int64_t positive_count(double mean) noexcept;
+
+  /// Concentrated positive count: round(Normal(mean, rel_sd * mean)),
+  /// clamped to >= 1. Use where samples should stay near their profile.
+  std::int64_t concentrated_count(double mean, double rel_sd = 0.2) noexcept;
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero/negative weights are treated as zero; if all are zero, returns 0.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element reference. Requires non-empty v.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) noexcept {
+    return v[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// Derives an independent child generator; used to give each worker
+  /// thread / fold / sample its own deterministic stream.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace magic::util

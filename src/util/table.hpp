@@ -1,0 +1,29 @@
+#pragma once
+// ASCII table printer used by the benchmark harnesses to emit the same
+// rows the paper's tables/figures report.
+
+#include <string>
+#include <vector>
+#include <ostream>
+
+namespace magic::util {
+
+/// Accumulates rows and renders an aligned ASCII table with a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment; numeric-looking cells are right-aligned.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace magic::util

@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-size thread pool. The paper's prototype "can generate multiple ACFGs
+// in parallel using Python's multi-threading library" (§IV-C); we use this
+// pool for parallel ACFG extraction, parallel cross-validation folds, and
+// parallel hyper-parameter evaluation.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace magic::util {
+
+/// Join-on-destruction thread pool with a simple FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task and returns a future for its result. Tasks may not
+  /// block on futures of tasks submitted to the same pool (no work stealing).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Exceptions from tasks propagate out of parallel_for (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace magic::util

@@ -1,0 +1,29 @@
+#pragma once
+// Wall-clock stopwatch used by the §V-E overhead measurements
+// (ACFG build time, training ms/instance, prediction ms/instance).
+
+#include <chrono>
+
+namespace magic::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/reset.
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace magic::util

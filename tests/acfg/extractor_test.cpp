@@ -1,0 +1,88 @@
+#include "acfg/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acfg/attributes.hpp"
+#include "cfg/cfg_builder.hpp"
+
+namespace magic::acfg {
+namespace {
+
+constexpr const char* kBranchy =
+    "401000 cmp eax, 0\n"
+    "401003 jz 0x401008\n"
+    "401005 add eax, 1\n"
+    "401008 ret\n";
+
+TEST(Extractor, VertexCountMatchesCfgBlocks) {
+  cfg::ControlFlowGraph g = cfg::CfgBuilder::build_from_listing(kBranchy);
+  Acfg a = extract_acfg(g);
+  EXPECT_EQ(a.num_vertices(), g.num_blocks());
+  EXPECT_EQ(a.num_edges(), g.num_edges());
+  EXPECT_EQ(a.num_channels(), static_cast<std::size_t>(kNumChannels));
+}
+
+TEST(Extractor, OffspringChannelEqualsOutDegree) {
+  Acfg a = extract_acfg_from_listing(kBranchy);
+  for (std::size_t i = 0; i < a.num_vertices(); ++i) {
+    EXPECT_EQ(a.attributes[i * kNumChannels + kOffspring],
+              static_cast<double>(a.out_edges[i].size()));
+  }
+}
+
+TEST(Extractor, TotalInstructionsSumMatchesProgram) {
+  Acfg a = extract_acfg_from_listing(kBranchy);
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.num_vertices(); ++i) {
+    total += a.attributes[i * kNumChannels + kTotalInsts];
+  }
+  EXPECT_EQ(total, 4.0);
+}
+
+TEST(Extractor, Deterministic) {
+  Acfg a = extract_acfg_from_listing(kBranchy);
+  Acfg b = extract_acfg_from_listing(kBranchy);
+  EXPECT_TRUE(tensor::allclose(a.attributes, b.attributes, 0.0));
+  EXPECT_EQ(a.out_edges, b.out_edges);
+}
+
+TEST(Extractor, BatchMatchesSingle) {
+  util::ThreadPool pool(4);
+  std::vector<std::string> listings(8, kBranchy);
+  auto batch = extract_batch(listings, pool);
+  ASSERT_EQ(batch.size(), 8u);
+  Acfg single = extract_acfg_from_listing(kBranchy);
+  for (const auto& a : batch) {
+    EXPECT_TRUE(tensor::allclose(a.attributes, single.attributes, 0.0));
+  }
+}
+
+TEST(Acfg, ValidateCatchesRowMismatch) {
+  Acfg a;
+  a.out_edges = {{}, {}};
+  a.attributes = tensor::Tensor({1, 11});
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Acfg, ValidateCatchesDanglingEdge) {
+  Acfg a;
+  a.out_edges = {{5}};
+  a.attributes = tensor::Tensor({1, 11});
+  EXPECT_THROW(a.validate(), std::invalid_argument);
+}
+
+TEST(Acfg, PropagationOperatorMatchesTopology) {
+  Acfg a = extract_acfg_from_listing(kBranchy);
+  auto p = a.propagation_operator();
+  EXPECT_EQ(p.rows(), a.num_vertices());
+  // Rows are stochastic.
+  auto dense = p.to_dense();
+  for (std::size_t i = 0; i < a.num_vertices(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.num_vertices(); ++j) s += dense.at(i, j);
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace magic::acfg

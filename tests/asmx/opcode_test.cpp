@@ -1,0 +1,71 @@
+#include "asmx/opcode_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace magic::asmx {
+namespace {
+
+TEST(OpcodeTable, ConditionalJumps) {
+  for (const char* m : {"jz", "jnz", "je", "jne", "ja", "jbe", "js", "loop"}) {
+    EXPECT_EQ(classify_mnemonic(m), OpcodeClass::ConditionalJump) << m;
+  }
+}
+
+TEST(OpcodeTable, ControlFlowClasses) {
+  EXPECT_EQ(classify_mnemonic("jmp"), OpcodeClass::UnconditionalJump);
+  EXPECT_EQ(classify_mnemonic("call"), OpcodeClass::Call);
+  EXPECT_EQ(classify_mnemonic("ret"), OpcodeClass::Return);
+  EXPECT_EQ(classify_mnemonic("retn"), OpcodeClass::Return);
+  EXPECT_EQ(classify_mnemonic("hlt"), OpcodeClass::Termination);
+}
+
+TEST(OpcodeTable, TableOneBuckets) {
+  EXPECT_EQ(classify_mnemonic("add"), OpcodeClass::Arithmetic);
+  EXPECT_EQ(classify_mnemonic("xor"), OpcodeClass::Arithmetic);
+  EXPECT_EQ(classify_mnemonic("lea"), OpcodeClass::Arithmetic);
+  EXPECT_EQ(classify_mnemonic("cmp"), OpcodeClass::Compare);
+  EXPECT_EQ(classify_mnemonic("test"), OpcodeClass::Compare);
+  EXPECT_EQ(classify_mnemonic("mov"), OpcodeClass::Mov);
+  EXPECT_EQ(classify_mnemonic("push"), OpcodeClass::Mov);
+  EXPECT_EQ(classify_mnemonic("db"), OpcodeClass::DataDecl);
+  EXPECT_EQ(classify_mnemonic("align"), OpcodeClass::DataDecl);
+}
+
+TEST(OpcodeTable, UnknownMnemonicIsOther) {
+  EXPECT_EQ(classify_mnemonic("frobnicate"), OpcodeClass::Other);
+  EXPECT_EQ(classify_mnemonic(""), OpcodeClass::Other);
+}
+
+TEST(OpcodeTable, FallThroughSemantics) {
+  // Conditional jumps and calls continue; jmp/ret/hlt do not.
+  EXPECT_TRUE(falls_through(OpcodeClass::ConditionalJump));
+  EXPECT_TRUE(falls_through(OpcodeClass::Call));
+  EXPECT_TRUE(falls_through(OpcodeClass::Mov));
+  EXPECT_FALSE(falls_through(OpcodeClass::UnconditionalJump));
+  EXPECT_FALSE(falls_through(OpcodeClass::Return));
+  EXPECT_FALSE(falls_through(OpcodeClass::Termination));
+}
+
+TEST(OpcodeTable, ControlTransferPredicate) {
+  EXPECT_TRUE(is_control_transfer(OpcodeClass::ConditionalJump));
+  EXPECT_TRUE(is_control_transfer(OpcodeClass::Call));
+  EXPECT_TRUE(is_control_transfer(OpcodeClass::Return));
+  EXPECT_FALSE(is_control_transfer(OpcodeClass::Arithmetic));
+  EXPECT_FALSE(is_control_transfer(OpcodeClass::Other));
+}
+
+TEST(OpcodeTable, AttributeBucketMembership) {
+  // Transfer bucket counts jumps but not calls or returns (Table I keeps
+  // calls and terminations in their own rows).
+  EXPECT_TRUE(counts_as_transfer(OpcodeClass::ConditionalJump));
+  EXPECT_TRUE(counts_as_transfer(OpcodeClass::UnconditionalJump));
+  EXPECT_FALSE(counts_as_transfer(OpcodeClass::Call));
+  EXPECT_TRUE(counts_as_call(OpcodeClass::Call));
+  EXPECT_TRUE(counts_as_termination(OpcodeClass::Return));
+  EXPECT_TRUE(counts_as_termination(OpcodeClass::Termination));
+  EXPECT_FALSE(counts_as_termination(OpcodeClass::UnconditionalJump));
+  EXPECT_TRUE(counts_as_data_decl(OpcodeClass::DataDecl));
+}
+
+}  // namespace
+}  // namespace magic::asmx

@@ -1,0 +1,150 @@
+#include "asmx/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace magic::asmx {
+namespace {
+
+TEST(ParseNumber, DecimalHexForms) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_number("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_number("0x1A", v));
+  EXPECT_EQ(v, 0x1Au);
+  EXPECT_TRUE(parse_number("401000h", v));
+  EXPECT_EQ(v, 0x401000u);
+  EXPECT_TRUE(parse_number("  7 ", v));
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(ParseNumber, RejectsGarbage) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_number("eax", v));
+  EXPECT_FALSE(parse_number("", v));
+  EXPECT_FALSE(parse_number("0x", v));
+  EXPECT_FALSE(parse_number("12g4", v));
+}
+
+TEST(ParseOperand, ClassifiesKinds) {
+  EXPECT_EQ(parse_operand("eax").kind, OperandKind::Register);
+  EXPECT_EQ(parse_operand("R11").kind, OperandKind::Register);
+  EXPECT_EQ(parse_operand("42").kind, OperandKind::Immediate);
+  EXPECT_EQ(parse_operand("0x10").kind, OperandKind::Immediate);
+  EXPECT_EQ(parse_operand("[ebp+8]").kind, OperandKind::Memory);
+  EXPECT_EQ(parse_operand("loc_401020").kind, OperandKind::Target);
+  EXPECT_EQ(parse_operand("sub_401100").kind, OperandKind::Target);
+  EXPECT_EQ(parse_operand("some_symbol").kind, OperandKind::Other);
+}
+
+TEST(ParseListing, BasicProgram) {
+  const auto result = parse_listing(
+      "; a tiny program\n"
+      "401000 push ebp\n"
+      "401001 mov ebp, esp\n"
+      "401003 ret\n");
+  ASSERT_EQ(result.program.instructions.size(), 3u);
+  EXPECT_EQ(result.program.instructions[0].addr, 0x401000u);
+  EXPECT_EQ(result.program.instructions[0].mnemonic, "push");
+  EXPECT_EQ(result.program.instructions[1].operands.size(), 2u);
+  EXPECT_EQ(result.program.instructions[2].opclass, OpcodeClass::Return);
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(ParseListing, SizesInferredFromAddressGaps) {
+  const auto result = parse_listing(
+      "401000 push ebp\n"
+      "401001 mov ebp, esp\n"
+      "401003 ret\n");
+  EXPECT_EQ(result.program.instructions[0].size, 1u);
+  EXPECT_EQ(result.program.instructions[1].size, 2u);
+  EXPECT_EQ(result.program.instructions[2].size, 1u);  // last defaults to 1
+}
+
+TEST(ParseListing, LargeGapTreatedAsSectionBreak) {
+  const auto result = parse_listing(
+      "401000 ret\n"
+      "402000 ret\n");
+  EXPECT_EQ(result.program.instructions[0].size, 1u);
+}
+
+TEST(ParseListing, LabelsResolveToAddresses) {
+  const auto result = parse_listing(
+      "loc_start:\n"
+      "401000 cmp eax, 1\n"
+      "401003 jz loc_start\n");
+  const auto& jz = result.program.instructions[1];
+  ASSERT_EQ(jz.operands.size(), 1u);
+  EXPECT_EQ(jz.operands[0].kind, OperandKind::Target);
+  EXPECT_EQ(jz.operands[0].value, 0x401000u);
+}
+
+TEST(ParseListing, NumericJumpTargetsPromotedToTarget) {
+  const auto result = parse_listing("401000 jmp 0x401010\n");
+  const auto& jmp = result.program.instructions[0];
+  EXPECT_EQ(jmp.operands[0].kind, OperandKind::Target);
+  EXPECT_EQ(jmp.operands[0].value, 0x401010u);
+}
+
+TEST(ParseListing, ImmediatesStayImmediateOnNonTransfer) {
+  const auto result = parse_listing("401000 mov eax, 0x10\n");
+  EXPECT_EQ(result.program.instructions[0].operands[1].kind, OperandKind::Immediate);
+}
+
+TEST(ParseListing, UnresolvedLabelBecomesDiagnostic) {
+  const auto result = parse_listing("401000 jmp loc_nowhere\n");
+  EXPECT_FALSE(result.diagnostics.empty());
+  EXPECT_EQ(result.program.instructions[0].operands[0].kind, OperandKind::Other);
+}
+
+TEST(ParseListing, CommentsAndBlankLinesIgnored)  {
+  const auto result = parse_listing(
+      "\n; header comment\n\n"
+      "401000 nop ; trailing comment\n"
+      "\n");
+  ASSERT_EQ(result.program.instructions.size(), 1u);
+  EXPECT_EQ(result.program.instructions[0].mnemonic, "nop");
+}
+
+TEST(ParseListing, OutOfOrderAddressesAreSorted) {
+  const auto result = parse_listing(
+      "401010 ret\n"
+      "401000 nop\n");
+  EXPECT_EQ(result.program.instructions[0].addr, 0x401000u);
+  EXPECT_EQ(result.program.instructions[1].addr, 0x401010u);
+}
+
+TEST(ParseListing, DuplicateAddressKeptOnceWithDiagnostic) {
+  const auto result = parse_listing(
+      "401000 nop\n"
+      "401000 ret\n");
+  EXPECT_EQ(result.program.instructions.size(), 1u);
+  EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST(ParseListing, MalformedAddressThrows) {
+  EXPECT_THROW(parse_listing("zzz nop\n"), std::runtime_error);
+}
+
+TEST(ParseListing, MnemonicLowercased) {
+  const auto result = parse_listing("401000 MOV EAX, EBX\n");
+  EXPECT_EQ(result.program.instructions[0].mnemonic, "mov");
+  EXPECT_EQ(result.program.instructions[0].opclass, OpcodeClass::Mov);
+}
+
+TEST(Program, IndexOfBinarySearch) {
+  const auto result = parse_listing(
+      "401000 nop\n"
+      "401001 nop\n"
+      "401002 ret\n");
+  EXPECT_EQ(result.program.index_of(0x401001), 1u);
+  EXPECT_EQ(result.program.index_of(0x401005), Program::npos);
+}
+
+TEST(Instruction, NumericConstantCount) {
+  const auto result = parse_listing("401000 add eax, 5\n401003 mov ebx, ecx\n");
+  EXPECT_EQ(result.program.instructions[0].numeric_constant_count(), 1u);
+  EXPECT_EQ(result.program.instructions[1].numeric_constant_count(), 0u);
+}
+
+}  // namespace
+}  // namespace magic::asmx

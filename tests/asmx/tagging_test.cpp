@@ -1,0 +1,140 @@
+#include "asmx/tagging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmx/parser.hpp"
+
+namespace magic::asmx {
+namespace {
+
+Program tagged(const std::string& listing) {
+  ParseResult r = parse_listing(listing);
+  TaggingPass pass;
+  pass.run(r.program);
+  return std::move(r.program);
+}
+
+TEST(Tagging, FirstInstructionIsStart) {
+  Program p = tagged("401000 nop\n401001 nop\n");
+  EXPECT_TRUE(p.instructions[0].start);
+  EXPECT_FALSE(p.instructions[1].start);
+}
+
+TEST(Tagging, ConditionalJumpAlgorithmOne) {
+  // Algorithm 1: cj.branchTo = dst; P[dst].start = true;
+  // cj.fallThrough = true; P[cj.addr + cj.size].start = true.
+  Program p = tagged(
+      "401000 cmp eax, 0\n"
+      "401003 jz 0x401008\n"
+      "401005 add eax, 1\n"
+      "401008 ret\n");
+  const Instruction& jz = p.instructions[1];
+  ASSERT_TRUE(jz.branch_to.has_value());
+  EXPECT_EQ(*jz.branch_to, 0x401008u);
+  EXPECT_TRUE(jz.fall_through);
+  EXPECT_TRUE(p.instructions[2].start);  // fall-through successor
+  EXPECT_TRUE(p.instructions[3].start);  // branch target
+}
+
+TEST(Tagging, UnconditionalJumpNoFallThrough) {
+  Program p = tagged(
+      "401000 jmp 0x401004\n"
+      "401002 nop\n"
+      "401004 ret\n");
+  const Instruction& jmp = p.instructions[0];
+  EXPECT_FALSE(jmp.fall_through);
+  ASSERT_TRUE(jmp.branch_to.has_value());
+  EXPECT_EQ(*jmp.branch_to, 0x401004u);
+  EXPECT_TRUE(p.instructions[1].start);  // block boundary after jmp
+  EXPECT_TRUE(p.instructions[2].start);
+}
+
+TEST(Tagging, CallBranchesAndFallsThrough) {
+  Program p = tagged(
+      "401000 call 0x401005\n"
+      "401005 ret\n");
+  const Instruction& call = p.instructions[0];
+  ASSERT_TRUE(call.branch_to.has_value());
+  EXPECT_EQ(*call.branch_to, 0x401005u);
+  EXPECT_TRUE(call.fall_through);
+}
+
+TEST(Tagging, ExternalCallTargetUnresolved) {
+  Program p0 = tagged("401000 call 0x77e80000\n");
+  EXPECT_FALSE(p0.instructions[0].branch_to.has_value());
+  TaggingPass pass;
+  ParseResult r = parse_listing("401000 call 0x77e80000\n");
+  pass.run(r.program);
+  EXPECT_EQ(pass.unresolved_targets(), 1u);
+}
+
+TEST(Tagging, ReturnEndsBlock) {
+  Program p = tagged(
+      "401000 ret\n"
+      "401001 nop\n");
+  EXPECT_TRUE(p.instructions[0].is_return);
+  EXPECT_FALSE(p.instructions[0].fall_through);
+  EXPECT_TRUE(p.instructions[1].start);
+}
+
+TEST(Tagging, TerminationEndsBlock) {
+  Program p = tagged(
+      "401000 hlt\n"
+      "401001 nop\n");
+  EXPECT_FALSE(p.instructions[0].fall_through);
+  EXPECT_TRUE(p.instructions[1].start);
+}
+
+TEST(Tagging, DefaultInstructionsFallThrough) {
+  Program p = tagged("401000 mov eax, 1\n401005 add eax, 2\n");
+  EXPECT_TRUE(p.instructions[0].fall_through);
+  EXPECT_TRUE(p.instructions[1].fall_through);
+}
+
+TEST(Tagging, VisitorDispatchCoversAllClasses) {
+  // A counting visitor observes every instruction exactly once.
+  struct Counter : InstructionVisitor {
+    int cj = 0, uj = 0, call = 0, ret = 0, term = 0, other = 0;
+    void visit_conditional_jump(Program&, std::size_t) override { ++cj; }
+    void visit_unconditional_jump(Program&, std::size_t) override { ++uj; }
+    void visit_call(Program&, std::size_t) override { ++call; }
+    void visit_return(Program&, std::size_t) override { ++ret; }
+    void visit_termination(Program&, std::size_t) override { ++term; }
+    void visit_default(Program&, std::size_t) override { ++other; }
+  };
+  ParseResult r = parse_listing(
+      "401000 jz 0x401002\n"
+      "401002 jmp 0x401004\n"
+      "401004 call 0x401000\n"
+      "401009 hlt\n"
+      "40100a mov eax, 1\n"
+      "40100f ret\n");
+  Counter counter;
+  apply_visitor(r.program, counter);
+  EXPECT_EQ(counter.cj, 1);
+  EXPECT_EQ(counter.uj, 1);
+  EXPECT_EQ(counter.call, 1);
+  EXPECT_EQ(counter.term, 1);
+  EXPECT_EQ(counter.other, 1);
+  EXPECT_EQ(counter.ret, 1);
+}
+
+TEST(Tagging, BackwardJumpMarksLoopHeader) {
+  Program p = tagged(
+      "401000 mov ecx, 10\n"
+      "401005 dec ecx\n"
+      "401007 jnz 0x401005\n"
+      "401009 ret\n");
+  EXPECT_TRUE(p.instructions[1].start);  // loop header
+  EXPECT_EQ(*p.instructions[2].branch_to, 0x401005u);
+}
+
+TEST(Tagging, EmptyProgramIsFine) {
+  Program p;
+  TaggingPass pass;
+  pass.run(p);
+  EXPECT_TRUE(p.instructions.empty());
+}
+
+}  // namespace
+}  // namespace magic::asmx

@@ -1,0 +1,64 @@
+#include "baselines/autoencoder.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_test_util.hpp"
+
+namespace magic::baselines {
+namespace {
+
+using testing::holdout_accuracy;
+using testing::make_blobs;
+
+AutoencoderOptions fast_options() {
+  AutoencoderOptions opt;
+  opt.latent_dim = 4;
+  opt.epochs = 15;
+  opt.learning_rate = 5e-3;
+  opt.gbdt.num_rounds = 15;
+  opt.gbdt.learning_rate = 0.3;
+  opt.seed = 1;
+  return opt;
+}
+
+TEST(AutoencoderGbt, ClassifiesSeparableBlobs) {
+  auto data = make_blobs(3, 50, 6, 8.0, 2);
+  AutoencoderGbt clf(fast_options());
+  EXPECT_GT(holdout_accuracy(clf, data, 3), 0.85);
+}
+
+TEST(AutoencoderGbt, ReconstructionErrorIsFiniteAndModest) {
+  auto data = make_blobs(2, 40, 6, 4.0, 3);
+  AutoencoderGbt clf(fast_options());
+  clf.fit(data, 2);
+  EXPECT_TRUE(std::isfinite(clf.reconstruction_mse()));
+  EXPECT_GT(clf.reconstruction_mse(), 0.0);
+  EXPECT_LT(clf.reconstruction_mse(), 2.0);  // standardized inputs
+}
+
+TEST(AutoencoderGbt, ProbabilitiesAreValidDistribution) {
+  auto data = make_blobs(3, 20, 5, 5.0, 4);
+  AutoencoderGbt clf(fast_options());
+  clf.fit(data, 3);
+  testing::expect_valid_distribution(clf.predict_proba(data.rows[0]));
+}
+
+TEST(AutoencoderGbt, DeterministicForSeed) {
+  auto data = make_blobs(2, 30, 4, 4.0, 5);
+  AutoencoderGbt a(fast_options()), b(fast_options());
+  a.fit(data, 2);
+  b.fit(data, 2);
+  EXPECT_EQ(a.predict_proba(data.rows[7]), b.predict_proba(data.rows[7]));
+}
+
+TEST(AutoencoderGbt, ThrowsBeforeFitAndOnEmpty) {
+  AutoencoderGbt clf(fast_options());
+  EXPECT_THROW(clf.predict_proba({1.0}), std::logic_error);
+  ml::FeatureMatrix empty;
+  EXPECT_THROW(clf.fit(empty, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magic::baselines

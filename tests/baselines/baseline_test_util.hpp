@@ -1,0 +1,66 @@
+#pragma once
+// Shared fixtures for baseline-classifier tests: separable Gaussian blob
+// datasets and a train/holdout accuracy harness.
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace magic::baselines::testing {
+
+/// K Gaussian blobs in `dims` dimensions with centers spaced `separation`
+/// apart along a diagonal; near-perfectly separable when separation >> 1.
+inline ml::FeatureMatrix make_blobs(std::size_t classes, std::size_t per_class,
+                                    std::size_t dims, double separation,
+                                    std::uint64_t seed) {
+  ml::FeatureMatrix fm;
+  util::Rng rng(seed);
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<double> row(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        row[d] = static_cast<double>(c) * separation * (d % 2 == 0 ? 1.0 : -0.5) +
+                 rng.normal();
+      }
+      fm.rows.push_back(std::move(row));
+      fm.labels.push_back(c);
+    }
+  }
+  return fm;
+}
+
+/// Splits even rows into train, odd rows into test; returns test accuracy.
+inline double holdout_accuracy(Classifier& clf, const ml::FeatureMatrix& data,
+                               std::size_t classes) {
+  ml::FeatureMatrix train;
+  std::vector<std::size_t> test_idx;
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    if (i % 2 == 0) {
+      train.rows.push_back(data.rows[i]);
+      train.labels.push_back(data.labels[i]);
+    } else {
+      test_idx.push_back(i);
+    }
+  }
+  clf.fit(train, classes);
+  std::size_t correct = 0;
+  for (std::size_t i : test_idx) {
+    if (clf.predict(data.rows[i]) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test_idx.size());
+}
+
+/// Checks that predict_proba returns a valid distribution.
+inline void expect_valid_distribution(const std::vector<double>& p) {
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+}  // namespace magic::baselines::testing

@@ -1,0 +1,59 @@
+#include "baselines/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_test_util.hpp"
+
+namespace magic::baselines {
+namespace {
+
+using testing::holdout_accuracy;
+using testing::make_blobs;
+
+TEST(RandomForest, HighAccuracyOnSeparableBlobs) {
+  auto data = make_blobs(3, 60, 5, 8.0, 1);
+  RandomForest rf({.num_trees = 30,
+                   .tree = {.max_depth = 8, .min_samples_leaf = 1, .feature_fraction = 0.7},
+                   .bootstrap_fraction = 1.0,
+                   .seed = 2});
+  EXPECT_GT(holdout_accuracy(rf, data, 3), 0.95);
+}
+
+TEST(RandomForest, ProbabilitiesAreValidDistribution) {
+  auto data = make_blobs(3, 30, 4, 5.0, 3);
+  RandomForest rf({.num_trees = 10, .tree = {}, .bootstrap_fraction = 1.0, .seed = 4});
+  rf.fit(data, 3);
+  testing::expect_valid_distribution(rf.predict_proba(data.rows[0]));
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  auto data = make_blobs(2, 40, 3, 4.0, 5);
+  RandomForest a({.num_trees = 8, .tree = {}, .bootstrap_fraction = 1.0, .seed = 6});
+  RandomForest b({.num_trees = 8, .tree = {}, .bootstrap_fraction = 1.0, .seed = 6});
+  a.fit(data, 2);
+  b.fit(data, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.predict_proba(data.rows[i]), b.predict_proba(data.rows[i]));
+  }
+}
+
+TEST(RandomForest, BuildsRequestedTreeCount) {
+  auto data = make_blobs(2, 20, 2, 4.0, 7);
+  RandomForest rf({.num_trees = 13, .tree = {}, .bootstrap_fraction = 0.8, .seed = 8});
+  rf.fit(data, 2);
+  EXPECT_EQ(rf.num_trees(), 13u);
+}
+
+TEST(RandomForest, ThrowsBeforeFit) {
+  RandomForest rf;
+  EXPECT_THROW(rf.predict_proba({1.0}), std::logic_error);
+}
+
+TEST(RandomForest, ThrowsOnEmptyData) {
+  RandomForest rf;
+  ml::FeatureMatrix empty;
+  EXPECT_THROW(rf.fit(empty, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magic::baselines

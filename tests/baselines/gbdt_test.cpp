@@ -1,0 +1,73 @@
+#include "baselines/gbdt.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_test_util.hpp"
+#include "ml/metrics.hpp"
+
+namespace magic::baselines {
+namespace {
+
+using testing::holdout_accuracy;
+using testing::make_blobs;
+
+TEST(Gbdt, HighAccuracyOnSeparableBlobs) {
+  auto data = make_blobs(3, 60, 5, 8.0, 1);
+  Gbdt gbdt({.num_rounds = 25, .learning_rate = 0.3, .lambda = 1.0, .subsample = 1.0,
+             .tree = {.max_depth = 4, .min_samples_leaf = 1, .feature_fraction = 1.0},
+             .seed = 2});
+  EXPECT_GT(holdout_accuracy(gbdt, data, 3), 0.95);
+}
+
+TEST(Gbdt, LogLossDecreasesWithMoreRounds) {
+  auto data = make_blobs(3, 40, 4, 3.0, 3);
+  auto loss_for_rounds = [&](std::size_t rounds) {
+    Gbdt gbdt({.num_rounds = rounds, .learning_rate = 0.3, .lambda = 1.0,
+               .subsample = 1.0,
+               .tree = {.max_depth = 3, .min_samples_leaf = 1, .feature_fraction = 1.0},
+               .seed = 4});
+    gbdt.fit(data, 3);
+    std::vector<std::vector<double>> probs;
+    for (const auto& row : data.rows) probs.push_back(gbdt.predict_proba(row));
+    return ml::mean_log_loss(probs, data.labels);
+  };
+  EXPECT_LT(loss_for_rounds(20), loss_for_rounds(2));
+}
+
+TEST(Gbdt, ProbabilitiesAreValidDistribution) {
+  auto data = make_blobs(4, 20, 3, 4.0, 5);
+  Gbdt gbdt({.num_rounds = 5, .learning_rate = 0.2, .lambda = 1.0, .subsample = 1.0,
+             .tree = {}, .seed = 6});
+  gbdt.fit(data, 4);
+  testing::expect_valid_distribution(gbdt.predict_proba(data.rows[0]));
+}
+
+TEST(Gbdt, RoundsFittedMatchesOptions) {
+  auto data = make_blobs(2, 20, 2, 4.0, 7);
+  Gbdt gbdt({.num_rounds = 7, .learning_rate = 0.2, .lambda = 1.0, .subsample = 1.0,
+             .tree = {}, .seed = 8});
+  gbdt.fit(data, 2);
+  EXPECT_EQ(gbdt.rounds_fitted(), 7u);
+}
+
+TEST(Gbdt, DeterministicForSeed) {
+  auto data = make_blobs(2, 30, 3, 3.0, 9);
+  GbdtOptions opt{.num_rounds = 6, .learning_rate = 0.2, .lambda = 1.0,
+                  .subsample = 0.8, .tree = {}, .seed = 10};
+  Gbdt a(opt), b(opt);
+  a.fit(data, 2);
+  b.fit(data, 2);
+  EXPECT_EQ(a.predict_proba(data.rows[3]), b.predict_proba(data.rows[3]));
+}
+
+TEST(Gbdt, ThrowsBeforeFitAndOnEmpty) {
+  Gbdt gbdt;
+  EXPECT_THROW(gbdt.predict_proba({1.0}), std::logic_error);
+  ml::FeatureMatrix empty;
+  EXPECT_THROW(gbdt.fit(empty, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magic::baselines

@@ -1,0 +1,118 @@
+#include "baselines/ngram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asmx/parser.hpp"
+#include "baselines/baseline_test_util.hpp"
+#include "data/corpus.hpp"
+#include "data/program_generator.hpp"
+
+namespace magic::baselines {
+namespace {
+
+TEST(OpcodeNgramHasher, CountsWindowsOnce) {
+  OpcodeNgramHasher hasher(2, 64);
+  asmx::Program p =
+      asmx::parse_listing("401000 mov eax, 1\n401005 add eax, 2\n401008 ret\n")
+          .program;
+  const auto counts = hasher.extract(p);
+  double total = 0.0;
+  for (double c : counts) total += c;
+  EXPECT_EQ(total, 2.0);  // (mov,add), (add,ret)
+}
+
+TEST(OpcodeNgramHasher, ShortProgramsYieldZeroVector) {
+  OpcodeNgramHasher hasher(4, 32);
+  asmx::Program p = asmx::parse_listing("401000 ret\n").program;
+  const auto counts = hasher.extract(p);
+  for (double c : counts) EXPECT_EQ(c, 0.0);
+}
+
+TEST(OpcodeNgramHasher, SameOpcodeSequenceSameHash) {
+  OpcodeNgramHasher hasher(2, 128);
+  // Different registers/immediates but identical opcode classes.
+  const auto a = hasher.extract_listing("401000 mov eax, 1\n401005 add ebx, 7\n");
+  const auto b = hasher.extract_listing("500000 mov ecx, 9\n500004 sub edx, 2\n");
+  // mov->arith in both cases (add and sub are both Arithmetic).
+  EXPECT_EQ(a, b);
+}
+
+TEST(OpcodeNgramHasher, RejectsBadConstruction) {
+  EXPECT_THROW(OpcodeNgramHasher(0, 8), std::invalid_argument);
+  EXPECT_THROW(OpcodeNgramHasher(2, 0), std::invalid_argument);
+}
+
+TEST(MultinomialNaiveBayes, SeparatesDisjointVocabularies) {
+  // Class 0 uses features {0,1}; class 1 uses features {2,3}.
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({5, 3, 0, 0});
+    labels.push_back(0);
+    rows.push_back({0, 0, 4, 6});
+    labels.push_back(1);
+  }
+  MultinomialNaiveBayes nb;
+  nb.fit(rows, labels, 2);
+  EXPECT_EQ(nb.predict({7, 2, 0, 0}), 0u);
+  EXPECT_EQ(nb.predict({0, 1, 5, 5}), 1u);
+  testing::expect_valid_distribution(nb.predict_proba({1, 1, 1, 1}));
+}
+
+TEST(MultinomialNaiveBayes, PriorsMatterForEmptyFeatures) {
+  std::vector<std::vector<double>> rows;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 9; ++i) {
+    rows.push_back({1.0});
+    labels.push_back(0);
+  }
+  rows.push_back({1.0});
+  labels.push_back(1);
+  MultinomialNaiveBayes nb;
+  nb.fit(rows, labels, 2);
+  // A zero-count vector falls back to priors: class 0 dominates.
+  EXPECT_EQ(nb.predict({0.0}), 0u);
+}
+
+TEST(MultinomialNaiveBayes, ValidatesInputs) {
+  MultinomialNaiveBayes nb;
+  EXPECT_THROW(nb.fit({}, {}, 2), std::invalid_argument);
+  EXPECT_THROW(nb.predict_proba({1.0}), std::logic_error);
+  EXPECT_THROW(MultinomialNaiveBayes(0.0), std::invalid_argument);
+}
+
+TEST(NgramSequenceClassifier, LearnsFamilyOpcodeTextures) {
+  // Arithmetic-heavy vs mov-heavy family profiles produce different opcode
+  // sequences; the n-gram model should separate them well above chance.
+  auto specs = data::mskcfg_family_specs();
+  std::vector<std::string> listings;
+  std::vector<std::size_t> labels;
+  // Vundo (arith-heavy) vs Lollipop (mov/call-heavy).
+  data::ProgramGenerator g0(specs[3], util::Rng(1));
+  data::ProgramGenerator g1(specs[1], util::Rng(2));
+  for (int i = 0; i < 30; ++i) {
+    listings.push_back(g0.generate_listing());
+    labels.push_back(0);
+    listings.push_back(g1.generate_listing());
+    labels.push_back(1);
+  }
+  NgramSequenceClassifier clf(3, 256);
+  std::vector<std::string> train_l;
+  std::vector<std::size_t> train_y;
+  for (std::size_t i = 0; i < listings.size(); ++i) {
+    if (i % 3 != 0) {
+      train_l.push_back(listings[i]);
+      train_y.push_back(labels[i]);
+    }
+  }
+  clf.fit(train_l, train_y, 2);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = 0; i < listings.size(); i += 3) {
+    correct += clf.predict(listings[i]) == labels[i] ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+}  // namespace
+}  // namespace magic::baselines

@@ -1,0 +1,96 @@
+#include "baselines/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_test_util.hpp"
+
+namespace magic::baselines {
+namespace {
+
+using testing::holdout_accuracy;
+using testing::make_blobs;
+
+TEST(LinearSvm, SeparatesTwoBlobs) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    const int y = i % 2 == 0 ? 1 : -1;
+    rows.push_back({y * 3.0 + rng.normal(), y * -2.0 + rng.normal()});
+    labels.push_back(y);
+  }
+  LinearSvm svm({.lambda = 1e-3, .epochs = 30, .seed = 2});
+  svm.fit(rows, labels);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double margin = svm.decision(rows[i]);
+    if ((margin > 0) == (labels[i] > 0)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / rows.size(), 0.95);
+}
+
+TEST(LinearSvm, ThrowsOnBadInputs) {
+  LinearSvm svm;
+  EXPECT_THROW(svm.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(svm.fit({{1.0}}, {1, -1}), std::invalid_argument);
+  EXPECT_THROW(svm.decision({1.0}), std::logic_error);
+}
+
+TEST(EnsembleSvc, MultiClassAccuracyOnBlobs) {
+  auto data = make_blobs(3, 60, 4, 8.0, 3);
+  EnsembleSvc svc({.lambda = 1e-3, .epochs = 25, .seed = 4});
+  EXPECT_GT(holdout_accuracy(svc, data, 3), 0.9);
+}
+
+TEST(EnsembleSvc, ProbabilitiesAreValidDistribution) {
+  auto data = make_blobs(3, 20, 3, 4.0, 5);
+  EnsembleSvc svc({.lambda = 1e-3, .epochs = 10, .seed = 6});
+  svc.fit(data, 3);
+  testing::expect_valid_distribution(svc.predict_proba(data.rows[0]));
+}
+
+TEST(EnsembleSvc, DeterministicForSeed) {
+  auto data = make_blobs(2, 30, 3, 4.0, 7);
+  SvmOptions opt{.lambda = 1e-3, .epochs = 8, .seed = 8};
+  EnsembleSvc a(opt), b(opt);
+  a.fit(data, 2);
+  b.fit(data, 2);
+  EXPECT_EQ(a.predict_proba(data.rows[5]), b.predict_proba(data.rows[5]));
+}
+
+TEST(EnsembleSvc, ThrowsBeforeFit) {
+  EnsembleSvc svc;
+  EXPECT_THROW(svc.predict_proba({1.0}), std::logic_error);
+}
+
+TEST(StandardScaler, NormalizesToZeroMeanUnitVar) {
+  StandardScaler scaler;
+  std::vector<std::vector<double>> rows;
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i) rows.push_back({rng.normal(5.0, 2.0), rng.normal(-3.0, 0.5)});
+  scaler.fit(rows);
+  const auto scaled = scaler.transform_all(rows);
+  double mean0 = 0.0, var0 = 0.0;
+  for (const auto& r : scaled) mean0 += r[0];
+  mean0 /= scaled.size();
+  for (const auto& r : scaled) var0 += (r[0] - mean0) * (r[0] - mean0);
+  var0 /= scaled.size();
+  EXPECT_NEAR(mean0, 0.0, 1e-9);
+  EXPECT_NEAR(var0, 1.0, 1e-9);
+}
+
+TEST(StandardScaler, ConstantFeaturePassesThrough) {
+  StandardScaler scaler;
+  scaler.fit({{7.0}, {7.0}, {7.0}});
+  EXPECT_NEAR(scaler.transform({7.0})[0], 0.0, 1e-12);
+  EXPECT_NEAR(scaler.transform({8.0})[0], 1.0, 1e-12);  // unit inv_std
+}
+
+TEST(StandardScaler, ThrowsWhenUnfitted) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform({1.0}), std::logic_error);
+  EXPECT_THROW(scaler.fit({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magic::baselines

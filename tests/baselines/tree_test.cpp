@@ -1,0 +1,119 @@
+#include "baselines/tree.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_test_util.hpp"
+
+namespace magic::baselines {
+namespace {
+
+using testing::make_blobs;
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  return idx;
+}
+
+TEST(DecisionTree, FitsSeparableDataPerfectly) {
+  auto data = make_blobs(3, 30, 4, 10.0, 1);
+  DecisionTree tree({.max_depth = 6, .min_samples_leaf = 1, .feature_fraction = 1.0});
+  util::Rng rng(2);
+  tree.fit(data, 3, all_indices(data.rows.size()), rng);
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    const auto p = tree.predict_proba(data.rows[i]);
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < 3; ++c) {
+      if (p[c] > p[arg]) arg = c;
+    }
+    EXPECT_EQ(arg, data.labels[i]);
+  }
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafEarly) {
+  ml::FeatureMatrix data;
+  for (int i = 0; i < 10; ++i) {
+    data.rows.push_back({static_cast<double>(i)});
+    data.labels.push_back(0);  // single class
+  }
+  DecisionTree tree;
+  util::Rng rng(3);
+  tree.fit(data, 2, all_indices(10), rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict_proba({5.0})[0], 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  auto data = make_blobs(2, 100, 3, 3.0, 4);
+  DecisionTree stump({.max_depth = 1, .min_samples_leaf = 1, .feature_fraction = 1.0});
+  util::Rng rng(5);
+  stump.fit(data, 2, all_indices(data.rows.size()), rng);
+  EXPECT_LE(stump.node_count(), 3u);  // root + two leaves
+}
+
+TEST(DecisionTree, LeafDistributionsSumToOne) {
+  auto data = make_blobs(3, 20, 2, 2.0, 6);
+  DecisionTree tree;
+  util::Rng rng(7);
+  tree.fit(data, 3, all_indices(data.rows.size()), rng);
+  const auto p = tree.predict_proba(data.rows[0]);
+  testing::expect_valid_distribution(p);
+}
+
+TEST(DecisionTree, ThrowsOnEmptyFit) {
+  DecisionTree tree;
+  ml::FeatureMatrix data;
+  util::Rng rng(8);
+  EXPECT_THROW(tree.fit(data, 2, {}, rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, ThrowsOnPredictBeforeFit) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict_proba({1.0}), std::logic_error);
+}
+
+TEST(RegressionTree, FitsPiecewiseConstantTarget) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({static_cast<double>(i)});
+    targets.push_back(i < 20 ? -3.0 : 5.0);
+  }
+  RegressionTree tree({.max_depth = 2, .min_samples_leaf = 2, .feature_fraction = 1.0},
+                      /*lambda=*/0.0);
+  util::Rng rng(9);
+  std::vector<std::size_t> idx(40);
+  std::iota(idx.begin(), idx.end(), 0u);
+  tree.fit(rows, targets, {}, idx, rng);
+  EXPECT_NEAR(tree.predict({5.0}), -3.0, 0.3);
+  EXPECT_NEAR(tree.predict({35.0}), 5.0, 0.3);
+}
+
+TEST(RegressionTree, LambdaShrinksLeaves) {
+  std::vector<std::vector<double>> rows = {{0.0}, {1.0}};
+  std::vector<double> targets = {4.0, 4.0};
+  std::vector<std::size_t> idx = {0, 1};
+  util::Rng rng(10);
+  RegressionTree no_reg({.max_depth = 0, .min_samples_leaf = 1, .feature_fraction = 1.0}, 0.0);
+  no_reg.fit(rows, targets, {}, idx, rng);
+  EXPECT_NEAR(no_reg.predict({0.0}), 4.0, 1e-9);  // mean of targets
+  RegressionTree reg({.max_depth = 0, .min_samples_leaf = 1, .feature_fraction = 1.0}, 2.0);
+  reg.fit(rows, targets, {}, idx, rng);
+  EXPECT_NEAR(reg.predict({0.0}), 8.0 / 4.0, 1e-9);  // sum g / (sum h + lambda)
+}
+
+TEST(RegressionTree, HessiansWeightLeaves) {
+  std::vector<std::vector<double>> rows = {{0.0}, {1.0}};
+  std::vector<double> targets = {1.0, 1.0};
+  std::vector<double> hess = {0.5, 0.5};
+  std::vector<std::size_t> idx = {0, 1};
+  util::Rng rng(11);
+  RegressionTree tree({.max_depth = 0, .min_samples_leaf = 1, .feature_fraction = 1.0}, 0.0);
+  tree.fit(rows, targets, hess, idx, rng);
+  EXPECT_NEAR(tree.predict({0.5}), 2.0 / 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace magic::baselines

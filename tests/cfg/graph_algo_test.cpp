@@ -1,0 +1,124 @@
+#include "cfg/graph_algo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace magic::cfg {
+namespace {
+
+TEST(Reachability, FollowsDirectedEdges) {
+  AdjacencyList adj = {{1}, {2}, {}, {0}};  // 3 -> 0 -> 1 -> 2
+  auto r = reachable_from(adj, 0);
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[2]);
+  EXPECT_FALSE(r[3]);  // direction matters
+}
+
+TEST(Reachability, OutOfRangeSourceIsEmpty) {
+  AdjacencyList adj = {{}};
+  auto r = reachable_from(adj, 5);
+  EXPECT_FALSE(r[0]);
+}
+
+TEST(WeaklyConnected, CountsIslands) {
+  AdjacencyList adj = {{1}, {}, {3}, {}, {}};
+  EXPECT_EQ(weakly_connected_components(adj), 3u);
+}
+
+TEST(WeaklyConnected, DirectionIgnored) {
+  AdjacencyList adj = {{}, {0}};
+  EXPECT_EQ(weakly_connected_components(adj), 1u);
+}
+
+TEST(Scc, DagHasOnePerVertex) {
+  AdjacencyList adj = {{1, 2}, {2}, {}};
+  EXPECT_EQ(strongly_connected_components(adj), 3u);
+}
+
+TEST(Scc, CycleCollapses) {
+  AdjacencyList adj = {{1}, {2}, {0}};
+  EXPECT_EQ(strongly_connected_components(adj), 1u);
+}
+
+TEST(Scc, MixedGraph) {
+  // 0 <-> 1 cycle; 2 alone; 3 -> 0.
+  AdjacencyList adj = {{1}, {0}, {}, {0}};
+  EXPECT_EQ(strongly_connected_components(adj), 3u);
+}
+
+TEST(Scc, SelfLoopSingleScc) {
+  AdjacencyList adj = {{0}};
+  EXPECT_EQ(strongly_connected_components(adj), 1u);
+}
+
+TEST(Scc, EmptyGraph) {
+  EXPECT_EQ(strongly_connected_components({}), 0u);
+}
+
+TEST(DegreeStats, ComputesMeanMaxEdges) {
+  AdjacencyList adj = {{1, 2, 3}, {}, {3}, {}};
+  auto s = degree_stats(adj);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_NEAR(s.mean, 1.0, 1e-12);
+}
+
+TEST(HasCycle, DetectsBackEdge) {
+  EXPECT_TRUE(has_cycle({{1}, {2}, {0}}));
+  EXPECT_TRUE(has_cycle({{0}}));  // self loop
+}
+
+TEST(HasCycle, DagIsAcyclic) {
+  EXPECT_FALSE(has_cycle({{1, 2}, {2}, {}}));
+  EXPECT_FALSE(has_cycle({}));
+}
+
+TEST(HasCycle, DiamondIsAcyclic) {
+  EXPECT_FALSE(has_cycle({{1, 2}, {3}, {3}, {}}));
+}
+
+TEST(BackEdges, FindsLoopEdge) {
+  // 0 -> 1 -> 2 -> 1 (loop on 1..2).
+  const auto edges = back_edges({{1}, {2}, {1}});
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, 2u);
+  EXPECT_EQ(edges[0].second, 1u);
+}
+
+TEST(BackEdges, SelfLoopIsBackEdge) {
+  const auto edges = back_edges({{0}});
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(BackEdges, DagHasNone) {
+  EXPECT_TRUE(back_edges({{1, 2}, {3}, {3}, {}}).empty());
+}
+
+TEST(BackEdges, CrossEdgesNotCounted) {
+  // Diamond with both arms converging: the second edge into 3 is a cross
+  // edge, not a back edge.
+  EXPECT_TRUE(back_edges({{1, 2}, {3}, {3}, {}}).empty());
+}
+
+TEST(DagDepth, ChainDepth) {
+  EXPECT_EQ(dag_depth_from({{1}, {2}, {3}, {}}, 0), 3u);
+  EXPECT_EQ(dag_depth_from({{1}, {2}, {3}, {}}, 2), 1u);
+}
+
+TEST(DagDepth, CycleCountsOnce) {
+  // 0 -> 1 -> 2 -> 0 with 2 -> 3: cycle must not diverge.
+  EXPECT_EQ(dag_depth_from({{1}, {2}, {0, 3}, {}}, 0), 3u);
+}
+
+TEST(DagDepth, DiamondTakesLongestArm) {
+  // 0 -> 1 -> 2 -> 4; 0 -> 3 -> 4.
+  EXPECT_EQ(dag_depth_from({{1, 3}, {2}, {4}, {4}, {}}, 0), 3u);
+}
+
+TEST(DagDepth, OutOfRangeSourceIsZero) {
+  EXPECT_EQ(dag_depth_from({{}}, 9), 0u);
+}
+
+}  // namespace
+}  // namespace magic::cfg

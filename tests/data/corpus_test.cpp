@@ -1,0 +1,67 @@
+#include "data/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace magic::data {
+namespace {
+
+TEST(Corpus, GeneratesScaledFamilySizes) {
+  util::ThreadPool pool(4);
+  Dataset d = mskcfg_like_corpus(0.01, 1, pool);
+  EXPECT_EQ(d.num_families(), 9u);
+  const auto counts = d.family_counts();
+  // scale 0.01: Kelihos_ver3 2942 -> ~29; Simda 42 -> min floor of 10.
+  EXPECT_NEAR(static_cast<double>(counts[2]), 29.0, 2.0);
+  EXPECT_EQ(counts[4], 10u);
+  EXPECT_EQ(d.size(), d.samples.size());
+}
+
+TEST(Corpus, AllSamplesLabeledAndValid) {
+  util::ThreadPool pool(4);
+  Dataset d = yancfg_like_corpus(0.005, 2, pool);
+  EXPECT_EQ(d.num_families(), 13u);
+  for (const auto& s : d.samples) {
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 13);
+    EXPECT_GT(s.num_vertices(), 0u);
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_FALSE(s.id.empty());
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  util::ThreadPool pool(2);
+  Dataset a = mskcfg_like_corpus(0.005, 99, pool);
+  Dataset b = mskcfg_like_corpus(0.005, 99, pool);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].label, b.samples[i].label);
+    EXPECT_TRUE(tensor::allclose(a.samples[i].attributes, b.samples[i].attributes, 0.0));
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  util::ThreadPool pool(2);
+  Dataset a = mskcfg_like_corpus(0.005, 1, pool);
+  Dataset b = mskcfg_like_corpus(0.005, 2, pool);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = !a.samples[i].attributes.same_shape(b.samples[i].attributes) ||
+               !tensor::allclose(a.samples[i].attributes, b.samples[i].attributes, 0.0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Corpus, ListingsCarryLabels) {
+  const auto listings = generate_listings(mskcfg_family_specs(), 0.002, 3);
+  EXPECT_GE(listings.size(), 9u * 10u);  // min 10 per family
+  for (const auto& [text, label] : listings) {
+    EXPECT_FALSE(text.empty());
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 9);
+  }
+}
+
+}  // namespace
+}  // namespace magic::data

@@ -1,0 +1,150 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace magic::data {
+namespace {
+
+// A synthetic dataset with trivial one-vertex ACFGs and a given label plan.
+Dataset tiny_dataset(const std::vector<int>& labels, std::size_t families) {
+  Dataset d;
+  for (std::size_t f = 0; f < families; ++f) {
+    d.family_names.push_back("fam" + std::to_string(f));
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    acfg::Acfg a;
+    a.out_edges = {{}};
+    a.attributes = tensor::Tensor({1, 2});
+    a.attributes[0] = static_cast<double>(i);
+    a.label = labels[i];
+    d.samples.push_back(std::move(a));
+  }
+  return d;
+}
+
+TEST(Dataset, FamilyCounts) {
+  Dataset d = tiny_dataset({0, 1, 1, 2, 2, 2}, 3);
+  const auto counts = d.family_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+TEST(Dataset, SubsetCopiesSelected) {
+  Dataset d = tiny_dataset({0, 1, 0, 1}, 2);
+  Dataset s = d.subset({1, 3});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.samples[0].label, 1);
+  EXPECT_EQ(s.family_names, d.family_names);
+}
+
+TEST(Dataset, VertexPercentiles) {
+  Dataset d;
+  d.family_names = {"a"};
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u}) {
+    acfg::Acfg a;
+    a.out_edges.assign(n, {});
+    a.attributes = tensor::Tensor({n, 1});
+    a.label = 0;
+    d.samples.push_back(std::move(a));
+  }
+  EXPECT_EQ(d.vertex_count_percentile(0.0), 1u);
+  EXPECT_EQ(d.vertex_count_percentile(100.0), 10u);
+  const std::size_t median = d.vertex_count_percentile(50.0);
+  EXPECT_GE(median, 5u);
+  EXPECT_LE(median, 6u);
+  EXPECT_NEAR(d.mean_vertices(), 5.5, 1e-12);
+}
+
+TEST(StratifiedKFold, PartitionsAreDisjointAndComplete) {
+  Dataset d = tiny_dataset(std::vector<int>(50, 0), 1);
+  for (std::size_t i = 0; i < 50; ++i) d.samples[i].label = static_cast<int>(i % 5);
+  for (auto& name : d.family_names) (void)name;
+  d.family_names = {"a", "b", "c", "d", "e"};
+  util::Rng rng(1);
+  const auto folds = stratified_k_fold(d, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> all_validation;
+  for (const auto& f : folds) {
+    for (std::size_t i : f.validation) {
+      EXPECT_TRUE(all_validation.insert(i).second) << "index in two folds";
+    }
+    // Train and validation are disjoint and together cover the dataset.
+    std::set<std::size_t> train(f.train.begin(), f.train.end());
+    for (std::size_t i : f.validation) EXPECT_EQ(train.count(i), 0u);
+    EXPECT_EQ(f.train.size() + f.validation.size(), d.size());
+  }
+  EXPECT_EQ(all_validation.size(), d.size());
+}
+
+TEST(StratifiedKFold, PreservesFamilyRatios) {
+  // 40 of family 0, 10 of family 1 -> each of 5 folds gets 8 + 2.
+  std::vector<int> labels(50, 0);
+  std::fill(labels.begin() + 40, labels.end(), 1);
+  Dataset d = tiny_dataset(labels, 2);
+  util::Rng rng(2);
+  const auto folds = stratified_k_fold(d, 5, rng);
+  for (const auto& f : folds) {
+    std::size_t fam0 = 0, fam1 = 0;
+    for (std::size_t i : f.validation) {
+      (d.samples[i].label == 0 ? fam0 : fam1) += 1;
+    }
+    EXPECT_EQ(fam0, 8u);
+    EXPECT_EQ(fam1, 2u);
+  }
+}
+
+TEST(StratifiedKFold, SmallFamiliesRepresentedSomewhere) {
+  std::vector<int> labels(20, 0);
+  labels[7] = 1;  // a single-sample family
+  Dataset d = tiny_dataset(labels, 2);
+  util::Rng rng(3);
+  const auto folds = stratified_k_fold(d, 5, rng);
+  std::size_t seen = 0;
+  for (const auto& f : folds) {
+    for (std::size_t i : f.validation) {
+      if (d.samples[i].label == 1) ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(StratifiedKFold, RejectsBadK) {
+  Dataset d = tiny_dataset({0, 0}, 1);
+  util::Rng rng(4);
+  EXPECT_THROW(stratified_k_fold(d, 1, rng), std::invalid_argument);
+}
+
+TEST(StratifiedKFold, RejectsInvalidLabel) {
+  Dataset d = tiny_dataset({0, 5}, 2);  // label 5 out of range
+  util::Rng rng(5);
+  EXPECT_THROW(stratified_k_fold(d, 2, rng), std::invalid_argument);
+}
+
+TEST(StratifiedHoldout, SplitsByFraction) {
+  std::vector<int> labels(100, 0);
+  std::fill(labels.begin() + 60, labels.end(), 1);
+  Dataset d = tiny_dataset(labels, 2);
+  util::Rng rng(6);
+  const FoldSplit split = stratified_holdout(d, 0.8, rng);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.validation.size(), 20u);
+  std::size_t fam1_train = 0;
+  for (std::size_t i : split.train) {
+    if (d.samples[i].label == 1) ++fam1_train;
+  }
+  EXPECT_EQ(fam1_train, 32u);  // 80% of 40
+}
+
+TEST(StratifiedHoldout, RejectsDegenerateFraction) {
+  Dataset d = tiny_dataset({0, 0}, 1);
+  util::Rng rng(7);
+  EXPECT_THROW(stratified_holdout(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_holdout(d, 1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magic::data

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "data/corpus.hpp"
+
+namespace magic::data {
+namespace {
+
+TEST(Drift, ZeroDriftIsIdentity) {
+  const auto base = mskcfg_family_specs();
+  const auto drifted = drift_family_specs(base, 0.0);
+  ASSERT_EQ(drifted.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(drifted[i].jitter, base[i].jitter);
+    EXPECT_EQ(drifted[i].junk_prob, base[i].junk_prob);
+    EXPECT_EQ(drifted[i].overlap, base[i].overlap);
+    EXPECT_EQ(drifted[i].functions_mean, base[i].functions_mean);
+  }
+}
+
+TEST(Drift, IncreasesPolymorphismKnobs) {
+  const auto base = yancfg_family_specs();
+  const auto drifted = drift_family_specs(base, 1.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_GT(drifted[i].jitter, base[i].jitter) << base[i].name;
+    EXPECT_GT(drifted[i].junk_prob, base[i].junk_prob) << base[i].name;
+    EXPECT_GE(drifted[i].overlap, base[i].overlap) << base[i].name;
+    EXPECT_GT(drifted[i].functions_mean, base[i].functions_mean) << base[i].name;
+  }
+}
+
+TEST(Drift, MonotoneInDriftLevel) {
+  const auto base = mskcfg_family_specs();
+  const auto half = drift_family_specs(base, 0.5);
+  const auto full = drift_family_specs(base, 1.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LE(half[i].junk_prob, full[i].junk_prob);
+    EXPECT_LE(half[i].jitter, full[i].jitter);
+  }
+}
+
+TEST(Drift, ClampsOutOfRangeInput) {
+  const auto base = mskcfg_family_specs();
+  const auto over = drift_family_specs(base, 5.0);
+  const auto exact = drift_family_specs(base, 1.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(over[i].junk_prob, exact[i].junk_prob);
+  }
+  const auto under = drift_family_specs(base, -1.0);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(under[i].jitter, base[i].jitter);
+  }
+}
+
+TEST(Drift, RespectsCaps) {
+  auto base = mskcfg_family_specs();
+  for (auto& s : base) {
+    s.junk_prob = 0.59;
+    s.overlap = 0.9;
+    s.jitter = 0.49;
+  }
+  const auto drifted = drift_family_specs(base, 1.0);
+  for (const auto& s : drifted) {
+    EXPECT_LE(s.junk_prob, 0.6);
+    EXPECT_LE(s.overlap, 1.0);
+    EXPECT_LE(s.jitter, 0.5);
+  }
+}
+
+TEST(Drift, DriftedCorpusStillGeneratesValidSamples) {
+  util::ThreadPool pool(2);
+  const auto drifted = drift_family_specs(mskcfg_family_specs(), 1.0);
+  Dataset d = generate_corpus(drifted, 0.002, 99, pool);
+  EXPECT_GE(d.size(), 90u);
+  for (const auto& s : d.samples) {
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_GT(s.num_vertices(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace magic::data

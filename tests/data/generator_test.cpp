@@ -1,0 +1,166 @@
+#include "data/program_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acfg/extractor.hpp"
+#include "asmx/parser.hpp"
+#include "asmx/tagging.hpp"
+#include "cfg/cfg_builder.hpp"
+#include "cfg/graph_algo.hpp"
+#include "data/corpus.hpp"
+
+namespace magic::data {
+namespace {
+
+FamilySpec test_spec() {
+  FamilySpec s;
+  s.name = "test";
+  s.functions_mean = 4.0;
+  s.blocks_per_function = 6.0;
+  s.block_length_mean = 5.0;
+  return s;
+}
+
+TEST(ProgramGenerator, ListingParsesCleanly) {
+  // Sizes are heavy-tailed (a single sample can be one tiny function), so
+  // assert over a handful of variants.
+  ProgramGenerator gen(test_spec(), util::Rng(1));
+  std::size_t total_instructions = 0;
+  for (int i = 0; i < 5; ++i) {
+    const std::string listing = gen.generate_listing();
+    EXPECT_FALSE(listing.empty());
+    asmx::ParseResult r = asmx::parse_listing(listing);
+    total_instructions += r.program.instructions.size();
+    // The generator must never produce duplicate addresses or unresolvable
+    // labels.
+    EXPECT_TRUE(r.diagnostics.empty());
+  }
+  EXPECT_GT(total_instructions, 100u);
+}
+
+TEST(ProgramGenerator, DeterministicGivenSeed) {
+  ProgramGenerator a(test_spec(), util::Rng(42));
+  ProgramGenerator b(test_spec(), util::Rng(42));
+  EXPECT_EQ(a.generate_listing(), b.generate_listing());
+}
+
+TEST(ProgramGenerator, VariantsDifferAcrossCalls) {
+  ProgramGenerator gen(test_spec(), util::Rng(7));
+  EXPECT_NE(gen.generate_listing(), gen.generate_listing());
+}
+
+TEST(ProgramGenerator, AddressesStrictlyIncrease) {
+  ProgramGenerator gen(test_spec(), util::Rng(3));
+  asmx::ParseResult r = asmx::parse_listing(gen.generate_listing());
+  for (std::size_t i = 1; i < r.program.instructions.size(); ++i) {
+    EXPECT_GT(r.program.instructions[i].addr, r.program.instructions[i - 1].addr);
+  }
+}
+
+TEST(ProgramGenerator, InternalTargetsResolve) {
+  ProgramGenerator gen(test_spec(), util::Rng(4));
+  asmx::ParseResult r = asmx::parse_listing(gen.generate_listing());
+  asmx::TaggingPass pass;
+  pass.run(r.program);
+  // Only external (0x77e80000-style) call targets may be unresolved; every
+  // jump target must land on a real instruction. Count jumps with no
+  // branch_to: should be zero.
+  for (const auto& inst : r.program.instructions) {
+    if (inst.opclass == asmx::OpcodeClass::ConditionalJump ||
+        inst.opclass == asmx::OpcodeClass::UnconditionalJump) {
+      EXPECT_TRUE(inst.branch_to.has_value())
+          << "unresolved jump at 0x" << std::hex << inst.addr;
+    }
+  }
+}
+
+TEST(ProgramGenerator, ProducesNontrivialCfg) {
+  ProgramGenerator gen(test_spec(), util::Rng(5));
+  auto acfg = acfg::extract_acfg_from_listing(gen.generate_listing());
+  EXPECT_GE(acfg.num_vertices(), 8u);
+  EXPECT_GE(acfg.num_edges(), 6u);
+}
+
+TEST(ProgramGenerator, LoopProbabilityCreatesCycles) {
+  FamilySpec loopy = test_spec();
+  loopy.branch_prob = 0.9;
+  loopy.loop_prob = 0.9;
+  ProgramGenerator gen(loopy, util::Rng(6));
+  int cyclic = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto g = cfg::CfgBuilder::build_from_listing(gen.generate_listing());
+    if (cfg::has_cycle(g.adjacency())) ++cyclic;
+  }
+  EXPECT_GE(cyclic, 4);
+}
+
+TEST(ProgramGenerator, OverlapBlendsTowardGeneric) {
+  FamilySpec far = test_spec();
+  far.block_length_mean = 50.0;
+  far.overlap = 1.0;
+  FamilySpec blended = blend_with_generic(far);
+  EXPECT_NEAR(blended.block_length_mean,
+              ProgramGenerator::generic_profile().block_length_mean, 1e-9);
+  far.overlap = 0.0;
+  EXPECT_NEAR(blend_with_generic(far).block_length_mean, 50.0, 1e-9);
+}
+
+TEST(ProgramGenerator, FamilySpecsShiftAttributeDistributions) {
+  // An arithmetic-heavy profile should produce more arithmetic instructions
+  // than a mov-heavy profile - the signal the classifier learns.
+  FamilySpec arith = test_spec();
+  arith.arith_weight = 5.0;
+  arith.mov_weight = 0.1;
+  FamilySpec movy = test_spec();
+  movy.arith_weight = 0.1;
+  movy.mov_weight = 5.0;
+  auto count_class = [](const std::string& listing, asmx::OpcodeClass cls) {
+    asmx::ParseResult r = asmx::parse_listing(listing);
+    std::size_t n = 0;
+    for (const auto& inst : r.program.instructions) {
+      if (inst.opclass == cls) ++n;
+    }
+    return n;
+  };
+  ProgramGenerator ga(arith, util::Rng(8));
+  ProgramGenerator gm(movy, util::Rng(8));
+  std::size_t arith_in_a = 0, arith_in_m = 0;
+  for (int i = 0; i < 3; ++i) {
+    arith_in_a += count_class(ga.generate_listing(), asmx::OpcodeClass::Arithmetic);
+    arith_in_m += count_class(gm.generate_listing(), asmx::OpcodeClass::Arithmetic);
+  }
+  EXPECT_GT(arith_in_a, 2 * arith_in_m);
+}
+
+TEST(FamilySpecs, MskcfgMatchesPaperCounts) {
+  const auto specs = mskcfg_family_specs();
+  ASSERT_EQ(specs.size(), 9u);
+  std::size_t total = 0;
+  for (const auto& s : specs) total += s.corpus_count;
+  EXPECT_EQ(total, 10868u);  // the Kaggle training set size (Fig. 7)
+  EXPECT_EQ(specs[0].name, "Ramnit");
+  EXPECT_EQ(specs[2].name, "Kelihos_ver3");
+  EXPECT_EQ(specs[2].corpus_count, 2942u);
+  EXPECT_EQ(specs[4].name, "Simda");
+  EXPECT_EQ(specs[4].corpus_count, 42u);
+}
+
+TEST(FamilySpecs, YancfgMatchesPaperShape) {
+  const auto specs = yancfg_family_specs();
+  ASSERT_EQ(specs.size(), 13u);
+  std::size_t total = 0;
+  for (const auto& s : specs) total += s.corpus_count;
+  EXPECT_EQ(total, 16351u);  // Fig. 8 total
+  // The hard families carry high overlap (the mechanism behind their low F1).
+  for (const auto& s : specs) {
+    if (s.name == "Ldpinch" || s.name == "Sdbot" || s.name == "Rbot") {
+      EXPECT_GE(s.overlap, 0.45) << s.name;
+    }
+    if (s.name == "Koobface" || s.name == "Swizzor") {
+      EXPECT_LE(s.overlap, 0.05) << s.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace magic::data

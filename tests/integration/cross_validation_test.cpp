@@ -1,0 +1,87 @@
+#include "magic/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "magic/core_test_util.hpp"
+#include "magic/hyperparam.hpp"
+
+namespace magic::core {
+namespace {
+
+using testing::separable_dataset;
+
+DgcnnConfig quick_config() {
+  DgcnnConfig cfg;
+  cfg.graph_conv_channels = {8, 8};
+  cfg.pooling = PoolingType::SortPooling;
+  cfg.remaining = RemainingLayer::WeightedVertices;
+  cfg.hidden_dim = 16;
+  cfg.dropout_rate = 0.1;
+  return cfg;
+}
+
+CvOptions quick_cv(std::size_t folds, std::size_t epochs) {
+  CvOptions opt;
+  opt.folds = folds;
+  opt.train.epochs = epochs;
+  opt.train.batch_size = 8;
+  opt.train.learning_rate = 3e-3;
+  opt.seed = 1;
+  return opt;
+}
+
+TEST(CrossValidation, FiveFoldPoolsEverySampleOnce) {
+  data::Dataset d = separable_dataset(15, 2);  // 30 samples
+  util::ThreadPool pool(4);
+  CvResult result = cross_validate(quick_config(), d, quick_cv(5, 6), pool);
+  EXPECT_EQ(result.confusion.total(), d.size());
+  EXPECT_EQ(result.fold_loss.size(), 5u);
+  EXPECT_EQ(result.mean_epoch_val_loss.size(), 6u);
+  EXPECT_GT(result.score, 0.0);
+  EXPECT_LE(result.score,
+            *std::max_element(result.mean_epoch_val_loss.begin(),
+                              result.mean_epoch_val_loss.end()) + 1e-12);
+}
+
+TEST(CrossValidation, HighAccuracyOnSeparableData) {
+  data::Dataset d = separable_dataset(20, 3);
+  util::ThreadPool pool(4);
+  CvResult result = cross_validate(quick_config(), d, quick_cv(3, 25), pool);
+  EXPECT_GT(result.accuracy, 0.85);
+}
+
+TEST(CrossValidation, SerialAndParallelAgree) {
+  data::Dataset d = separable_dataset(8, 4);
+  util::ThreadPool pool(4);
+  CvOptions serial = quick_cv(3, 4);
+  serial.parallel_folds = false;
+  CvOptions parallel = quick_cv(3, 4);
+  parallel.parallel_folds = true;
+  CvResult a = cross_validate(quick_config(), d, serial, pool);
+  CvResult b = cross_validate(quick_config(), d, parallel, pool);
+  EXPECT_NEAR(a.score, b.score, 1e-12);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(GridSearch, RanksConfigsAndReturnsBest) {
+  data::Dataset d = separable_dataset(8, 5);
+  util::ThreadPool pool(4);
+  // Two grid points: a real model and a deliberately weak one (tiny net,
+  // huge dropout); the search must rank the real one first or at least
+  // return both scored.
+  GridPoint good;
+  good.config = quick_config();
+  GridPoint weak;
+  weak.config = quick_config();
+  weak.config.graph_conv_channels = {2};
+  weak.config.hidden_dim = 2;
+  weak.config.dropout_rate = 0.5;
+  CvOptions opt = quick_cv(3, 6);
+  SearchResult result = grid_search({good, weak}, d, opt, pool);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_LE(result.entries[0].score, result.entries[1].score);
+  EXPECT_EQ(&result.best(), &result.entries[0]);
+}
+
+}  // namespace
+}  // namespace magic::core

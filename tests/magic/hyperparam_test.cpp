@@ -1,0 +1,109 @@
+#include "magic/hyperparam.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace magic::core {
+namespace {
+
+TEST(HyperparamGrid, FullGridHas208Points) {
+  // §V-B: "we exhaustively search all 208 hyperparameter settings".
+  const auto grid = full_table2_grid();
+  EXPECT_EQ(grid.size(), 208u);
+}
+
+TEST(HyperparamGrid, StructuralFamilyCountsMatchPaper) {
+  // 64 adaptive-pooling, 96 sort+Conv1D, 48 sort+WeightedVertices.
+  const auto grid = full_table2_grid();
+  std::size_t adaptive = 0, sort_conv = 0, sort_wv = 0;
+  for (const auto& p : grid) {
+    if (p.config.pooling == PoolingType::AdaptivePooling) {
+      ++adaptive;
+    } else if (p.config.remaining == RemainingLayer::Conv1D) {
+      ++sort_conv;
+    } else {
+      ++sort_wv;
+    }
+  }
+  EXPECT_EQ(adaptive, 64u);
+  EXPECT_EQ(sort_conv, 96u);
+  EXPECT_EQ(sort_wv, 48u);
+}
+
+TEST(HyperparamGrid, NarrowLastLayerOnlyForSortPooling) {
+  // Table II footnote: graph conv size (32,32,32,1) applies only to sort
+  // pooling.
+  for (const auto& p : full_table2_grid()) {
+    if (p.config.graph_conv_channels == std::vector<std::size_t>{32, 32, 32, 1}) {
+      EXPECT_EQ(p.config.pooling, PoolingType::SortPooling);
+    }
+  }
+}
+
+TEST(HyperparamGrid, ValueRangesMatchTableTwo) {
+  for (const auto& p : full_table2_grid()) {
+    EXPECT_TRUE(p.config.pooling_ratio == 0.2 || p.config.pooling_ratio == 0.64);
+    EXPECT_TRUE(p.config.dropout_rate == 0.1 || p.config.dropout_rate == 0.5);
+    EXPECT_TRUE(p.batch_size == 10 || p.batch_size == 40);
+    EXPECT_TRUE(p.weight_decay == 0.0001 || p.weight_decay == 0.0005);
+    if (p.config.pooling == PoolingType::AdaptivePooling) {
+      EXPECT_TRUE(p.config.conv2d_channels == 16 || p.config.conv2d_channels == 32);
+    }
+    if (p.config.pooling == PoolingType::SortPooling &&
+        p.config.remaining == RemainingLayer::Conv1D) {
+      EXPECT_TRUE(p.config.conv1d_kernel == 5 || p.config.conv1d_kernel == 7);
+      EXPECT_EQ(p.config.conv1d_channels_first, 16u);
+      EXPECT_EQ(p.config.conv1d_channels_second, 32u);
+    }
+  }
+}
+
+TEST(HyperparamGrid, AllPointsDistinct) {
+  const auto grid = full_table2_grid();
+  std::set<std::string> descriptions;
+  for (const auto& p : grid) {
+    EXPECT_TRUE(descriptions.insert(p.describe()).second)
+        << "duplicate grid point: " << p.describe();
+  }
+}
+
+TEST(HyperparamGrid, ReducedGridCoversAllVariants) {
+  const auto grid = reduced_grid();
+  EXPECT_GE(grid.size(), 4u);
+  bool has_amp = false, has_conv1d = false, has_wv = false;
+  for (const auto& p : grid) {
+    if (p.config.pooling == PoolingType::AdaptivePooling) has_amp = true;
+    else if (p.config.remaining == RemainingLayer::Conv1D) has_conv1d = true;
+    else has_wv = true;
+  }
+  EXPECT_TRUE(has_amp);
+  EXPECT_TRUE(has_conv1d);
+  EXPECT_TRUE(has_wv);
+}
+
+TEST(HyperparamGrid, ReducedGridIncludesPaperBestModels) {
+  // Table II best models: MSKCFG = AMP/0.64/(128,64,32,32)/16/0.1/10/1e-4;
+  // YANCFG = AMP/0.2/(32,32,32,32)/16/0.5/40/5e-4.
+  const auto grid = reduced_grid();
+  bool best_msk = false, best_yan = false;
+  for (const auto& p : grid) {
+    if (p.config.pooling == PoolingType::AdaptivePooling &&
+        p.config.pooling_ratio == 0.64 &&
+        p.config.graph_conv_channels == std::vector<std::size_t>{128, 64, 32, 32} &&
+        p.config.dropout_rate == 0.1 && p.batch_size == 10 && p.weight_decay == 0.0001) {
+      best_msk = true;
+    }
+    if (p.config.pooling == PoolingType::AdaptivePooling &&
+        p.config.pooling_ratio == 0.2 &&
+        p.config.graph_conv_channels == std::vector<std::size_t>{32, 32, 32, 32} &&
+        p.config.dropout_rate == 0.5 && p.batch_size == 40 && p.weight_decay == 0.0005) {
+      best_yan = true;
+    }
+  }
+  EXPECT_TRUE(best_msk);
+  EXPECT_TRUE(best_yan);
+}
+
+}  // namespace
+}  // namespace magic::core

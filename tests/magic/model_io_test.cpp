@@ -1,0 +1,105 @@
+// Serialization format edge cases beyond the classifier round-trip tests.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "magic/classifier.hpp"
+#include "magic/core_test_util.hpp"
+
+namespace magic::core {
+namespace {
+
+using testing::separable_dataset;
+
+MagicClassifier fitted_classifier(DgcnnConfig cfg, std::uint64_t seed) {
+  data::Dataset d = separable_dataset(6, seed);
+  TrainOptions quick;
+  quick.epochs = 2;
+  quick.learning_rate = 1e-3;
+  MagicClassifier clf(cfg, quick, seed);
+  clf.fit(d, 0.2);
+  return clf;
+}
+
+DgcnnConfig wv_config() {
+  DgcnnConfig cfg;
+  cfg.graph_conv_channels = {4, 4};
+  cfg.pooling = PoolingType::SortPooling;
+  cfg.remaining = RemainingLayer::WeightedVertices;
+  cfg.hidden_dim = 8;
+  return cfg;
+}
+
+TEST(ModelIo, HeaderCarriesConfigFlags) {
+  DgcnnConfig cfg = wv_config();
+  cfg.log1p_attributes = false;
+  cfg.normalize_propagation = false;
+  MagicClassifier clf = fitted_classifier(cfg, 1);
+  std::stringstream ss;
+  clf.save(ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("MAGIC-MODEL v1"), std::string::npos);
+  EXPECT_NE(text.find("log1p 0"), std::string::npos);
+  EXPECT_NE(text.find("norm 0"), std::string::npos);
+  EXPECT_NE(text.find("pooling sort"), std::string::npos);
+
+  MagicClassifier restored = MagicClassifier::load(ss);
+  EXPECT_FALSE(restored.config().log1p_attributes);
+  EXPECT_FALSE(restored.config().normalize_propagation);
+}
+
+TEST(ModelIo, ConfigFlagsAffectRestoredPredictions) {
+  // A model saved with normalization off must predict identically after
+  // reload (i.e. the flag actually round-trips into the rebuilt model).
+  DgcnnConfig cfg = wv_config();
+  cfg.normalize_propagation = false;
+  MagicClassifier clf = fitted_classifier(cfg, 2);
+  std::stringstream ss;
+  clf.save(ss);
+  MagicClassifier restored = MagicClassifier::load(ss);
+  util::Rng rng(3);
+  acfg::Acfg g = testing::make_graph(0, 8, false, rng);
+  const auto a = clf.predict(g);
+  const auto b = restored.predict(g);
+  ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+  for (std::size_t c = 0; c < a.probabilities.size(); ++c) {
+    EXPECT_NEAR(a.probabilities[c], b.probabilities[c], 1e-12);
+  }
+}
+
+TEST(ModelIo, RejectsParameterCountMismatch) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 4);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  // Corrupt the parameter count.
+  const auto pos = text.find("params ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "params 1");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(MagicClassifier::load(corrupted), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsUnknownPoolingToken) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 5);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  const auto pos = text.find("pooling sort");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "pooling blub");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(MagicClassifier::load(corrupted), std::runtime_error);
+}
+
+TEST(ModelIo, SaveIsDeterministic) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 6);
+  std::stringstream a, b;
+  clf.save(a);
+  clf.save(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace magic::core

@@ -1,0 +1,149 @@
+#include "magic/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "magic/core_test_util.hpp"
+
+namespace magic::core {
+namespace {
+
+using testing::separable_dataset;
+
+DgcnnConfig small_config() {
+  DgcnnConfig cfg;
+  cfg.num_classes = 2;
+  cfg.graph_conv_channels = {8, 8};
+  cfg.pooling = PoolingType::SortPooling;
+  cfg.remaining = RemainingLayer::WeightedVertices;
+  cfg.hidden_dim = 16;
+  cfg.dropout_rate = 0.1;
+  return cfg;
+}
+
+TrainOptions fast_train(std::size_t epochs) {
+  TrainOptions opt;
+  opt.epochs = epochs;
+  opt.batch_size = 8;
+  opt.learning_rate = 3e-3;
+  opt.weight_decay = 1e-4;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(Trainer, LossDecreasesOnSeparableData) {
+  data::Dataset d = separable_dataset(20, 1);
+  std::vector<std::size_t> train_idx, val_idx;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    (i % 5 == 0 ? val_idx : train_idx).push_back(i);
+  }
+  util::Rng rng(2);
+  DgcnnModel model(small_config(), rng, 6);
+  TrainResult result = train_model(model, d, train_idx, val_idx, fast_train(12));
+  ASSERT_EQ(result.history.size(), 12u);
+  EXPECT_LT(result.history.back().train_loss, result.history.front().train_loss);
+  EXPECT_LT(result.best_validation_loss, result.history.front().validation_loss + 1e-9);
+}
+
+TEST(Trainer, LearnsSeparableDataToHighAccuracy) {
+  data::Dataset d = separable_dataset(20, 3);
+  std::vector<std::size_t> train_idx, val_idx;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    (i % 4 == 0 ? val_idx : train_idx).push_back(i);
+  }
+  util::Rng rng(4);
+  DgcnnModel model(small_config(), rng, 6);
+  train_model(model, d, train_idx, val_idx, fast_train(25));
+  EvalResult eval = evaluate_model(model, d, val_idx);
+  EXPECT_GT(eval.confusion.accuracy(), 0.9);
+}
+
+TEST(Trainer, EmptyValidationUsesTrainLossForSchedule) {
+  data::Dataset d = separable_dataset(8, 5);
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < d.size(); ++i) all.push_back(i);
+  util::Rng rng(6);
+  DgcnnModel model(small_config(), rng, 6);
+  TrainResult result = train_model(model, d, all, {}, fast_train(3));
+  for (const auto& e : result.history) {
+    EXPECT_EQ(e.train_loss, e.validation_loss);
+  }
+}
+
+TEST(Trainer, ThrowsOnEmptyTrainingSet) {
+  data::Dataset d = separable_dataset(2, 7);
+  util::Rng rng(8);
+  DgcnnModel model(small_config(), rng, 6);
+  EXPECT_THROW(train_model(model, d, {}, {}, fast_train(1)), std::invalid_argument);
+}
+
+TEST(Trainer, EvaluateProducesConsistentConfusion) {
+  data::Dataset d = separable_dataset(5, 9);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < d.size(); ++i) idx.push_back(i);
+  util::Rng rng(10);
+  DgcnnModel model(small_config(), rng, 6);
+  EvalResult eval = evaluate_model(model, d, idx);
+  EXPECT_EQ(eval.confusion.total(), d.size());
+  EXPECT_EQ(eval.probabilities.size(), d.size());
+  EXPECT_EQ(eval.labels.size(), d.size());
+  EXPECT_GE(eval.mean_log_loss, 0.0);
+}
+
+TEST(Trainer, RestoreBestSnapshotsBestEpochWeights) {
+  data::Dataset d = separable_dataset(10, 21);
+  std::vector<std::size_t> train_idx, val_idx;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    (i % 4 == 0 ? val_idx : train_idx).push_back(i);
+  }
+  TrainOptions opt = fast_train(15);
+  opt.restore_best = true;
+  util::Rng rng(22);
+  DgcnnModel model(small_config(), rng, 6);
+  TrainResult result = train_model(model, d, train_idx, val_idx, opt);
+  // The evaluated loss after training equals the best epoch's loss (the
+  // restored weights), not necessarily the final epoch's.
+  EvalResult eval = evaluate_model(model, d, val_idx);
+  EXPECT_NEAR(eval.mean_log_loss, result.best_validation_loss, 1e-9);
+}
+
+TEST(Trainer, BalancedSamplingLearnsImbalancedData) {
+  // 36 of family 0 vs 4 of family 1: balanced oversampling must still give
+  // the minority family enough gradient signal to be recalled.
+  data::Dataset d;
+  d.family_names = {"arith_chain", "mov_star"};
+  util::Rng data_rng(31);
+  for (int i = 0; i < 36; ++i) {
+    d.samples.push_back(testing::make_graph(0, 6, true, data_rng));
+  }
+  for (int i = 0; i < 4; ++i) {
+    d.samples.push_back(testing::make_graph(1, 6, false, data_rng));
+  }
+  std::vector<std::size_t> train_idx = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                        10, 11, 12, 13, 14, 15, 16, 17,
+                                        36, 37};
+  std::vector<std::size_t> val_idx = {18, 19, 20, 38, 39};
+  TrainOptions opt = fast_train(20);
+  opt.balance_families = true;
+  util::Rng rng(32);
+  DgcnnModel model(small_config(), rng, 6);
+  train_model(model, d, train_idx, val_idx, opt);
+  EvalResult eval = evaluate_model(model, d, val_idx);
+  // Minority family (labels 38/39 in validation) must be recalled.
+  EXPECT_GT(eval.confusion.recall(1), 0.5);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  data::Dataset d = separable_dataset(6, 11);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < d.size(); ++i) idx.push_back(i);
+  auto run = [&]() {
+    util::Rng rng(12);
+    DgcnnModel model(small_config(), rng, 6);
+    train_model(model, d, idx, {}, fast_train(3));
+    return evaluate_model(model, d, idx).mean_log_loss;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace magic::core

@@ -1,0 +1,91 @@
+#include "ml/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "acfg/attributes.hpp"
+#include "acfg/extractor.hpp"
+
+namespace magic::ml {
+namespace {
+
+acfg::Acfg sample() {
+  return acfg::extract_acfg_from_listing(
+      "401000 cmp eax, 0\n"
+      "401003 jz 0x401008\n"
+      "401005 add eax, 1\n"
+      "401008 ret\n");
+}
+
+TEST(Features, CountAndNamesConsistent) {
+  const std::size_t c = acfg::kNumChannels;
+  EXPECT_EQ(aggregate_feature_count(c), c * 4 + 6);
+  EXPECT_EQ(aggregate_feature_names(c).size(), aggregate_feature_count(c));
+}
+
+TEST(Features, VectorLengthMatchesCount) {
+  const auto f = aggregate_features(sample());
+  EXPECT_EQ(f.size(), aggregate_feature_count(acfg::kNumChannels));
+}
+
+TEST(Features, StructuralTailMatchesGraph) {
+  acfg::Acfg a = sample();
+  const auto f = aggregate_features(a);
+  const std::size_t base = acfg::kNumChannels * 4;
+  EXPECT_EQ(f[base], static_cast<double>(a.num_vertices()));
+  EXPECT_EQ(f[base + 1], static_cast<double>(a.num_edges()));
+  EXPECT_NEAR(f[base + 2],
+              static_cast<double>(a.num_edges()) / static_cast<double>(a.num_vertices()),
+              1e-12);
+}
+
+TEST(Features, SumChannelIsSumOverVertices) {
+  acfg::Acfg a = sample();
+  const auto f = aggregate_features(a);
+  // Channel kTotalInsts: sum stat is at offset kTotalInsts * 4 + 0.
+  double expected = 0.0;
+  for (std::size_t i = 0; i < a.num_vertices(); ++i) {
+    expected += a.attributes[i * acfg::kNumChannels + acfg::kTotalInsts];
+  }
+  EXPECT_NEAR(f[acfg::kTotalInsts * 4], expected, 1e-12);
+  EXPECT_EQ(expected, 4.0);  // four instructions in total
+}
+
+TEST(Features, MeanMaxStdRelations) {
+  const auto f = aggregate_features(sample());
+  for (std::size_t ch = 0; ch < acfg::kNumChannels; ++ch) {
+    const double mean = f[ch * 4 + 1];
+    const double maxv = f[ch * 4 + 2];
+    const double stdv = f[ch * 4 + 3];
+    EXPECT_LE(mean, maxv + 1e-12);
+    EXPECT_GE(stdv, 0.0);
+  }
+}
+
+TEST(Features, MatrixShapesAndLabels) {
+  std::vector<acfg::Acfg> corpus(3, sample());
+  corpus[0].label = 2;
+  corpus[1].label = 0;
+  corpus[2].label = 1;
+  const FeatureMatrix fm = aggregate_feature_matrix(corpus);
+  ASSERT_EQ(fm.rows.size(), 3u);
+  ASSERT_EQ(fm.labels.size(), 3u);
+  EXPECT_EQ(fm.labels[0], 2u);
+  EXPECT_EQ(fm.labels[2], 1u);
+  EXPECT_EQ(fm.rows[0].size(), aggregate_feature_count(acfg::kNumChannels));
+}
+
+TEST(Features, DeterministicAcrossCalls) {
+  const auto a = aggregate_features(sample());
+  const auto b = aggregate_features(sample());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Features, LeafRatioInUnitRange) {
+  const auto f = aggregate_features(sample());
+  const double leaf_ratio = f.back();
+  EXPECT_GE(leaf_ratio, 0.0);
+  EXPECT_LE(leaf_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace magic::ml

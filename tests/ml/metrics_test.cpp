@@ -1,0 +1,107 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace magic::ml {
+namespace {
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  ConfusionMatrix cm(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  }
+  EXPECT_EQ(cm.accuracy(), 1.0);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(cm.precision(c), 1.0);
+    EXPECT_EQ(cm.recall(c), 1.0);
+    EXPECT_EQ(cm.f1(c), 1.0);
+  }
+  EXPECT_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, HandComputedScores) {
+  // Class 0: tp=3, fp=1 (one class-1 predicted 0), fn=2.
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 3; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  cm.add(1, 0);
+  for (int i = 0; i < 4; ++i) cm.add(1, 1);
+  EXPECT_NEAR(cm.precision(0), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 3.0 / 5.0, 1e-12);
+  const double p = 0.75, r = 0.6;
+  EXPECT_NEAR(cm.f1(0), 2 * p * r / (p + r), 1e-12);
+  EXPECT_NEAR(cm.accuracy(), 7.0 / 10.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, AbsentClassScoresZero) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_EQ(cm.precision(2), 0.0);
+  EXPECT_EQ(cm.recall(2), 0.0);
+  EXPECT_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, BoundsChecked) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.at(0, 2), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(PerClassScores, MatchesIndividualAccessors) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  const auto scores = per_class_scores(cm);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0].precision, cm.precision(0));
+  EXPECT_EQ(scores[1].recall, cm.recall(1));
+  EXPECT_EQ(scores[1].f1, cm.f1(1));
+}
+
+TEST(LogLoss, PerfectPredictionIsZero) {
+  EXPECT_NEAR(mean_log_loss({{1.0, 0.0}}, {0}), 0.0, 1e-12);
+}
+
+TEST(LogLoss, UniformPredictionIsLogK) {
+  const double loss = mean_log_loss({{0.25, 0.25, 0.25, 0.25}}, {2});
+  EXPECT_NEAR(loss, std::log(4.0), 1e-12);
+}
+
+TEST(LogLoss, ClampsZeroProbability) {
+  const double loss = mean_log_loss({{0.0, 1.0}}, {0});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, -std::log(1e-15), 1e-6);
+}
+
+TEST(LogLoss, AveragesOverSamples) {
+  const double loss = mean_log_loss({{1.0, 0.0}, {0.5, 0.5}}, {0, 1});
+  EXPECT_NEAR(loss, 0.5 * std::log(2.0), 1e-12);
+}
+
+TEST(LogLoss, ValidatesInputs) {
+  EXPECT_THROW(mean_log_loss({{1.0}}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(mean_log_loss({{1.0}}, {3}), std::out_of_range);
+  EXPECT_EQ(mean_log_loss({}, {}), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, SingleValueZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace magic::ml

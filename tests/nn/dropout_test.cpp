@@ -1,0 +1,84 @@
+#include "nn/dropout.hpp"
+
+#include "test_util.hpp"
+
+namespace magic::testing {
+namespace {
+
+TEST(Dropout, EvalModeIsIdentity) {
+  util::Rng rng(1);
+  nn::Dropout drop(0.5, rng);
+  drop.set_training(false);
+  Tensor x = Tensor::uniform({100}, rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(drop.forward(x), x, 0.0));
+}
+
+TEST(Dropout, ZeroRateIsIdentityEvenInTraining) {
+  util::Rng rng(2);
+  nn::Dropout drop(0.0, rng);
+  drop.set_training(true);
+  Tensor x = Tensor::uniform({50}, rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(drop.forward(x), x, 0.0));
+}
+
+TEST(Dropout, TrainingZeroesRoughlyRateFraction) {
+  util::Rng rng(3);
+  nn::Dropout drop(0.3, rng);
+  drop.set_training(true);
+  Tensor x = Tensor::ones({20000});
+  Tensor y = drop.forward(x);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.size()), 0.3, 0.02);
+}
+
+TEST(Dropout, SurvivorsScaledByInverseKeep) {
+  util::Rng rng(4);
+  nn::Dropout drop(0.5, rng);
+  drop.set_training(true);
+  Tensor x = Tensor::ones({1000});
+  Tensor y = drop.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0 || std::abs(y[i] - 2.0) < 1e-12);
+  }
+}
+
+TEST(Dropout, ExpectationPreserved) {
+  util::Rng rng(5);
+  nn::Dropout drop(0.4, rng);
+  drop.set_training(true);
+  Tensor x = Tensor::ones({50000});
+  Tensor y = drop.forward(x);
+  EXPECT_NEAR(tensor::mean(y), 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  util::Rng rng(6);
+  nn::Dropout drop(0.5, rng);
+  drop.set_training(true);
+  Tensor x = Tensor::ones({200});
+  Tensor y = drop.forward(x);
+  Tensor g = drop.backward(Tensor::ones({200}));
+  // Gradient passes exactly where the forward survived, with the same scale.
+  EXPECT_TRUE(tensor::allclose(g, y, 1e-12));
+}
+
+TEST(Dropout, EvalBackwardIsIdentity) {
+  util::Rng rng(7);
+  nn::Dropout drop(0.5, rng);
+  drop.set_training(false);
+  drop.forward(Tensor::ones({10}));
+  Tensor g = Tensor::uniform({10}, rng, -1, 1);
+  EXPECT_TRUE(tensor::allclose(drop.backward(g), g, 0.0));
+}
+
+TEST(Dropout, RejectsInvalidRate) {
+  util::Rng rng(8);
+  EXPECT_THROW(nn::Dropout(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(nn::Dropout(1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace magic::testing

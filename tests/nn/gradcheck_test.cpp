@@ -1,0 +1,31 @@
+// Sanity checks of the numerical-gradient harness itself.
+
+#include "test_util.hpp"
+
+namespace magic::testing {
+namespace {
+
+TEST(NumericGrad, QuadraticGradientIsLinear) {
+  // f(x) = sum(x^2) -> df/dx_i = 2 x_i.
+  Tensor x(tensor::Shape{3}, {1.0, -2.0, 0.5});
+  Tensor g = numeric_grad(
+      [](const Tensor& t) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < t.size(); ++i) s += t[i] * t[i];
+        return s;
+      },
+      x);
+  EXPECT_NEAR(g[0], 2.0, 1e-7);
+  EXPECT_NEAR(g[1], -4.0, 1e-7);
+  EXPECT_NEAR(g[2], 1.0, 1e-7);
+}
+
+TEST(NumericGrad, LinearFunctionConstantGradient) {
+  Tensor x(tensor::Shape{2}, {3.0, 4.0});
+  Tensor g = numeric_grad([](const Tensor& t) { return 5.0 * t[0] - 2.0 * t[1]; }, x);
+  EXPECT_NEAR(g[0], 5.0, 1e-8);
+  EXPECT_NEAR(g[1], -2.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace magic::testing

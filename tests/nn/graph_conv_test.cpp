@@ -1,0 +1,169 @@
+#include "nn/graph_conv.hpp"
+
+#include "test_util.hpp"
+
+namespace magic::testing {
+namespace {
+
+using tensor::SparseMatrix;
+
+SparseMatrix chain_prop() {
+  // 0 -> 1 -> 2 plus a back edge 2 -> 0.
+  return SparseMatrix::propagation_operator({{1}, {2}, {0}});
+}
+
+TEST(GraphConvLayer, ForwardMatchesDenseFormula) {
+  // Z' = f(D^-1 A_hat Z W) with Identity activation equals the dense chain.
+  util::Rng rng(1);
+  nn::GraphConvLayer layer(2, 3, nn::Activation::Identity, rng);
+  SparseMatrix p = chain_prop();
+  Tensor z = Tensor::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  Tensor expected = tensor::matmul(p.to_dense(), tensor::matmul(z, layer.weight().value));
+  EXPECT_TRUE(tensor::allclose(layer.forward(p, z), expected, 1e-12));
+}
+
+TEST(GraphConvLayer, ReluActivationClamps) {
+  util::Rng rng(2);
+  nn::GraphConvLayer layer(1, 1, nn::Activation::ReLU, rng);
+  layer.weight().value = Tensor::from_rows({{-1.0}});
+  SparseMatrix p = SparseMatrix::propagation_operator({{}});
+  Tensor z = Tensor::from_rows({{2.0}});
+  // preact = 1 * (2 * -1) = -2 -> relu -> 0.
+  EXPECT_EQ(layer.forward(p, z)[0], 0.0);
+}
+
+TEST(GraphConvLayer, PaperEquationOneWorkedExample) {
+  // Mirrors the style of the paper's Fig. 3 walk-through: a 5-vertex graph
+  // with 2 attribute channels, one conv layer with a fixed W and ReLU.
+  // Graph edges: 0->1, 0->2, 1->3, 2->3, 3->4.
+  std::vector<std::vector<std::size_t>> adj = {{1, 2}, {3}, {3}, {4}, {}};
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  util::Rng rng(3);
+  nn::GraphConvLayer layer(2, 3, nn::Activation::ReLU, rng);
+  layer.weight().value = Tensor::from_rows({{1, 0, 1}, {0, 1, 0}});  // W1 of Fig. 3
+  Tensor x = Tensor::from_rows({{2, 1}, {0, 3}, {1, 1}, {4, 0}, {1, 2}});
+  Tensor out = layer.forward(p, x);
+  // Hand-computed: F = X W = [[2,1,2],[0,3,0],[1,1,1],[4,0,4],[1,2,1]];
+  // row 0 of P = 1/3 (self + v1 + v2): (2+0+1)/3 = 1, (1+3+1)/3 = 5/3, ...
+  EXPECT_NEAR(out.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(out.at(0, 1), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(out.at(0, 2), 1.0, 1e-12);
+  // row 4 (sink): deg_hat = 1 -> its own features only.
+  EXPECT_NEAR(out.at(4, 0), 1.0, 1e-12);
+  EXPECT_NEAR(out.at(4, 1), 2.0, 1e-12);
+}
+
+TEST(GraphConvLayer, GradientsMatchNumericTanh) {
+  util::Rng rng(4);
+  nn::GraphConvLayer layer(3, 2, nn::Activation::Tanh, rng);
+  SparseMatrix p = chain_prop();
+  Tensor z = Tensor::uniform({3, 3}, rng, -1, 1);
+
+  const Tensor probe = layer.forward(p, z);
+  Tensor w = Tensor::uniform(probe.shape(), rng, -1, 1);
+  auto loss = [&](const Tensor& input) {
+    Tensor out = layer.forward(p, input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += w[i] * out[i];
+    return total;
+  };
+  layer.weight().zero_grad();
+  layer.forward(p, z);
+  Tensor analytic_in = layer.backward(w);
+  Tensor numeric_in = numeric_grad(loss, z);
+  for (std::size_t i = 0; i < analytic_in.size(); ++i) {
+    EXPECT_NEAR(analytic_in[i], numeric_in[i], 1e-6);
+  }
+  auto loss_w = [&](const Tensor& wv) {
+    const Tensor saved = layer.weight().value;
+    layer.weight().value = wv;
+    const double l = loss(z);
+    layer.weight().value = saved;
+    return l;
+  };
+  Tensor numeric_w = numeric_grad(loss_w, layer.weight().value);
+  for (std::size_t i = 0; i < numeric_w.size(); ++i) {
+    EXPECT_NEAR(layer.weight().grad[i], numeric_w[i], 1e-6);
+  }
+}
+
+TEST(GraphConvLayer, RejectsChannelMismatch) {
+  util::Rng rng(5);
+  nn::GraphConvLayer layer(2, 2, nn::Activation::ReLU, rng);
+  SparseMatrix p = chain_prop();
+  EXPECT_THROW(layer.forward(p, Tensor::zeros({3, 5})), std::invalid_argument);
+}
+
+TEST(GraphConvLayer, BackwardBeforeForwardThrows) {
+  util::Rng rng(6);
+  nn::GraphConvLayer layer(2, 2, nn::Activation::ReLU, rng);
+  EXPECT_THROW(layer.backward(Tensor::zeros({3, 2})), std::logic_error);
+}
+
+TEST(GraphConvStack, ConcatHasAllLayerChannels) {
+  util::Rng rng(7);
+  nn::GraphConvStack stack(11, {32, 16, 8}, nn::Activation::Tanh, rng);
+  EXPECT_EQ(stack.total_channels(), 56u);
+  EXPECT_EQ(stack.depth(), 3u);
+  SparseMatrix p = chain_prop();
+  Tensor x = Tensor::uniform({3, 11}, rng, 0, 1);
+  Tensor z = stack.forward(p, x);
+  EXPECT_EQ(z.dim(0), 3u);
+  EXPECT_EQ(z.dim(1), 56u);
+}
+
+TEST(GraphConvStack, GradientsMatchNumeric) {
+  util::Rng rng(8);
+  nn::GraphConvStack stack(2, {3, 2}, nn::Activation::Tanh, rng);
+  SparseMatrix p = chain_prop();
+  Tensor x = Tensor::uniform({3, 2}, rng, -1, 1);
+
+  const Tensor probe = stack.forward(p, x);
+  Tensor w = Tensor::uniform(probe.shape(), rng, -1, 1);
+  auto loss = [&](const Tensor& input) {
+    Tensor out = stack.forward(p, input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += w[i] * out[i];
+    return total;
+  };
+  for (auto* param : stack.parameters()) param->zero_grad();
+  stack.forward(p, x);
+  Tensor analytic_in = stack.backward(w);
+  Tensor numeric_in = numeric_grad(loss, x);
+  for (std::size_t i = 0; i < analytic_in.size(); ++i) {
+    EXPECT_NEAR(analytic_in[i], numeric_in[i], 1e-6) << "dX at " << i;
+  }
+  for (auto* param : stack.parameters()) {
+    auto loss_p = [&](const Tensor& v) {
+      const Tensor saved = param->value;
+      param->value = v;
+      const double l = loss(x);
+      param->value = saved;
+      return l;
+    };
+    Tensor numeric_p = numeric_grad(loss_p, param->value);
+    for (std::size_t i = 0; i < numeric_p.size(); ++i) {
+      EXPECT_NEAR(param->grad[i], numeric_p[i], 1e-6) << param->name << " at " << i;
+    }
+  }
+}
+
+TEST(GraphConvStack, RejectsEmptyChannels) {
+  util::Rng rng(9);
+  EXPECT_THROW(nn::GraphConvStack(2, {}, nn::Activation::ReLU, rng),
+               std::invalid_argument);
+}
+
+TEST(GraphConvStack, IsolatedVerticesKeepOwnFeatures) {
+  // With no edges, propagation is identity; one Identity-activation layer
+  // reduces to Z W exactly.
+  util::Rng rng(10);
+  nn::GraphConvStack stack(2, {2}, nn::Activation::Identity, rng);
+  SparseMatrix p = SparseMatrix::propagation_operator({{}, {}, {}});
+  Tensor x = Tensor::uniform({3, 2}, rng, -1, 1);
+  Tensor expected = tensor::matmul(x, stack.parameters()[0]->value);
+  EXPECT_TRUE(tensor::allclose(stack.forward(p, x), expected, 1e-12));
+}
+
+}  // namespace
+}  // namespace magic::testing

@@ -1,0 +1,109 @@
+#include "nn/sort_pooling.hpp"
+
+#include <algorithm>
+
+#include "test_util.hpp"
+
+namespace magic::testing {
+namespace {
+
+TEST(SortPooling, SortsByLastChannelDescending) {
+  nn::SortPooling pool(3);
+  Tensor z = Tensor::from_rows({{1, 0.2}, {2, 0.9}, {3, 0.5}});
+  Tensor out = pool.forward(z);
+  EXPECT_EQ(out.at(0, 1), 0.9);
+  EXPECT_EQ(out.at(1, 1), 0.5);
+  EXPECT_EQ(out.at(2, 1), 0.2);
+  // First channel follows its row.
+  EXPECT_EQ(out.at(0, 0), 2.0);
+}
+
+TEST(SortPooling, TiesBrokenByEarlierChannels) {
+  // Paper §III-A3: "If there are ties on the last layer's output, sorting
+  // continues by using the second last layer's output".
+  nn::SortPooling pool(3);
+  Tensor z = Tensor::from_rows({{1, 5}, {9, 5}, {4, 5}});
+  Tensor out = pool.forward(z);
+  EXPECT_EQ(out.at(0, 0), 9.0);
+  EXPECT_EQ(out.at(1, 0), 4.0);
+  EXPECT_EQ(out.at(2, 0), 1.0);
+}
+
+TEST(SortPooling, TruncatesLargeGraphs) {
+  // Fig. 4: k = 3 on a 5-vertex graph discards the two smallest rows.
+  nn::SortPooling pool(3);
+  Tensor z = Tensor::from_rows({{0, 1}, {0, 5}, {0, 3}, {0, 2}, {0, 4}});
+  Tensor out = pool.forward(z);
+  EXPECT_EQ(out.dim(0), 3u);
+  EXPECT_EQ(out.at(0, 1), 5.0);
+  EXPECT_EQ(out.at(1, 1), 4.0);
+  EXPECT_EQ(out.at(2, 1), 3.0);
+}
+
+TEST(SortPooling, PadsSmallGraphsWithZeros) {
+  nn::SortPooling pool(4);
+  Tensor z = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor out = pool.forward(z);
+  EXPECT_EQ(out.dim(0), 4u);
+  EXPECT_EQ(out.at(2, 0), 0.0);
+  EXPECT_EQ(out.at(3, 1), 0.0);
+}
+
+TEST(SortPooling, PermutationInvariance) {
+  // Row order of the input must not affect the pooled output (DESIGN.md
+  // invariant; this is what makes the representation graph-isomorphic
+  // under vertex reordering).
+  nn::SortPooling pool(3);
+  util::Rng rng(1);
+  Tensor z = Tensor::uniform({6, 4}, rng, -1, 1);
+  Tensor out1 = pool.forward(z);
+
+  std::vector<std::size_t> perm = {3, 0, 5, 1, 4, 2};
+  Tensor shuffled({6, 4});
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) shuffled.at(i, j) = z.at(perm[i], j);
+  }
+  Tensor out2 = pool.forward(shuffled);
+  EXPECT_TRUE(tensor::allclose(out1, out2, 0.0));
+}
+
+TEST(SortPooling, BackwardRoutesToKeptRows) {
+  nn::SortPooling pool(2);
+  Tensor z = Tensor::from_rows({{0, 1}, {0, 9}, {0, 5}});
+  pool.forward(z);
+  Tensor g = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor gin = pool.backward(g);
+  // Row 1 (value 9) got the first output row; row 2 (value 5) the second.
+  EXPECT_EQ(gin.at(1, 0), 1.0);
+  EXPECT_EQ(gin.at(1, 1), 2.0);
+  EXPECT_EQ(gin.at(2, 0), 3.0);
+  EXPECT_EQ(gin.at(0, 0), 0.0);  // truncated row receives nothing
+}
+
+TEST(SortPooling, GradientsMatchNumeric) {
+  util::Rng rng(2);
+  nn::SortPooling pool(3);
+  check_module_gradients(pool, Tensor::uniform({5, 3}, rng, -1, 1), rng);
+}
+
+TEST(SortPooling, GradientsMatchNumericWithPadding) {
+  util::Rng rng(3);
+  nn::SortPooling pool(6);
+  check_module_gradients(pool, Tensor::uniform({3, 2}, rng, -1, 1), rng);
+}
+
+TEST(SortPooling, RejectsZeroK) {
+  EXPECT_THROW(nn::SortPooling(0), std::invalid_argument);
+}
+
+TEST(SortPooling, OrderExposesChosenPermutation) {
+  nn::SortPooling pool(2);
+  Tensor z = Tensor::from_rows({{0, 1}, {0, 3}, {0, 2}});
+  pool.forward(z);
+  ASSERT_GE(pool.order().size(), 2u);
+  EXPECT_EQ(pool.order()[0], 1u);
+  EXPECT_EQ(pool.order()[1], 2u);
+}
+
+}  // namespace
+}  // namespace magic::testing

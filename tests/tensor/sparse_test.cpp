@@ -1,0 +1,151 @@
+#include "tensor/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace magic::tensor {
+namespace {
+
+TEST(SparseMatrix, ToDenseMatchesTriplets) {
+  SparseMatrix m(2, 3, {{0, 1, 2.0}, {1, 0, -1.0}, {1, 2, 4.0}});
+  Tensor d = m.to_dense();
+  EXPECT_EQ(d.at(0, 1), 2.0);
+  EXPECT_EQ(d.at(1, 0), -1.0);
+  EXPECT_EQ(d.at(1, 2), 4.0);
+  EXPECT_EQ(d.at(0, 0), 0.0);
+  EXPECT_EQ(m.nnz(), 3u);
+}
+
+TEST(SparseMatrix, DuplicateTripletsAccumulate) {
+  SparseMatrix m(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.at(0, 0), 4.0);
+}
+
+TEST(SparseMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix(2, 2, {{2, 0, 1.0}}), std::out_of_range);
+  EXPECT_THROW(SparseMatrix(2, 2, {{0, 2, 1.0}}), std::out_of_range);
+}
+
+TEST(SparseMatrix, EmptyRowsHandled) {
+  SparseMatrix m(4, 4, {{3, 3, 1.0}});
+  Tensor x = Tensor::ones({4, 2});
+  Tensor y = m.multiply(x);
+  EXPECT_EQ(y.at(0, 0), 0.0);
+  EXPECT_EQ(y.at(3, 1), 1.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  util::Rng rng(2);
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < 6; ++i) {
+    triplets.push_back({static_cast<std::size_t>(rng.uniform_int(0, 4)),
+                        static_cast<std::size_t>(rng.uniform_int(0, 4)),
+                        rng.uniform(-1.0, 1.0)});
+  }
+  SparseMatrix m(5, 5, triplets);
+  Tensor x = Tensor::uniform({5, 3}, rng, -1, 1);
+  EXPECT_TRUE(allclose(m.multiply(x), matmul(m.to_dense(), x), 1e-12));
+}
+
+TEST(SparseMatrix, MultiplyTransposedMatchesDense) {
+  util::Rng rng(9);
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < 8; ++i) {
+    triplets.push_back({static_cast<std::size_t>(rng.uniform_int(0, 3)),
+                        static_cast<std::size_t>(rng.uniform_int(0, 5)),
+                        rng.uniform(-1.0, 1.0)});
+  }
+  SparseMatrix m(4, 6, triplets);
+  Tensor x = Tensor::uniform({4, 2}, rng, -1, 1);
+  EXPECT_TRUE(allclose(m.multiply_transposed(x),
+                       matmul(transpose(m.to_dense()), x), 1e-12));
+}
+
+TEST(SparseMatrix, MultiplyRejectsShapeMismatch) {
+  SparseMatrix m(2, 3, {});
+  EXPECT_THROW(m.multiply(Tensor::zeros({2, 1})), std::invalid_argument);
+  EXPECT_THROW(m.multiply_transposed(Tensor::zeros({3, 1})), std::invalid_argument);
+}
+
+TEST(SparseMatrix, AtLookup) {
+  SparseMatrix m(2, 2, {{0, 1, 3.0}});
+  EXPECT_EQ(m.at(0, 1), 3.0);
+  EXPECT_EQ(m.at(1, 1), 0.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+}
+
+// --- propagation operator D^-1 (A + I) ------------------------------------
+
+TEST(PropagationOperator, RowsSumToOne) {
+  // Graph: 0 -> {1, 2}, 1 -> {2}, 2 -> {}.
+  std::vector<std::vector<std::size_t>> adj = {{1, 2}, {2}, {}};
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  Tensor d = p.to_dense();
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) row_sum += d.at(i, j);
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(PropagationOperator, WeightsAreInverseAugmentedDegree) {
+  std::vector<std::vector<std::size_t>> adj = {{1, 2}, {2}, {}};
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  // Vertex 0: degree_hat = 3 -> each weight 1/3 (self + 2 neighbors).
+  EXPECT_NEAR(p.at(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.at(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.at(0, 2), 1.0 / 3.0, 1e-12);
+  // Vertex 2: isolated sink -> self weight 1.
+  EXPECT_NEAR(p.at(2, 2), 1.0, 1e-12);
+}
+
+TEST(PropagationOperator, ConstantChannelIsFixedPoint) {
+  // Row-stochasticity implies P * 1 = 1: a constant attribute channel stays
+  // constant before weight mixing (DESIGN.md invariant).
+  std::vector<std::vector<std::size_t>> adj = {{1}, {2, 3}, {0}, {}};
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  Tensor ones = Tensor::ones({4, 1});
+  EXPECT_TRUE(allclose(p.multiply(ones), ones, 1e-12));
+}
+
+TEST(PropagationOperator, SelfLoopGraphIdentityRows) {
+  std::vector<std::vector<std::size_t>> adj = {{}, {}};
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  EXPECT_TRUE(allclose(p.to_dense(), Tensor::from_rows({{1, 0}, {0, 1}}), 1e-12));
+}
+
+TEST(PropagationOperator, RejectsOutOfRangeEdge) {
+  std::vector<std::vector<std::size_t>> adj = {{5}};
+  EXPECT_THROW(SparseMatrix::propagation_operator(adj), std::out_of_range);
+}
+
+TEST(AugmentedAdjacency, UnnormalizedEntriesAreOnes) {
+  std::vector<std::vector<std::size_t>> adj = {{1, 2}, {2}, {}};
+  SparseMatrix a = SparseMatrix::augmented_adjacency(adj);
+  EXPECT_EQ(a.at(0, 0), 1.0);
+  EXPECT_EQ(a.at(0, 1), 1.0);
+  EXPECT_EQ(a.at(0, 2), 1.0);
+  EXPECT_EQ(a.at(1, 0), 0.0);
+  EXPECT_EQ(a.at(2, 2), 1.0);
+  EXPECT_THROW(SparseMatrix::augmented_adjacency({{9}}), std::out_of_range);
+}
+
+TEST(AugmentedAdjacency, RelatesToPropagationByDegreeScaling) {
+  std::vector<std::vector<std::size_t>> adj = {{1}, {0, 1}};
+  // Vertex 1 has a self-edge in the graph plus the augmentation self-loop.
+  SparseMatrix a = SparseMatrix::augmented_adjacency(adj);
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  EXPECT_NEAR(p.at(0, 1) * 2.0, a.at(0, 1), 1e-12);   // deg_hat(0) = 2
+  EXPECT_NEAR(p.at(1, 0) * 3.0, a.at(1, 0), 1e-12);   // deg_hat(1) = 3
+}
+
+TEST(PropagationOperator, ParallelEdgesIncreaseWeight) {
+  // Two parallel edges 0 -> 1: A_hat row = [1, 2], deg_hat = 3.
+  std::vector<std::vector<std::size_t>> adj = {{1, 1}, {}};
+  SparseMatrix p = SparseMatrix::propagation_operator(adj);
+  EXPECT_NEAR(p.at(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.at(0, 1), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace magic::tensor

@@ -1,0 +1,124 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace magic::tensor {
+namespace {
+
+TEST(TensorOps, MatmulMatchesHandComputation) {
+  Tensor a = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor b = Tensor::from_rows({{5, 6}, {7, 8}});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0);
+  EXPECT_EQ(c.at(0, 1), 22.0);
+  EXPECT_EQ(c.at(1, 0), 43.0);
+  EXPECT_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(TensorOps, MatmulNonSquare) {
+  Tensor a = Tensor::from_rows({{1, 0, 2}});       // 1x3
+  Tensor b = Tensor::from_rows({{1}, {2}, {3}});   // 3x1
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.dim(0), 1u);
+  EXPECT_EQ(c.dim(1), 1u);
+  EXPECT_EQ(c[0], 7.0);
+}
+
+TEST(TensorOps, MatmulRejectsBadShapes) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({2, 3});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul(a.reshape({6}), a), std::invalid_argument);
+}
+
+TEST(TensorOps, MatmulIdentity) {
+  util::Rng rng(3);
+  Tensor a = Tensor::uniform({4, 4}, rng, -1, 1);
+  Tensor eye = Tensor::zeros({4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0;
+  EXPECT_TRUE(allclose(matmul(a, eye), a, 1e-12));
+  EXPECT_TRUE(allclose(matmul(eye, a), a, 1e-12));
+}
+
+TEST(TensorOps, TransposeInvolution) {
+  util::Rng rng(4);
+  Tensor a = Tensor::uniform({3, 5}, rng, -1, 1);
+  EXPECT_TRUE(allclose(transpose(transpose(a)), a, 0.0));
+  EXPECT_EQ(transpose(a).dim(0), 5u);
+  EXPECT_EQ(transpose(a).at(4, 2), a.at(2, 4));
+}
+
+TEST(TensorOps, SumMeanMaxArgmaxNorm) {
+  Tensor t = Tensor::from_rows({{1, -2}, {3, 0}});
+  EXPECT_EQ(sum(t), 2.0);
+  EXPECT_EQ(mean(t), 0.5);
+  EXPECT_EQ(max(t), 3.0);
+  EXPECT_EQ(argmax(t), 2u);
+  EXPECT_NEAR(norm(t), std::sqrt(14.0), 1e-12);
+}
+
+TEST(TensorOps, ArgmaxFirstOnTies) {
+  Tensor t(Shape{3}, {5.0, 5.0, 1.0});
+  EXPECT_EQ(argmax(t), 0u);
+}
+
+TEST(TensorOps, RowExtraction) {
+  Tensor t = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor r = row(t, 1);
+  EXPECT_EQ(r.rank(), 1u);
+  EXPECT_EQ(r.at(1), 4.0);
+  EXPECT_THROW(row(t, 2), std::out_of_range);
+}
+
+TEST(TensorOps, ConcatCols) {
+  Tensor a = Tensor::from_rows({{1}, {2}});
+  Tensor b = Tensor::from_rows({{3, 4}, {5, 6}});
+  Tensor c = concat_cols({a, b});
+  EXPECT_EQ(c.dim(0), 2u);
+  EXPECT_EQ(c.dim(1), 3u);
+  EXPECT_EQ(c.at(0, 0), 1.0);
+  EXPECT_EQ(c.at(0, 2), 4.0);
+  EXPECT_EQ(c.at(1, 1), 5.0);
+}
+
+TEST(TensorOps, ConcatColsRejectsRowMismatch) {
+  EXPECT_THROW(concat_cols({Tensor::zeros({2, 1}), Tensor::zeros({3, 1})}),
+               std::invalid_argument);
+}
+
+TEST(TensorOps, ConcatRows) {
+  Tensor a = Tensor::from_rows({{1, 2}});
+  Tensor b = Tensor::from_rows({{3, 4}, {5, 6}});
+  Tensor c = concat_rows({a, b});
+  EXPECT_EQ(c.dim(0), 3u);
+  EXPECT_EQ(c.at(2, 1), 6.0);
+}
+
+TEST(TensorOps, MapAppliesElementwise) {
+  Tensor t = Tensor::from_rows({{1, 4}});
+  Tensor sq = map(t, [](double x) { return x * x; });
+  EXPECT_EQ(sq[1], 16.0);
+}
+
+TEST(TensorOps, AllcloseToleranceBehaviour) {
+  Tensor a = Tensor::from_rows({{1.0}});
+  Tensor b = Tensor::from_rows({{1.0 + 1e-10}});
+  EXPECT_TRUE(allclose(a, b, 1e-9));
+  EXPECT_FALSE(allclose(a, b, 1e-11));
+  EXPECT_FALSE(allclose(a, Tensor::zeros({2, 1})));
+}
+
+TEST(TensorOps, BinaryOperators) {
+  Tensor a = Tensor::from_rows({{1, 2}});
+  Tensor b = Tensor::from_rows({{3, 5}});
+  EXPECT_EQ((a + b)[1], 7.0);
+  EXPECT_EQ((b - a)[0], 2.0);
+  EXPECT_EQ((a * 3.0)[1], 6.0);
+  EXPECT_EQ((2.0 * b)[0], 6.0);
+  EXPECT_EQ(hadamard(a, b)[1], 10.0);
+}
+
+}  // namespace
+}  // namespace magic::tensor

@@ -1,0 +1,112 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace magic::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], 0.0);
+}
+
+TEST(Tensor, ZerosShapeAndContents) {
+  Tensor t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0);
+}
+
+TEST(Tensor, FullAndOnes) {
+  EXPECT_EQ(Tensor::ones({4})[3], 1.0);
+  EXPECT_EQ(Tensor::full({2, 2}, -2.5)[0], -2.5);
+}
+
+TEST(Tensor, FromRows) {
+  Tensor t = Tensor::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.at(1, 2), 6.0);
+}
+
+TEST(Tensor, FromRowsRejectsRagged) {
+  EXPECT_THROW(Tensor::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsRankAboveFour) {
+  EXPECT_THROW(Tensor(Shape{1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, DataSizeMustMatchShape) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Tensor, CheckedAccessors) {
+  Tensor t3 = Tensor::zeros({2, 3, 4});
+  t3.at(1, 2, 3) = 9.0;
+  EXPECT_EQ(t3.at(1, 2, 3), 9.0);
+  EXPECT_THROW(t3.at(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(t3.at(0, 0), std::out_of_range);  // wrong rank
+
+  Tensor t4 = Tensor::zeros({2, 2, 2, 2});
+  t4.at(1, 1, 1, 1) = 5.0;
+  EXPECT_EQ(t4.at(1, 1, 1, 1), 5.0);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t = Tensor::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(t[0], 1.0);
+  EXPECT_EQ(t[1], 2.0);
+  EXPECT_EQ(t[2], 3.0);
+  EXPECT_EQ(t[3], 4.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_rows({{1, 2, 3}, {4, 5, 6}});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0);
+  EXPECT_THROW(t.reshape({5}), std::invalid_argument);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a = Tensor::from_rows({{1, 2}});
+  Tensor b = Tensor::from_rows({{3, 4}});
+  a += b;
+  EXPECT_EQ(a[0], 4.0);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0);
+  a *= 2.0;
+  EXPECT_EQ(a[0], 2.0);
+  a.mul_(b);  // {2,4} ⊙ {3,4} = {6,16}
+  EXPECT_EQ(a[0], 6.0);
+  a.add_scaled_(b, 0.5);  // {6+1.5, 16+2}
+  EXPECT_EQ(a[0], 7.5);
+  EXPECT_EQ(a[1], 18.0);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({2});
+  Tensor b = Tensor::zeros({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.mul_(b), std::invalid_argument);
+}
+
+TEST(Tensor, UniformFactoryBounds) {
+  util::Rng rng(5);
+  Tensor t = Tensor::uniform({100}, rng, -1.0, 1.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -1.0);
+    EXPECT_LT(t[i], 1.0);
+  }
+}
+
+TEST(Tensor, DescribeFormatsShape) {
+  EXPECT_EQ(Tensor::zeros({3, 4}).describe(), "Tensor[3x4]");
+}
+
+}  // namespace
+}  // namespace magic::tensor

@@ -1,0 +1,79 @@
+#pragma once
+// Shared test helpers: numerical gradient checking for nn modules and a few
+// fixture builders.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace magic::testing {
+
+using nn::Tensor;
+
+/// Central-difference numerical gradient of scalar(x) at x.
+inline Tensor numeric_grad(const std::function<double(const Tensor&)>& scalar,
+                           const Tensor& x, double eps = 1e-5) {
+  Tensor grad = Tensor::zeros(x.shape());
+  Tensor probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double orig = probe[i];
+    probe[i] = orig + eps;
+    const double hi = scalar(probe);
+    probe[i] = orig - eps;
+    const double lo = scalar(probe);
+    probe[i] = orig;
+    grad[i] = (hi - lo) / (2.0 * eps);
+  }
+  return grad;
+}
+
+/// Checks a module's input gradient and parameter gradients against
+/// numerical differentiation using the scalar loss L = sum(w ⊙ f(x)) for a
+/// fixed random weighting w (so every output element participates).
+///
+/// Requires a *deterministic* module (run dropout in eval mode).
+inline void check_module_gradients(nn::Module& module, const Tensor& input,
+                                   util::Rng& rng, double tol = 1e-6,
+                                   double eps = 1e-5) {
+  const Tensor probe_out = module.forward(input);
+  const Tensor w = Tensor::uniform(probe_out.shape(), rng, -1.0, 1.0);
+
+  auto loss_for_input = [&](const Tensor& x) {
+    const Tensor out = module.forward(x);
+    double total = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) total += w[i] * out[i];
+    return total;
+  };
+
+  // Analytic gradients.
+  module.zero_grad();
+  module.forward(input);
+  const Tensor grad_in = module.backward(w);
+
+  const Tensor num_in = numeric_grad(loss_for_input, input, eps);
+  ASSERT_EQ(grad_in.shape(), num_in.shape());
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    EXPECT_NEAR(grad_in[i], num_in[i], tol) << "input grad mismatch at " << i;
+  }
+
+  for (nn::Parameter* p : module.parameters()) {
+    auto loss_for_param = [&](const Tensor& v) {
+      const Tensor saved = p->value;
+      p->value = v;
+      const double loss = loss_for_input(input);
+      p->value = saved;
+      return loss;
+    };
+    const Tensor num_p = numeric_grad(loss_for_param, p->value, eps);
+    for (std::size_t i = 0; i < num_p.size(); ++i) {
+      EXPECT_NEAR(p->grad[i], num_p[i], tol)
+          << "param " << p->name << " grad mismatch at " << i;
+    }
+  }
+}
+
+}  // namespace magic::testing

@@ -1,0 +1,151 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magic::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next() != b.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of {2,3,4,5} should appear
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsZero) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(37);
+  Rng child = parent.split();
+  // The child stream should not replay the parent's output.
+  Rng parent_copy(37);
+  parent_copy.split();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= (child.next() != parent_copy.next());
+  // Identical construction path -> identical child; different from parent.
+  Rng parent2(37);
+  Rng child2 = parent2.split();
+  Rng parent3(37);
+  Rng child3 = parent3.split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child2.next(), child3.next());
+  (void)differs;
+}
+
+TEST(Rng, PositiveCountAtLeastOne) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.positive_count(4.0), 1);
+  // mean <= 1 always returns exactly 1.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.positive_count(0.5), 1);
+}
+
+TEST(Rng, PositiveCountMeanRoughlyMatches) {
+  // positive_count(m) = 1 + floor(Exp(m - 1)); E[floor(Exp(lambda))] is
+  // roughly lambda - 0.5, so the expected mean is about m - 0.5.
+  Rng rng(43);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.positive_count(6.0));
+  EXPECT_NEAR(total / n, 5.5, 0.3);
+}
+
+}  // namespace
+}  // namespace magic::util
