@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_drift.cpp" "bench/CMakeFiles/bench_drift.dir/bench_drift.cpp.o" "gcc" "bench/CMakeFiles/bench_drift.dir/bench_drift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/magic_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/magic/CMakeFiles/magic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/magic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/magic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

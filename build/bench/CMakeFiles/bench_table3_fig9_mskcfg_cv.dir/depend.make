@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_fig9_mskcfg_cv.
+# This may be replaced when dependencies are built.

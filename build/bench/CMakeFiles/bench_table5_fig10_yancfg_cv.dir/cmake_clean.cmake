@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig10_yancfg_cv.dir/bench_table5_fig10_yancfg_cv.cpp.o"
+  "CMakeFiles/bench_table5_fig10_yancfg_cv.dir/bench_table5_fig10_yancfg_cv.cpp.o.d"
+  "bench_table5_fig10_yancfg_cv"
+  "bench_table5_fig10_yancfg_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig10_yancfg_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

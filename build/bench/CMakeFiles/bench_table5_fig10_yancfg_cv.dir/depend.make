@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_fig10_yancfg_cv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/magic_bench_util.dir/bench_util.cpp.o.d"
+  "libmagic_bench_util.a"
+  "libmagic_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_explorer.dir/cfg_explorer.cpp.o"
+  "CMakeFiles/cfg_explorer.dir/cfg_explorer.cpp.o.d"
+  "cfg_explorer"
+  "cfg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_verdict.dir/explain_verdict.cpp.o"
+  "CMakeFiles/explain_verdict.dir/explain_verdict.cpp.o.d"
+  "explain_verdict"
+  "explain_verdict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_verdict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acfg/acfg.cpp" "src/acfg/CMakeFiles/magic_acfg.dir/acfg.cpp.o" "gcc" "src/acfg/CMakeFiles/magic_acfg.dir/acfg.cpp.o.d"
+  "/root/repo/src/acfg/attributes.cpp" "src/acfg/CMakeFiles/magic_acfg.dir/attributes.cpp.o" "gcc" "src/acfg/CMakeFiles/magic_acfg.dir/attributes.cpp.o.d"
+  "/root/repo/src/acfg/extractor.cpp" "src/acfg/CMakeFiles/magic_acfg.dir/extractor.cpp.o" "gcc" "src/acfg/CMakeFiles/magic_acfg.dir/extractor.cpp.o.d"
+  "/root/repo/src/acfg/serialization.cpp" "src/acfg/CMakeFiles/magic_acfg.dir/serialization.cpp.o" "gcc" "src/acfg/CMakeFiles/magic_acfg.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

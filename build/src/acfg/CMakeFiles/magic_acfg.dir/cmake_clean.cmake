@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_acfg.dir/acfg.cpp.o"
+  "CMakeFiles/magic_acfg.dir/acfg.cpp.o.d"
+  "CMakeFiles/magic_acfg.dir/attributes.cpp.o"
+  "CMakeFiles/magic_acfg.dir/attributes.cpp.o.d"
+  "CMakeFiles/magic_acfg.dir/extractor.cpp.o"
+  "CMakeFiles/magic_acfg.dir/extractor.cpp.o.d"
+  "CMakeFiles/magic_acfg.dir/serialization.cpp.o"
+  "CMakeFiles/magic_acfg.dir/serialization.cpp.o.d"
+  "libmagic_acfg.a"
+  "libmagic_acfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_acfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmx/instruction.cpp" "src/asmx/CMakeFiles/magic_asmx.dir/instruction.cpp.o" "gcc" "src/asmx/CMakeFiles/magic_asmx.dir/instruction.cpp.o.d"
+  "/root/repo/src/asmx/opcode_table.cpp" "src/asmx/CMakeFiles/magic_asmx.dir/opcode_table.cpp.o" "gcc" "src/asmx/CMakeFiles/magic_asmx.dir/opcode_table.cpp.o.d"
+  "/root/repo/src/asmx/parser.cpp" "src/asmx/CMakeFiles/magic_asmx.dir/parser.cpp.o" "gcc" "src/asmx/CMakeFiles/magic_asmx.dir/parser.cpp.o.d"
+  "/root/repo/src/asmx/tagging.cpp" "src/asmx/CMakeFiles/magic_asmx.dir/tagging.cpp.o" "gcc" "src/asmx/CMakeFiles/magic_asmx.dir/tagging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

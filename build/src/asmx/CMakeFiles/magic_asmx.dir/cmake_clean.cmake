@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_asmx.dir/instruction.cpp.o"
+  "CMakeFiles/magic_asmx.dir/instruction.cpp.o.d"
+  "CMakeFiles/magic_asmx.dir/opcode_table.cpp.o"
+  "CMakeFiles/magic_asmx.dir/opcode_table.cpp.o.d"
+  "CMakeFiles/magic_asmx.dir/parser.cpp.o"
+  "CMakeFiles/magic_asmx.dir/parser.cpp.o.d"
+  "CMakeFiles/magic_asmx.dir/tagging.cpp.o"
+  "CMakeFiles/magic_asmx.dir/tagging.cpp.o.d"
+  "libmagic_asmx.a"
+  "libmagic_asmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_asmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

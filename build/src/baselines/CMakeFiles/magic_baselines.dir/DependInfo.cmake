@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autoencoder.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/autoencoder.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/baselines/gbdt.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/gbdt.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/gbdt.cpp.o.d"
+  "/root/repo/src/baselines/ngram.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/ngram.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/ngram.cpp.o.d"
+  "/root/repo/src/baselines/random_forest.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/random_forest.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/random_forest.cpp.o.d"
+  "/root/repo/src/baselines/scaler.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/scaler.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/scaler.cpp.o.d"
+  "/root/repo/src/baselines/svm.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/svm.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/svm.cpp.o.d"
+  "/root/repo/src/baselines/tree.cpp" "src/baselines/CMakeFiles/magic_baselines.dir/tree.cpp.o" "gcc" "src/baselines/CMakeFiles/magic_baselines.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_baselines.dir/autoencoder.cpp.o"
+  "CMakeFiles/magic_baselines.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/magic_baselines.dir/gbdt.cpp.o"
+  "CMakeFiles/magic_baselines.dir/gbdt.cpp.o.d"
+  "CMakeFiles/magic_baselines.dir/ngram.cpp.o"
+  "CMakeFiles/magic_baselines.dir/ngram.cpp.o.d"
+  "CMakeFiles/magic_baselines.dir/random_forest.cpp.o"
+  "CMakeFiles/magic_baselines.dir/random_forest.cpp.o.d"
+  "CMakeFiles/magic_baselines.dir/scaler.cpp.o"
+  "CMakeFiles/magic_baselines.dir/scaler.cpp.o.d"
+  "CMakeFiles/magic_baselines.dir/svm.cpp.o"
+  "CMakeFiles/magic_baselines.dir/svm.cpp.o.d"
+  "CMakeFiles/magic_baselines.dir/tree.cpp.o"
+  "CMakeFiles/magic_baselines.dir/tree.cpp.o.d"
+  "libmagic_baselines.a"
+  "libmagic_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg.cpp" "src/cfg/CMakeFiles/magic_cfg.dir/cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/magic_cfg.dir/cfg.cpp.o.d"
+  "/root/repo/src/cfg/cfg_builder.cpp" "src/cfg/CMakeFiles/magic_cfg.dir/cfg_builder.cpp.o" "gcc" "src/cfg/CMakeFiles/magic_cfg.dir/cfg_builder.cpp.o.d"
+  "/root/repo/src/cfg/graph_algo.cpp" "src/cfg/CMakeFiles/magic_cfg.dir/graph_algo.cpp.o" "gcc" "src/cfg/CMakeFiles/magic_cfg.dir/graph_algo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/magic_cfg.dir/cfg.cpp.o.d"
+  "CMakeFiles/magic_cfg.dir/cfg_builder.cpp.o"
+  "CMakeFiles/magic_cfg.dir/cfg_builder.cpp.o.d"
+  "CMakeFiles/magic_cfg.dir/graph_algo.cpp.o"
+  "CMakeFiles/magic_cfg.dir/graph_algo.cpp.o.d"
+  "libmagic_cfg.a"
+  "libmagic_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_data.dir/corpus.cpp.o"
+  "CMakeFiles/magic_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/magic_data.dir/dataset.cpp.o"
+  "CMakeFiles/magic_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/magic_data.dir/program_generator.cpp.o"
+  "CMakeFiles/magic_data.dir/program_generator.cpp.o.d"
+  "libmagic_data.a"
+  "libmagic_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

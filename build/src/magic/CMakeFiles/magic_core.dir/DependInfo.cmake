@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/magic/classifier.cpp" "src/magic/CMakeFiles/magic_core.dir/classifier.cpp.o" "gcc" "src/magic/CMakeFiles/magic_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/magic/cross_validation.cpp" "src/magic/CMakeFiles/magic_core.dir/cross_validation.cpp.o" "gcc" "src/magic/CMakeFiles/magic_core.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/magic/dgcnn.cpp" "src/magic/CMakeFiles/magic_core.dir/dgcnn.cpp.o" "gcc" "src/magic/CMakeFiles/magic_core.dir/dgcnn.cpp.o.d"
+  "/root/repo/src/magic/hyperparam.cpp" "src/magic/CMakeFiles/magic_core.dir/hyperparam.cpp.o" "gcc" "src/magic/CMakeFiles/magic_core.dir/hyperparam.cpp.o.d"
+  "/root/repo/src/magic/model_io.cpp" "src/magic/CMakeFiles/magic_core.dir/model_io.cpp.o" "gcc" "src/magic/CMakeFiles/magic_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/magic/trainer.cpp" "src/magic/CMakeFiles/magic_core.dir/trainer.cpp.o" "gcc" "src/magic/CMakeFiles/magic_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/magic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_core.dir/classifier.cpp.o"
+  "CMakeFiles/magic_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/magic_core.dir/cross_validation.cpp.o"
+  "CMakeFiles/magic_core.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/magic_core.dir/dgcnn.cpp.o"
+  "CMakeFiles/magic_core.dir/dgcnn.cpp.o.d"
+  "CMakeFiles/magic_core.dir/hyperparam.cpp.o"
+  "CMakeFiles/magic_core.dir/hyperparam.cpp.o.d"
+  "CMakeFiles/magic_core.dir/model_io.cpp.o"
+  "CMakeFiles/magic_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/magic_core.dir/trainer.cpp.o"
+  "CMakeFiles/magic_core.dir/trainer.cpp.o.d"
+  "libmagic_core.a"
+  "libmagic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

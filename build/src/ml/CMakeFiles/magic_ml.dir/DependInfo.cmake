@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/magic_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/magic_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/magic_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/magic_ml.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

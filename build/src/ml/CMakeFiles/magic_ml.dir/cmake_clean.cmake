@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_ml.dir/features.cpp.o"
+  "CMakeFiles/magic_ml.dir/features.cpp.o.d"
+  "CMakeFiles/magic_ml.dir/metrics.cpp.o"
+  "CMakeFiles/magic_ml.dir/metrics.cpp.o.d"
+  "libmagic_ml.a"
+  "libmagic_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/magic_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/adaptive_max_pool.cpp" "src/nn/CMakeFiles/magic_nn.dir/adaptive_max_pool.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/adaptive_max_pool.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/magic_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/magic_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/magic_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/graph_conv.cpp" "src/nn/CMakeFiles/magic_nn.dir/graph_conv.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/graph_conv.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/magic_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/magic_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/magic_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/max_pool1d.cpp" "src/nn/CMakeFiles/magic_nn.dir/max_pool1d.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/max_pool1d.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/magic_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/magic_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/sort_pooling.cpp" "src/nn/CMakeFiles/magic_nn.dir/sort_pooling.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/sort_pooling.cpp.o.d"
+  "/root/repo/src/nn/weighted_vertices.cpp" "src/nn/CMakeFiles/magic_nn.dir/weighted_vertices.cpp.o" "gcc" "src/nn/CMakeFiles/magic_nn.dir/weighted_vertices.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_nn.dir/activations.cpp.o"
+  "CMakeFiles/magic_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/adaptive_max_pool.cpp.o"
+  "CMakeFiles/magic_nn.dir/adaptive_max_pool.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/magic_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/magic_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/dropout.cpp.o"
+  "CMakeFiles/magic_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/graph_conv.cpp.o"
+  "CMakeFiles/magic_nn.dir/graph_conv.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/init.cpp.o"
+  "CMakeFiles/magic_nn.dir/init.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/linear.cpp.o"
+  "CMakeFiles/magic_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/loss.cpp.o"
+  "CMakeFiles/magic_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/max_pool1d.cpp.o"
+  "CMakeFiles/magic_nn.dir/max_pool1d.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/magic_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/sequential.cpp.o"
+  "CMakeFiles/magic_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/sort_pooling.cpp.o"
+  "CMakeFiles/magic_nn.dir/sort_pooling.cpp.o.d"
+  "CMakeFiles/magic_nn.dir/weighted_vertices.cpp.o"
+  "CMakeFiles/magic_nn.dir/weighted_vertices.cpp.o.d"
+  "libmagic_nn.a"
+  "libmagic_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_tensor.dir/sparse.cpp.o"
+  "CMakeFiles/magic_tensor.dir/sparse.cpp.o.d"
+  "CMakeFiles/magic_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/magic_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/magic_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/magic_tensor.dir/tensor_ops.cpp.o.d"
+  "libmagic_tensor.a"
+  "libmagic_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmagic_tensor.a"
+)

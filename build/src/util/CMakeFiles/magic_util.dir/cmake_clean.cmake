@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_util.dir/csv.cpp.o"
+  "CMakeFiles/magic_util.dir/csv.cpp.o.d"
+  "CMakeFiles/magic_util.dir/logging.cpp.o"
+  "CMakeFiles/magic_util.dir/logging.cpp.o.d"
+  "CMakeFiles/magic_util.dir/rng.cpp.o"
+  "CMakeFiles/magic_util.dir/rng.cpp.o.d"
+  "CMakeFiles/magic_util.dir/string_util.cpp.o"
+  "CMakeFiles/magic_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/magic_util.dir/table.cpp.o"
+  "CMakeFiles/magic_util.dir/table.cpp.o.d"
+  "CMakeFiles/magic_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/magic_util.dir/thread_pool.cpp.o.d"
+  "libmagic_util.a"
+  "libmagic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/autoencoder_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/autoencoder_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/autoencoder_test.cpp.o.d"
+  "/root/repo/tests/baselines/forest_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/forest_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/forest_test.cpp.o.d"
+  "/root/repo/tests/baselines/gbdt_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/gbdt_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/gbdt_test.cpp.o.d"
+  "/root/repo/tests/baselines/ngram_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/ngram_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/ngram_test.cpp.o.d"
+  "/root/repo/tests/baselines/svm_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/svm_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/svm_test.cpp.o.d"
+  "/root/repo/tests/baselines/tree_test.cpp" "tests/CMakeFiles/test_baselines.dir/baselines/tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/magic/CMakeFiles/magic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/magic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/magic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/magic/classifier_test.cpp" "tests/CMakeFiles/test_core.dir/magic/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/magic/classifier_test.cpp.o.d"
+  "/root/repo/tests/magic/dgcnn_test.cpp" "tests/CMakeFiles/test_core.dir/magic/dgcnn_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/magic/dgcnn_test.cpp.o.d"
+  "/root/repo/tests/magic/hyperparam_test.cpp" "tests/CMakeFiles/test_core.dir/magic/hyperparam_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/magic/hyperparam_test.cpp.o.d"
+  "/root/repo/tests/magic/model_io_test.cpp" "tests/CMakeFiles/test_core.dir/magic/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/magic/model_io_test.cpp.o.d"
+  "/root/repo/tests/magic/trainer_test.cpp" "tests/CMakeFiles/test_core.dir/magic/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/magic/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/magic/CMakeFiles/magic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/magic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/magic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

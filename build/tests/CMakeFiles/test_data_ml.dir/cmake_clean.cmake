@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_ml.dir/data/corpus_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/data/corpus_test.cpp.o.d"
+  "CMakeFiles/test_data_ml.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/test_data_ml.dir/data/drift_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/data/drift_test.cpp.o.d"
+  "CMakeFiles/test_data_ml.dir/data/family_sweep_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/data/family_sweep_test.cpp.o.d"
+  "CMakeFiles/test_data_ml.dir/data/generator_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/data/generator_test.cpp.o.d"
+  "CMakeFiles/test_data_ml.dir/ml/features_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/ml/features_test.cpp.o.d"
+  "CMakeFiles/test_data_ml.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/test_data_ml.dir/ml/metrics_test.cpp.o.d"
+  "test_data_ml"
+  "test_data_ml.pdb"
+  "test_data_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acfg/attributes_test.cpp" "tests/CMakeFiles/test_frontend.dir/acfg/attributes_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/acfg/attributes_test.cpp.o.d"
+  "/root/repo/tests/acfg/extractor_test.cpp" "tests/CMakeFiles/test_frontend.dir/acfg/extractor_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/acfg/extractor_test.cpp.o.d"
+  "/root/repo/tests/acfg/serialization_test.cpp" "tests/CMakeFiles/test_frontend.dir/acfg/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/acfg/serialization_test.cpp.o.d"
+  "/root/repo/tests/asmx/ida_format_test.cpp" "tests/CMakeFiles/test_frontend.dir/asmx/ida_format_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/asmx/ida_format_test.cpp.o.d"
+  "/root/repo/tests/asmx/opcode_test.cpp" "tests/CMakeFiles/test_frontend.dir/asmx/opcode_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/asmx/opcode_test.cpp.o.d"
+  "/root/repo/tests/asmx/parser_robustness_test.cpp" "tests/CMakeFiles/test_frontend.dir/asmx/parser_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/asmx/parser_robustness_test.cpp.o.d"
+  "/root/repo/tests/asmx/parser_test.cpp" "tests/CMakeFiles/test_frontend.dir/asmx/parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/asmx/parser_test.cpp.o.d"
+  "/root/repo/tests/asmx/tagging_test.cpp" "tests/CMakeFiles/test_frontend.dir/asmx/tagging_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/asmx/tagging_test.cpp.o.d"
+  "/root/repo/tests/cfg/cfg_builder_test.cpp" "tests/CMakeFiles/test_frontend.dir/cfg/cfg_builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/cfg/cfg_builder_test.cpp.o.d"
+  "/root/repo/tests/cfg/graph_algo_test.cpp" "tests/CMakeFiles/test_frontend.dir/cfg/graph_algo_test.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/cfg/graph_algo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/magic/CMakeFiles/magic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/magic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/magic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

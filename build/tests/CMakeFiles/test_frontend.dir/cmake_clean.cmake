@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/acfg/attributes_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/acfg/attributes_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/acfg/extractor_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/acfg/extractor_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/acfg/serialization_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/acfg/serialization_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/asmx/ida_format_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/asmx/ida_format_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/asmx/opcode_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/asmx/opcode_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/asmx/parser_robustness_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/asmx/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/asmx/parser_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/asmx/parser_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/asmx/tagging_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/asmx/tagging_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/cfg/cfg_builder_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/cfg/cfg_builder_test.cpp.o.d"
+  "CMakeFiles/test_frontend.dir/cfg/graph_algo_test.cpp.o"
+  "CMakeFiles/test_frontend.dir/cfg/graph_algo_test.cpp.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+  "test_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

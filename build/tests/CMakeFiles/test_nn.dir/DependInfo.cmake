@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activations_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/activations_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/activations_test.cpp.o.d"
+  "/root/repo/tests/nn/conv_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/conv_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/conv_test.cpp.o.d"
+  "/root/repo/tests/nn/dropout_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/graph_conv_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/graph_conv_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/graph_conv_test.cpp.o.d"
+  "/root/repo/tests/nn/linear_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/linear_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/linear_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/param_sweep_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/param_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/param_sweep_test.cpp.o.d"
+  "/root/repo/tests/nn/pooling_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/pooling_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/pooling_test.cpp.o.d"
+  "/root/repo/tests/nn/sequential_reshape_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/sequential_reshape_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/sequential_reshape_test.cpp.o.d"
+  "/root/repo/tests/nn/sort_pooling_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/sort_pooling_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/sort_pooling_test.cpp.o.d"
+  "/root/repo/tests/nn/weighted_vertices_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/weighted_vertices_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/weighted_vertices_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/magic/CMakeFiles/magic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/magic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/magic_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/magic_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/acfg/CMakeFiles/magic_acfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/magic_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/magic_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/magic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/magic_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/magic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

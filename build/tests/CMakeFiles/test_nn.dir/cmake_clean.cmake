@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/activations_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/activations_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/conv_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/conv_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/dropout_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/graph_conv_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/graph_conv_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/linear_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/linear_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/param_sweep_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/param_sweep_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/pooling_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/pooling_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/sequential_reshape_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/sequential_reshape_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/sort_pooling_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/sort_pooling_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/weighted_vertices_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/weighted_vertices_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
