@@ -1,0 +1,45 @@
+# Sanitizer wiring for the MAGIC_SANITIZE cache option.
+#
+# MAGIC_SANITIZE is a comma- or semicolon-separated subset of
+# {address, undefined, thread}; empty disables instrumentation.
+# `thread` cannot be combined with `address` (the runtimes conflict).
+#
+# Runtime suppression files live in .sanitizers/ and are exported to the
+# environment by scripts/check.sh, which drives the canonical
+# ASan+UBSan and TSan ctest runs.
+
+macro(magic_enable_sanitizers spec)
+  if(NOT "${spec}" STREQUAL "")
+    string(REPLACE "," ";" _magic_san_list "${spec}")
+    set(_magic_san_flags "")
+    set(_magic_san_has_address FALSE)
+    set(_magic_san_has_thread FALSE)
+    foreach(_magic_san IN LISTS _magic_san_list)
+      if(_magic_san STREQUAL "address")
+        set(_magic_san_has_address TRUE)
+        list(APPEND _magic_san_flags -fsanitize=address)
+      elseif(_magic_san STREQUAL "undefined")
+        # Recoverable off: any UB report fails the run, matching the
+        # zero-findings gate in scripts/check.sh.
+        list(APPEND _magic_san_flags -fsanitize=undefined -fno-sanitize-recover=all)
+      elseif(_magic_san STREQUAL "thread")
+        set(_magic_san_has_thread TRUE)
+        list(APPEND _magic_san_flags -fsanitize=thread)
+      else()
+        message(FATAL_ERROR
+          "MAGIC_SANITIZE: unknown sanitizer '${_magic_san}' "
+          "(expected address, undefined and/or thread)")
+      endif()
+    endforeach()
+    if(_magic_san_has_address AND _magic_san_has_thread)
+      message(FATAL_ERROR "MAGIC_SANITIZE: address and thread cannot be combined")
+    endif()
+    list(REMOVE_DUPLICATES _magic_san_flags)
+    # Frame pointers and debug info keep sanitizer stack traces usable at
+    # any optimisation level (check.sh builds RelWithDebInfo).
+    list(APPEND _magic_san_flags -fno-omit-frame-pointer -g)
+    add_compile_options(${_magic_san_flags})
+    add_link_options(${_magic_san_flags})
+    message(STATUS "magic: sanitizers enabled: ${spec}")
+  endif()
+endmacro()

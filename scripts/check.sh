@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# scripts/check.sh — build and run the full ctest suite under sanitizers.
+#
+# Configurations:
+#   asan  : AddressSanitizer + UndefinedBehaviorSanitizer (build-asan/)
+#   tsan  : ThreadSanitizer                                (build-tsan/)
+#
+# Usage:
+#   scripts/check.sh            # both configurations, full suite
+#   scripts/check.sh asan       # ASan+UBSan only
+#   scripts/check.sh tsan       # TSan only
+#
+# Environment knobs:
+#   JOBS=N            parallel build/test jobs (default: nproc)
+#   CTEST_ARGS="..."  extra ctest arguments (e.g. -R ThreadPool)
+#   BUILD_TYPE=...    CMake build type for instrumented trees (default
+#                     RelWithDebInfo: optimized enough to finish, debug
+#                     info for usable sanitizer stacks)
+#
+# Any sanitizer finding fails the run: UBSan is built with
+# -fno-sanitize-recover=all, ASan/TSan abort the offending test, and the
+# suppression files under .sanitizers/ are kept free of first-party entries.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
+CTEST_ARGS="${CTEST_ARGS:-}"
+
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1:check_initialization_order=1:detect_leaks=1"
+export LSAN_OPTIONS="suppressions=${ROOT}/.sanitizers/lsan.supp"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:suppressions=${ROOT}/.sanitizers/ubsan.supp"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=${ROOT}/.sanitizers/tsan.supp"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local build_dir="${ROOT}/build-${name}"
+  echo "==> [${name}] configure (MAGIC_SANITIZE=${sanitize})"
+  cmake -B "${build_dir}" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" \
+    -DMAGIC_SANITIZE="${sanitize}" \
+    -DMAGIC_CHECKED_BUILD=ON \
+    -DMAGIC_NATIVE_ARCH=OFF \
+    -DMAGIC_BUILD_BENCHES=OFF \
+    -DMAGIC_BUILD_EXAMPLES=OFF
+  echo "==> [${name}] build (-j${JOBS})"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "==> [${name}] ctest"
+  # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" ${CTEST_ARGS}
+  echo "==> [${name}] OK"
+}
+
+want="${1:-all}"
+case "${want}" in
+  asan) run_config asan "address,undefined" ;;
+  tsan) run_config tsan "thread" ;;
+  all)
+    run_config asan "address,undefined"
+    run_config tsan "thread"
+    ;;
+  *)
+    echo "usage: scripts/check.sh [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "All sanitizer configurations passed."

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# scripts/lint.sh — clang-tidy gate over src/ (config: .clang-tidy).
+#
+# Usage:
+#   scripts/lint.sh             # lint every .cpp under src/
+#   scripts/lint.sh src/nn      # lint a subtree
+#
+# Environment knobs:
+#   JOBS=N           parallel tidy processes (default: nproc)
+#   CLANG_TIDY=...   clang-tidy binary (default: first of clang-tidy,
+#                    clang-tidy-{20..14} on PATH)
+#
+# All warnings are promoted to errors (-warnings-as-errors='*'); the gate
+# passes only at zero findings. If no clang-tidy binary is installed the
+# script reports SKIPPED and exits 0 so environments without LLVM tooling
+# (the lint job in CI installs it) are not blocked.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+TARGET="${1:-${ROOT}/src}"
+
+find_clang_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    echo "${CLANG_TIDY}"
+    return 0
+  fi
+  local cand
+  for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+              clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" > /dev/null 2>&1; then
+      echo "${cand}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if ! TIDY="$(find_clang_tidy)"; then
+  echo "lint.sh: SKIPPED — no clang-tidy binary on PATH (install LLVM tooling to run the gate)"
+  exit 0
+fi
+
+BUILD_DIR="${ROOT}/build-tidy"
+echo "==> configure compile database (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DMAGIC_CHECKED_BUILD=ON \
+  -DMAGIC_NATIVE_ARCH=OFF \
+  -DMAGIC_BUILD_TESTS=OFF \
+  -DMAGIC_BUILD_BENCHES=OFF \
+  -DMAGIC_BUILD_EXAMPLES=OFF > /dev/null
+
+mapfile -t FILES < <(find "${TARGET}" -name '*.cpp' | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "lint.sh: no .cpp files under ${TARGET}" >&2
+  exit 2
+fi
+
+echo "==> ${TIDY} over ${#FILES[@]} files (-j${JOBS})"
+printf '%s\n' "${FILES[@]}" | xargs -P "${JOBS}" -n 1 \
+  "${TIDY}" -p "${BUILD_DIR}" --quiet -warnings-as-errors='*'
+
+echo "lint.sh: zero clang-tidy findings."

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/reshape.hpp"
+#include "nn/shape_contract.hpp"
 
 namespace magic::core {
 
@@ -119,6 +120,12 @@ nn::Tensor DgcnnModel::forward(const acfg::Acfg& sample) {
   if (sample.num_vertices() == 0) {
     throw std::invalid_argument("DgcnnModel::forward: empty graph");
   }
+  // The attribute matrix must be (n x input_channels) with one row per
+  // vertex; the contract names the layer on mismatch, the plain throws
+  // below keep invalid input hard errors in unchecked builds too.
+  MAGIC_SHAPE_CONTRACT("DgcnnModel::forward", sample.attributes,
+                       nn::shape::eq(sample.num_vertices()),
+                       nn::shape::eq(cfg_.input_channels));
   if (sample.num_channels() != cfg_.input_channels) {
     throw std::invalid_argument("DgcnnModel::forward: channel mismatch");
   }

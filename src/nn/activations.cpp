@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT_ANY("ReLU::forward", input);
   cached_input_ = input;
   return tensor::map(input, [](double x) { return x > 0.0 ? x : 0.0; });
 }
@@ -21,6 +24,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 }
 
 Tensor Tanh::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT_ANY("Tanh::forward", input);
   cached_output_ = tensor::map(input, [](double x) { return std::tanh(x); });
   return cached_output_;
 }
@@ -37,6 +41,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 }
 
 Tensor Sigmoid::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT_ANY("Sigmoid::forward", input);
   cached_output_ = tensor::map(input, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
   return cached_output_;
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 namespace {
 
@@ -23,6 +25,8 @@ AdaptiveMaxPool2D::AdaptiveMaxPool2D(std::size_t out_h, std::size_t out_w)
 }
 
 Tensor AdaptiveMaxPool2D::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("AdaptiveMaxPool2D::forward", input, shape::any("C"),
+                       shape::at_least("H", 1), shape::at_least("W", 1));
   if (input.rank() != 3) {
     throw std::invalid_argument("AdaptiveMaxPool2D: (C x H x W) input required");
   }

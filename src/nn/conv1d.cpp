@@ -1,6 +1,7 @@
 #include "nn/conv1d.hpp"
 
 #include "nn/init.hpp"
+#include "nn/shape_contract.hpp"
 
 namespace magic::nn {
 
@@ -27,6 +28,8 @@ std::size_t Conv1D::out_length(std::size_t in_length) const {
 }
 
 Tensor Conv1D::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("Conv1D::forward", input, shape::eq(in_channels_),
+                       shape::at_least("L", kernel_));
   if (input.rank() != 2 || input.dim(0) != in_channels_) {
     throw std::invalid_argument("Conv1D::forward: expected (" +
                                 std::to_string(in_channels_) + " x L), got " +

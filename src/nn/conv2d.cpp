@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/init.hpp"
+#include "nn/shape_contract.hpp"
 
 namespace magic::nn {
 namespace {
@@ -39,6 +40,9 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
 }
 
 Tensor Conv2D::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("Conv2D::forward", input, shape::eq(in_channels_),
+                       shape::at_least("H", kh_ > 2 * pad_ ? kh_ - 2 * pad_ : 1),
+                       shape::at_least("W", kw_ > 2 * pad_ ? kw_ - 2 * pad_ : 1));
   if (input.rank() != 3 || input.dim(0) != in_channels_) {
     throw std::invalid_argument("Conv2D::forward: expected (" +
                                 std::to_string(in_channels_) + " x H x W), got " +

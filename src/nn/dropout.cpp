@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 
 Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(rng.split()) {
@@ -11,6 +13,7 @@ Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(rng.split()) {
 }
 
 Tensor Dropout::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT_ANY("Dropout::forward", input);
   if (!training_ || rate_ == 0.0) {
     mask_valid_ = false;
     return input;

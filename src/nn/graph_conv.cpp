@@ -1,6 +1,8 @@
 #include "nn/graph_conv.hpp"
 
 #include "nn/init.hpp"
+#include "nn/shape_contract.hpp"
+#include "util/check.hpp"
 
 namespace magic::nn {
 
@@ -14,10 +16,16 @@ GraphConvLayer::GraphConvLayer(std::size_t in_channels, std::size_t out_channels
                              out_channels, rng)) {}
 
 Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
+  MAGIC_SHAPE_CONTRACT("GraphConvLayer::forward", z, shape::any("n"),
+                       shape::eq(in_));
   if (z.rank() != 2 || z.dim(1) != in_) {
     throw std::invalid_argument("GraphConvLayer::forward: expected (n x " +
                                 std::to_string(in_) + "), got " + z.describe());
   }
+  MAGIC_CHECK(prop.rows() == z.dim(0) && prop.cols() == z.dim(0),
+              "GraphConvLayer::forward: propagation operator is "
+                  << prop.rows() << 'x' << prop.cols() << " but input has "
+                  << z.dim(0) << " vertices");
   if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
     throw std::invalid_argument("GraphConvLayer::forward: operator size mismatch");
   }
@@ -64,6 +72,8 @@ GraphConvStack::GraphConvStack(std::size_t in_channels,
 }
 
 Tensor GraphConvStack::forward(const SparseMatrix& prop, const Tensor& x) {
+  MAGIC_SHAPE_CONTRACT("GraphConvStack::forward", x, shape::any("n"),
+                       shape::eq(layers_.front().in_channels()));
   layer_outputs_.clear();
   layer_outputs_.reserve(layers_.size());
   last_n_ = x.dim(0);

@@ -1,6 +1,7 @@
 #include "nn/linear.hpp"
 
 #include "nn/init.hpp"
+#include "nn/shape_contract.hpp"
 
 namespace magic::nn {
 
@@ -15,8 +16,16 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng
 
 Tensor Linear::forward(const Tensor& input) {
   input_was_rank1_ = (input.rank() == 1);
+  if (input_was_rank1_) {
+    MAGIC_SHAPE_CONTRACT("Linear::forward", input, shape::eq(in_));
+  } else {
+    MAGIC_SHAPE_CONTRACT("Linear::forward", input, shape::any("rows"),
+                         shape::eq(in_));
+  }
   cached_input_ = input_was_rank1_ ? input.reshape({1, input.dim(0)}) : input;
   if (cached_input_.rank() != 2 || cached_input_.dim(1) != in_) {
+    // Unchecked-build fallback; in checked builds the contract above fires
+    // first with the richer message.
     throw std::invalid_argument("Linear::forward: expected (*, " +
                                 std::to_string(in_) + "), got " + input.describe());
   }

@@ -3,9 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/shape_contract.hpp"
+#include "util/check.hpp"
+
 namespace magic::nn {
 
 Tensor LogSoftmax::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("LogSoftmax::forward", input, shape::at_least("classes", 1));
   if (input.rank() != 1) {
     throw std::invalid_argument("LogSoftmax: rank-1 input required");
   }
@@ -32,6 +36,7 @@ Tensor LogSoftmax::backward(const Tensor& grad_output) {
 }
 
 double NllLoss::forward(const Tensor& log_probs, std::size_t target) {
+  MAGIC_SHAPE_CONTRACT("NllLoss::forward", log_probs, shape::at_least("classes", 1));
   if (log_probs.rank() != 1 || target >= log_probs.dim(0)) {
     throw std::invalid_argument("NllLoss: bad target or input rank");
   }
@@ -41,7 +46,9 @@ double NllLoss::forward(const Tensor& log_probs, std::size_t target) {
 }
 
 Tensor NllLoss::backward() const {
+  MAGIC_CHECK(size_ > 0, "NllLoss::backward called before forward");
   Tensor grad = Tensor::zeros({size_});
+  if (size_ == 0) return grad;  // unchecked-build fallback: avoid OOB write
   grad[target_] = -1.0;
   return grad;
 }

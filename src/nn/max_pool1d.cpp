@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 
 MaxPool1D::MaxPool1D(std::size_t kernel, std::size_t stride)
@@ -12,6 +14,8 @@ MaxPool1D::MaxPool1D(std::size_t kernel, std::size_t stride)
 }
 
 Tensor MaxPool1D::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("MaxPool1D::forward", input, shape::any("C"),
+                       shape::at_least("L", kernel_));
   if (input.rank() != 2) throw std::invalid_argument("MaxPool1D: rank-2 input");
   const std::size_t C = input.dim(0);
   const std::size_t L = input.dim(1);

@@ -2,6 +2,7 @@
 // Shape-adapter modules used to glue convolutional stages to dense heads.
 
 #include "nn/module.hpp"
+#include "nn/shape_contract.hpp"
 
 namespace magic::nn {
 
@@ -9,6 +10,7 @@ namespace magic::nn {
 class Flatten : public Module {
  public:
   Tensor forward(const Tensor& input) override {
+    MAGIC_SHAPE_CONTRACT_ANY("Flatten::forward", input);
     input_shape_ = input.shape();
     return input.reshape({input.size()});
   }
@@ -27,6 +29,7 @@ class FixedReshape : public Module {
   explicit FixedReshape(Shape target) : target_(std::move(target)) {}
 
   Tensor forward(const Tensor& input) override {
+    MAGIC_SHAPE_CONTRACT_SIZE("FixedReshape::forward", input, target_size());
     input_shape_ = input.shape();
     return input.reshape(target_);
   }
@@ -36,6 +39,12 @@ class FixedReshape : public Module {
   std::string name() const override { return "FixedReshape"; }
 
  private:
+  std::size_t target_size() const {
+    std::size_t total = 1;
+    for (std::size_t d : target_) total *= d;
+    return total;
+  }
+
   Shape target_;
   Shape input_shape_;
 };

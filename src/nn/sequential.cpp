@@ -1,8 +1,11 @@
 #include "nn/sequential.hpp"
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 
 Tensor Sequential::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT_ANY("Sequential::forward", input);  // children check
   Tensor x = input;
   for (auto& m : modules_) x = m->forward(x);
   return x;

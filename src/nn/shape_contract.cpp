@@ -1,0 +1,59 @@
+#include "nn/shape_contract.hpp"
+
+#include <sstream>
+
+namespace magic::nn {
+namespace {
+
+[[noreturn]] void throw_violation(const char* layer, const tensor::Tensor& actual,
+                                  const std::string& expected) {
+  std::ostringstream oss;
+  oss << layer << ": shape contract violated: expected " << expected << ", got "
+      << actual.describe();
+  throw ShapeContractError(oss.str());
+}
+
+}  // namespace
+
+std::string format_contract(const std::vector<shape::Dim>& dims) {
+  if (dims.empty()) return "scalar";
+  std::ostringstream oss;
+  oss << '(';
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (d) oss << " x ";
+    const shape::Dim& dim = dims[d];
+    if (dim.symbol == nullptr) {
+      oss << dim.extent;
+    } else {
+      oss << dim.symbol;
+      if (dim.min_extent > 0) oss << ">=" << dim.min_extent;
+    }
+  }
+  oss << ')';
+  return oss.str();
+}
+
+void check_shape_contract(const char* layer, const tensor::Tensor& t,
+                          const std::vector<shape::Dim>& expected) {
+  if (t.rank() != expected.size()) {
+    throw_violation(layer, t, format_contract(expected));
+  }
+  const tensor::Shape& actual = t.shape();
+  for (std::size_t d = 0; d < expected.size(); ++d) {
+    const shape::Dim& dim = expected[d];
+    const bool ok = dim.symbol == nullptr ? actual[d] == dim.extent
+                                          : actual[d] >= dim.min_extent;
+    if (!ok) throw_violation(layer, t, format_contract(expected));
+  }
+}
+
+void check_size_contract(const char* layer, const tensor::Tensor& t,
+                         std::size_t expected_size) {
+  if (t.size() != expected_size) {
+    std::ostringstream oss;
+    oss << expected_size << " total elements";
+    throw_violation(layer, t, oss.str());
+  }
+}
+
+}  // namespace magic::nn

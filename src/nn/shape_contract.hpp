@@ -1,0 +1,98 @@
+#pragma once
+// Shape contracts for layer inputs.
+//
+// Every Module::forward (and the graph-stage forwards that take extra
+// arguments) declares the shape it accepts via MAGIC_SHAPE_CONTRACT at entry.
+// A violated contract throws ShapeContractError with a message naming the
+// layer and the expected-vs-actual shape, e.g.
+//
+//   Conv1D::forward: shape contract violated: expected (16 x L>=5),
+//   got Tensor[3x40]
+//
+// Contracts are live when MAGIC_CHECKED_BUILD is defined (CMake option
+// MAGIC_CHECKED_BUILD, forced ON whenever tests are built) and compile to
+// nothing otherwise, so an unchecked Release build pays zero overhead.
+//
+// Policy (see DESIGN.md): every new layer must declare its input contract
+// with one of these macros before touching the tensor's storage.
+//
+//   MAGIC_SHAPE_CONTRACT(layer, t, dims...)  -- exact rank, per-dim specs
+//   MAGIC_SHAPE_CONTRACT_ANY(layer, t)       -- elementwise layer, any shape
+//   MAGIC_SHAPE_CONTRACT_SIZE(layer, t, n)   -- any shape of total size n
+//
+// Dim specs: shape::eq(c) pins an extent, shape::any("n") names a free
+// dimension, shape::at_least("L", k) bounds one from below.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace magic::nn {
+
+/// Thrown on contract violation. Derives from std::invalid_argument so the
+/// pre-contract error-handling tests (and callers catching invalid input)
+/// keep working unchanged.
+class ShapeContractError : public std::invalid_argument {
+ public:
+  explicit ShapeContractError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace shape {
+
+/// One expected dimension of a layer-input contract.
+struct Dim {
+  std::size_t extent = 0;        ///< Exact extent (when symbol == nullptr).
+  const char* symbol = nullptr;  ///< Name of a free dimension, e.g. "n".
+  std::size_t min_extent = 0;    ///< Lower bound for free dimensions.
+};
+
+/// Exactly `extent`.
+constexpr Dim eq(std::size_t extent) { return {extent, nullptr, 0}; }
+
+/// Any extent; `symbol` names the dimension in diagnostics.
+constexpr Dim any(const char* symbol) { return {0, symbol, 0}; }
+
+/// Any extent >= `min_extent` (e.g. a conv input covering one kernel window).
+constexpr Dim at_least(const char* symbol, std::size_t min_extent) {
+  return {0, symbol, min_extent};
+}
+
+}  // namespace shape
+
+/// Renders a contract like "(n x 32)" or "(16 x L>=5)"; "scalar" when empty.
+std::string format_contract(const std::vector<shape::Dim>& dims);
+
+/// Checks `t` dimension-by-dimension; throws ShapeContractError naming
+/// `layer` plus expected-vs-actual on rank or extent mismatch.
+void check_shape_contract(const char* layer, const tensor::Tensor& t,
+                          const std::vector<shape::Dim>& expected);
+
+/// Checks total element count only (reshape-style layers).
+void check_size_contract(const char* layer, const tensor::Tensor& t,
+                         std::size_t expected_size);
+
+}  // namespace magic::nn
+
+#ifdef MAGIC_CHECKED_BUILD
+
+#define MAGIC_SHAPE_CONTRACT(layer, tensor_expr, ...) \
+  ::magic::nn::check_shape_contract((layer), (tensor_expr), {__VA_ARGS__})
+
+// Elementwise layers accept any shape; the macro records the (vacuous)
+// contract so every forward declares one, and costs nothing.
+#define MAGIC_SHAPE_CONTRACT_ANY(layer, tensor_expr) \
+  static_cast<void>(sizeof(layer)), static_cast<void>(tensor_expr)
+
+#define MAGIC_SHAPE_CONTRACT_SIZE(layer, tensor_expr, expected_size) \
+  ::magic::nn::check_size_contract((layer), (tensor_expr), (expected_size))
+
+#else
+
+#define MAGIC_SHAPE_CONTRACT(layer, tensor_expr, ...) ((void)0)
+#define MAGIC_SHAPE_CONTRACT_ANY(layer, tensor_expr) ((void)0)
+#define MAGIC_SHAPE_CONTRACT_SIZE(layer, tensor_expr, expected_size) ((void)0)
+
+#endif  // MAGIC_CHECKED_BUILD

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 
 SortPooling::SortPooling(std::size_t k) : k_(k) {
@@ -11,6 +13,8 @@ SortPooling::SortPooling(std::size_t k) : k_(k) {
 }
 
 Tensor SortPooling::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("SortPooling::forward", input, shape::any("n"),
+                       shape::any("C"));
   if (input.rank() != 2) throw std::invalid_argument("SortPooling: rank-2 input");
   const std::size_t n = input.dim(0), c = input.dim(1);
   input_shape_ = input.shape();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/shape_contract.hpp"
+
 namespace magic::nn {
 
 WeightedVertices::WeightedVertices(std::size_t k, Activation activation,
@@ -19,6 +21,8 @@ WeightedVertices::WeightedVertices(std::size_t k, Activation activation,
 }
 
 Tensor WeightedVertices::forward(const Tensor& input) {
+  MAGIC_SHAPE_CONTRACT("WeightedVertices::forward", input, shape::eq(k_),
+                       shape::any("C"));
   if (input.rank() != 2 || input.dim(0) != k_) {
     throw std::invalid_argument("WeightedVertices::forward: expected (" +
                                 std::to_string(k_) + " x C), got " + input.describe());

@@ -12,6 +12,30 @@ std::size_t shape_size(const Shape& shape) {
   return total;
 }
 
+#ifdef MAGIC_CHECKED_BUILD
+// Precise checked-mode diagnostic for the Tensor::at family: names the
+// accessor, the offending index tuple and the actual shape.
+[[noreturn]] void at_violation(const Tensor& t, const char* accessor,
+                               std::initializer_list<std::size_t> idx) {
+  std::ostringstream oss;
+  oss << "Tensor::" << accessor;
+  if (t.rank() != idx.size()) {
+    oss << ": rank-" << idx.size() << " accessor on " << t.describe() << " (rank "
+        << t.rank() << ")";
+  } else {
+    oss << ": index (";
+    bool first = true;
+    for (std::size_t i : idx) {
+      if (!first) oss << ", ";
+      oss << i;
+      first = false;
+    }
+    oss << ") out of range for " << t.describe();
+  }
+  throw std::out_of_range(oss.str());
+}
+#endif  // MAGIC_CHECKED_BUILD
+
 }  // namespace
 
 Tensor::Tensor() : shape_{}, data_(1, 0.0) {}
@@ -74,14 +98,23 @@ Tensor Tensor::reshape(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+// The at() family is bounds- and rank-checked when MAGIC_CHECKED_BUILD is
+// defined (always in test builds); an unchecked Release build indexes
+// directly, so checked mode costs nothing when off.
 double& Tensor::at(std::size_t i) {
-  if (rank() != 1 || i >= shape_[0]) throw std::out_of_range("Tensor::at(i)");
+#ifdef MAGIC_CHECKED_BUILD
+  if (rank() != 1 || i >= shape_[0]) at_violation(*this, "at(i)", {i});
+#endif
   return data_[i];
 }
 double Tensor::at(std::size_t i) const { return const_cast<Tensor*>(this)->at(i); }
 
 double& Tensor::at(std::size_t i, std::size_t j) {
-  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) throw std::out_of_range("Tensor::at(i,j)");
+#ifdef MAGIC_CHECKED_BUILD
+  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) {
+    at_violation(*this, "at(i,j)", {i, j});
+  }
+#endif
   return data_[i * shape_[1] + j];
 }
 double Tensor::at(std::size_t i, std::size_t j) const {
@@ -89,9 +122,11 @@ double Tensor::at(std::size_t i, std::size_t j) const {
 }
 
 double& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+#ifdef MAGIC_CHECKED_BUILD
   if (rank() != 3 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2]) {
-    throw std::out_of_range("Tensor::at(i,j,k)");
+    at_violation(*this, "at(i,j,k)", {i, j, k});
   }
+#endif
   return data_[(i * shape_[1] + j) * shape_[2] + k];
 }
 double Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
@@ -99,9 +134,12 @@ double Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
 }
 
 double& Tensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
-  if (rank() != 4 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2] || l >= shape_[3]) {
-    throw std::out_of_range("Tensor::at(i,j,k,l)");
+#ifdef MAGIC_CHECKED_BUILD
+  if (rank() != 4 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2] ||
+      l >= shape_[3]) {
+    at_violation(*this, "at(i,j,k,l)", {i, j, k, l});
   }
+#endif
   return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
 }
 double Tensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {

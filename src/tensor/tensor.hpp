@@ -65,7 +65,9 @@ class Tensor {
   double& operator[](std::size_t flat) { return data_[flat]; }
   double operator[](std::size_t flat) const { return data_[flat]; }
 
-  /// Checked N-d accessors.
+  /// N-d accessors. Rank- and bounds-checked when MAGIC_CHECKED_BUILD is
+  /// defined (throwing std::out_of_range with the index and actual shape);
+  /// direct unchecked indexing otherwise.
   double& at(std::size_t i);
   double at(std::size_t i) const;
   double& at(std::size_t i, std::size_t j);

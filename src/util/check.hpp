@@ -1,0 +1,67 @@
+#pragma once
+// Checked-mode contract macros.
+//
+// MAGIC_CHECK(cond, streamed message)   -- contract assertion, active when
+//                                          MAGIC_CHECKED_BUILD is defined.
+// MAGIC_DCHECK(cond, streamed message)  -- debug-tier assertion for hot inner
+//                                          loops; same gating, but documented
+//                                          as removable first if checked-mode
+//                                          overhead ever matters.
+//
+// Both macros compile to `((void)0)` when MAGIC_CHECKED_BUILD is not defined,
+// so an unchecked Release build pays nothing (no branch, no argument
+// evaluation). CMake defines MAGIC_CHECKED_BUILD for every target when the
+// MAGIC_CHECKED_BUILD option is ON, and forces it ON whenever tests are
+// built, so the test suite always runs with contracts live.
+//
+// Failures throw CheckError (a std::logic_error): a violated contract is a
+// programming error in the caller, not recoverable input. The message is
+// assembled with ostream operator<< only on the failing path:
+//
+//   MAGIC_CHECK(i < n, "index " << i << " out of range [0, " << n << ")");
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace magic::util {
+
+/// Thrown by MAGIC_CHECK / MAGIC_DCHECK on contract violation.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream oss;
+  oss << "MAGIC_CHECK failed: " << message << " [" << expr << " at " << file << ':'
+      << line << ']';
+  throw CheckError(oss.str());
+}
+
+}  // namespace detail
+}  // namespace magic::util
+
+#ifdef MAGIC_CHECKED_BUILD
+
+#define MAGIC_CHECK(cond, msg)                                                    \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::ostringstream magic_check_oss_;                                        \
+      magic_check_oss_ << msg; /* NOLINT(bugprone-macro-parentheses) */           \
+      ::magic::util::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                          magic_check_oss_.str());                \
+    }                                                                             \
+  } while (false)
+
+#define MAGIC_DCHECK(cond, msg) MAGIC_CHECK(cond, msg)
+
+#else
+
+#define MAGIC_CHECK(cond, msg) ((void)0)
+#define MAGIC_DCHECK(cond, msg) ((void)0)
+
+#endif  // MAGIC_CHECKED_BUILD

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace magic::util {
 
@@ -42,22 +44,63 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+namespace {
+
+// State shared between the parallel_for caller and its helper tasks. Helpers
+// hold a shared_ptr plus their own copy of fn's wrapper, so they stay valid
+// even if they only get scheduled after the caller has already returned.
+struct ParallelForState {
+  ParallelForState(std::size_t n, std::function<void(std::size_t)> f)
+      : total(n), fn(std::move(f)) {}
+
+  const std::size_t total;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t completed = 0;        // indices whose fn(i) returned or threw
+  std::exception_ptr first_error;   // first (in claim order) task exception
+
+  // Claims indices until exhausted. Never lets an exception escape: a throw
+  // is recorded and the loop continues, so completion is always signalled.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(m);
+      if (err && !first_error) first_error = err;
+      if (++completed == total) cv.notify_all();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto state = std::make_shared<ParallelForState>(n, fn);
+  // The caller is one runner; spawn at most enough helpers to keep every
+  // worker busy with one chunk-claiming loop each.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    try {
+      submit([state] { state->drain(); });
+    } catch (...) {
+      break;  // pool shutting down: the caller drains everything itself
+    }
+  }
+  state->drain();
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock, [&] { return state->completed == state->total; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace magic::util

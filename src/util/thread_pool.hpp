@@ -42,7 +42,18 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks propagate out of parallel_for (first one wins).
+  ///
+  /// Guarantees:
+  ///  - The calling thread participates in the work, so parallel_for never
+  ///    deadlocks even when invoked from inside a pool task (nested use) or
+  ///    while every worker is busy with unrelated tasks.
+  ///  - A throwing fn(i) cannot deadlock the call or drop the completion
+  ///    signal: every remaining index still runs, completion of all n
+  ///    indices is always awaited, and the *first* exception (in claim
+  ///    order) is rethrown to the caller afterwards.
+  ///  - fn is copied into state shared with the worker helpers, so the call
+  ///    returns as soon as all n indices completed even if a helper task is
+  ///    still queued behind unrelated work (it exits immediately once run).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const noexcept { return workers_.size(); }
