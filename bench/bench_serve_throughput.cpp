@@ -1,0 +1,230 @@
+// bench_serve_throughput: serving-layer scaling sweep.
+//
+// Trains a small YANCFG-style model once, pre-extracts a fixed ACFG sample
+// set, then measures InferenceServer throughput across
+//   workers x {micro-batching off, micro-batching on}
+// and writes the sweep (plus latency percentiles) to BENCH_serve.json.
+//
+// The headline number is speedup_8w_batched: 8-worker batched throughput
+// over 1-worker unbatched. It only manifests on multi-core hardware, so the
+// JSON records hardware_concurrency alongside the measurements (CI runs
+// this on a multi-core runner; a 1-core container will honestly report ~1x).
+//
+// Flags:
+//   --samples N    scan requests per sweep point (default 400)
+//   --scale S      training-corpus scale (default 0.002)
+//   --epochs N     training epochs (default 6)
+//   --seed X       master seed (default 2019)
+//   --out FILE     JSON output path (default BENCH_serve.json)
+//   --quick        tiny sweep for smoke runs (fewer samples, epochs)
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "acfg/extractor.hpp"
+#include "data/corpus.hpp"
+#include "data/program_generator.hpp"
+#include "magic/classifier.hpp"
+#include "serve/server.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace magic;
+
+struct Options {
+  std::size_t samples = 400;
+  double scale = 0.002;
+  std::size_t epochs = 6;
+  std::uint64_t seed = 2019;
+  std::string out = "BENCH_serve.json";
+  bool quick = false;
+};
+
+struct SweepPoint {
+  std::size_t workers = 0;
+  bool batched = false;
+  double seconds = 0.0;
+  double throughput = 0.0;  // requests / second
+  serve::ServerStats stats;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--samples") opt.samples = std::stoul(next("--samples"));
+    else if (arg == "--scale") opt.scale = std::stod(next("--scale"));
+    else if (arg == "--epochs") opt.epochs = std::stoul(next("--epochs"));
+    else if (arg == "--seed") opt.seed = std::stoull(next("--seed"));
+    else if (arg == "--out") opt.out = next("--out");
+    else if (arg == "--quick") opt.quick = true;
+    else {
+      std::cerr << "unknown flag " << arg << "\n"
+                << "usage: bench_serve_throughput [--samples N] [--scale S] "
+                   "[--epochs N] [--seed X] [--out FILE] [--quick]\n";
+      std::exit(2);
+    }
+  }
+  if (opt.quick) {
+    opt.samples = std::min<std::size_t>(opt.samples, 80);
+    opt.epochs = std::min<std::size_t>(opt.epochs, 3);
+  }
+  return opt;
+}
+
+/// Fresh polymorphic scan workload: listings from a few YANCFG family
+/// specs, extracted to ACFGs up front so the sweep measures serving, not
+/// the frontend.
+std::vector<acfg::Acfg> make_workload(std::size_t count, std::uint64_t seed,
+                                      util::ThreadPool& pool) {
+  const auto specs = data::yancfg_family_specs();
+  const std::size_t families[] = {1, 3, 9};  // Benign, Hupigon, Swizzor
+  std::vector<data::ProgramGenerator> generators;
+  generators.reserve(std::size(families));
+  for (std::size_t f : families) {
+    generators.emplace_back(specs[f], util::Rng(seed ^ (0xBEEF + f)));
+  }
+  std::vector<std::string> listings;
+  listings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    listings.push_back(generators[i % generators.size()].generate_listing());
+  }
+  return acfg::extract_batch(listings, pool);
+}
+
+SweepPoint run_point(core::MagicClassifier& clf,
+                     const std::vector<acfg::Acfg>& workload,
+                     std::size_t workers, bool batched) {
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.queue_capacity = workload.size() + 1;  // sweep measures throughput, not sheds
+  config.max_batch = batched ? 8 : 1;
+  config.batch_window = std::chrono::microseconds(batched ? 2000 : 0);
+  serve::InferenceServer server(clf, config);
+
+  std::vector<serve::PendingVerdict> handles;
+  handles.reserve(workload.size());
+  util::Timer timer;
+  for (const acfg::Acfg& sample : workload) {
+    handles.push_back(server.submit(sample));
+  }
+  std::size_t ok = 0;
+  for (auto& handle : handles) {
+    if (handle.get().ok()) ++ok;
+  }
+  SweepPoint point;
+  point.workers = workers;
+  point.batched = batched;
+  point.seconds = timer.seconds();
+  point.throughput = point.seconds > 0.0
+                         ? static_cast<double>(ok) / point.seconds
+                         : 0.0;
+  point.stats = server.stats();
+  if (ok != workload.size()) {
+    std::cerr << "warning: only " << ok << "/" << workload.size()
+              << " requests resolved ok at workers=" << workers << "\n";
+  }
+  return point;
+}
+
+std::string json_point(const SweepPoint& p) {
+  std::ostringstream os;
+  os << "{\"workers\":" << p.workers
+     << ",\"batched\":" << (p.batched ? "true" : "false")
+     << ",\"seconds\":" << p.seconds
+     << ",\"throughput_rps\":" << p.throughput
+     << ",\"mean_batch_size\":" << p.stats.mean_batch_size()
+     << ",\"latency_p50_ms\":" << p.stats.latency_p50_ms
+     << ",\"latency_p95_ms\":" << p.stats.latency_p95_ms
+     << ",\"latency_p99_ms\":" << p.stats.latency_p99_ms << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::cout << "bench_serve_throughput: serving sweep ("
+            << opt.samples << " samples, hardware_concurrency=" << hardware
+            << ")\n";
+
+  util::ThreadPool pool;
+  util::Timer setup;
+  data::Dataset corpus = data::yancfg_like_corpus(opt.scale, opt.seed, pool);
+  core::DgcnnConfig config;
+  config.pooling = core::PoolingType::AdaptivePooling;
+  config.pooling_ratio = 0.2;
+  config.graph_conv_channels = {32, 32};
+  config.dropout_rate = 0.5;
+  core::TrainOptions train;
+  train.epochs = opt.epochs;
+  train.batch_size = 10;
+  train.learning_rate = 3e-3;
+  train.balance_families = true;
+  train.balance_strength = 0.5;
+  core::MagicClassifier clf(config, train, opt.seed);
+  clf.fit(corpus, 0.15);
+  const std::vector<acfg::Acfg> workload =
+      make_workload(opt.samples, opt.seed, pool);
+  std::cout << "trained on " << corpus.size() << " samples and extracted "
+            << workload.size() << " scan requests in "
+            << util::format_fixed(setup.seconds(), 1) << "s\n\n";
+
+  const std::size_t worker_counts[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  util::Table table({"Workers", "Batching", "Throughput (req/s)",
+                     "Mean batch", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  for (std::size_t workers : worker_counts) {
+    for (bool batched : {false, true}) {
+      const SweepPoint p = run_point(clf, workload, workers, batched);
+      table.add_row({std::to_string(p.workers), batched ? "on" : "off",
+                     util::format_fixed(p.throughput, 1),
+                     util::format_fixed(p.stats.mean_batch_size(), 2),
+                     util::format_fixed(p.stats.latency_p50_ms, 2),
+                     util::format_fixed(p.stats.latency_p95_ms, 2),
+                     util::format_fixed(p.stats.latency_p99_ms, 2)});
+      points.push_back(p);
+    }
+  }
+  table.print(std::cout);
+
+  double base = 0.0, best8 = 0.0;
+  for (const SweepPoint& p : points) {
+    if (p.workers == 1 && !p.batched) base = p.throughput;
+    if (p.workers == 8 && p.batched) best8 = p.throughput;
+  }
+  const double speedup = base > 0.0 ? best8 / base : 0.0;
+  std::cout << "\nspeedup (8 workers, batched vs 1 worker, unbatched): "
+            << util::format_fixed(speedup, 2) << "x\n";
+
+  std::ofstream out(opt.out);
+  out << "{\"bench\":\"serve_throughput\",\"samples\":" << opt.samples
+      << ",\"hardware_concurrency\":" << hardware
+      << ",\"seed\":" << opt.seed
+      << ",\"speedup_8w_batched\":" << speedup << ",\"sweep\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) out << ",";
+    out << json_point(points[i]);
+  }
+  out << "]}\n";
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}

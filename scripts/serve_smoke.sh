@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# scripts/serve_smoke.sh — end-to-end smoke test of the magicd scan daemon.
+#
+# Exercises the full serving path with real binaries (no gtest):
+#   1. magicd --selftrain: trains a tiny model and writes demo listings;
+#   2. stdio mode: pipes scan requests through magicd, asserts JSON verdicts;
+#   3. socket mode: starts the daemon, scans via malware_scanner --serve,
+#      then SIGTERMs the exact daemon PID and asserts a graceful exit.
+#
+# Usage:
+#   scripts/serve_smoke.sh [BUILD_DIR]      # default: build
+#
+# Exits non-zero on the first failed assertion.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+MAGICD="${BUILD_DIR}/src/serve/magicd"
+SCANNER="${BUILD_DIR}/examples/malware_scanner"
+
+WORK="$(mktemp -d /tmp/magicd_smoke.XXXXXX)"
+SOCKET="${WORK}/magicd.sock"
+MODEL="${WORK}/model.txt"
+DAEMON_PID=""
+cleanup() {
+  [[ -n "${DAEMON_PID}" ]] && kill "${DAEMON_PID}" 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+[[ -x "${MAGICD}" ]] || fail "magicd not built at ${MAGICD}"
+[[ -x "${SCANNER}" ]] || fail "malware_scanner not built at ${SCANNER}"
+
+echo "==> selftrain (tiny corpus) + demo listings"
+"${MAGICD}" --selftrain "${MODEL}" --samples-dir "${WORK}/samples" \
+  --scale 0.002 --epochs 4 --seed 7
+[[ -s "${MODEL}" ]] || fail "selftrain produced no model"
+SAMPLES=()
+while IFS= read -r f; do SAMPLES+=("$f"); done \
+  < <(find "${WORK}/samples" -name '*.asm' | sort | head -3)
+[[ "${#SAMPLES[@]}" -eq 3 ]] || fail "expected 3 demo listings, got ${#SAMPLES[@]}"
+
+echo "==> stdio mode: 3 path requests + stats"
+STDIO_OUT="${WORK}/stdio.out"
+{
+  for i in 0 1 2; do
+    echo "req${i} path ${SAMPLES[$i]}"
+  done
+  echo "stats"
+} | "${MAGICD}" --model "${MODEL}" --workers 2 > "${STDIO_OUT}"
+[[ "$(wc -l < "${STDIO_OUT}")" -eq 4 ]] || fail "stdio mode: expected 4 response lines"
+for i in 0 1 2; do
+  grep -q "\"id\":\"req${i}\"" "${STDIO_OUT}" || fail "stdio mode: no response for req${i}"
+done
+[[ "$(grep -c '"status":"ok"' "${STDIO_OUT}")" -eq 3 ]] \
+  || fail "stdio mode: expected 3 ok verdicts: $(cat "${STDIO_OUT}")"
+grep -q '"completed":3' "${STDIO_OUT}" || fail "stdio mode: stats line wrong: $(tail -1 "${STDIO_OUT}")"
+echo "    3/3 verdicts ok"
+
+echo "==> socket mode: daemon + malware_scanner --serve client"
+"${MAGICD}" --model "${MODEL}" --socket "${SOCKET}" --workers 2 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "${SOCKET}" ]] && break
+  kill -0 "${DAEMON_PID}" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.05
+done
+[[ -S "${SOCKET}" ]] || fail "daemon socket never appeared"
+
+CLIENT_OUT="${WORK}/client.out"
+"${SCANNER}" --serve "${SOCKET}" "${SAMPLES[@]}" > "${CLIENT_OUT}"
+[[ "$(grep -c '"status":"ok"' "${CLIENT_OUT}")" -eq 3 ]] \
+  || fail "socket mode: expected 3 ok verdicts: $(cat "${CLIENT_OUT}")"
+grep -q 'server-stats' "${CLIENT_OUT}" || fail "socket mode: no stats line"
+echo "    3/3 verdicts ok over the socket"
+
+echo "==> SIGTERM graceful drain"
+kill -TERM "${DAEMON_PID}"
+DAEMON_STATUS=0
+wait "${DAEMON_PID}" || DAEMON_STATUS=$?
+DAEMON_PID=""
+[[ "${DAEMON_STATUS}" -eq 0 ]] || fail "daemon exited ${DAEMON_STATUS} after SIGTERM"
+[[ ! -S "${SOCKET}" ]] || fail "socket file not removed on drain"
+echo "    daemon drained cleanly (exit 0, socket unlinked)"
+
+echo "serve smoke: all checks passed"

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "acfg/extractor.hpp"
+#include "magic/replica_pool.hpp"
 #include "util/thread_pool.hpp"
 
 namespace magic::core {
@@ -44,6 +45,7 @@ TrainResult MagicClassifier::fit_indices(const data::Dataset& dataset,
                                          const std::vector<std::size_t>& val_indices) {
   family_names_ = dataset.family_names;
   config_.num_classes = dataset.num_families();
+  replica_pool_.reset();  // stale clones must not outlive a retrain
   util::Rng rng(seed_);
   const std::size_t k =
       derive_sort_k(dataset, train_indices, config_.pooling_ratio);
@@ -72,25 +74,28 @@ Prediction MagicClassifier::predict_listing(std::string_view listing) {
 std::vector<Prediction> MagicClassifier::predict_batch(
     const std::vector<acfg::Acfg>& samples, util::ThreadPool& pool) {
   if (!fitted()) throw std::logic_error("MagicClassifier::predict_batch: not fitted");
-  // Serialize once; each chunk task materializes its own replica.
-  std::ostringstream snapshot;
-  save(snapshot);
-  const std::string blob = snapshot.str();
-
   std::vector<Prediction> results(samples.size());
   const std::size_t chunks = std::min(pool.size(), std::max<std::size_t>(1, samples.size()));
+  // One replica per chunk, materialized once and reused on later calls.
+  std::shared_ptr<ReplicaPool> replicas = replica_pool(chunks);
   const std::size_t per_chunk = (samples.size() + chunks - 1) / chunks;
   pool.parallel_for(chunks, [&](std::size_t c) {
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(samples.size(), begin + per_chunk);
     if (begin >= end) return;
-    std::istringstream in(blob);
-    MagicClassifier replica = MagicClassifier::load(in);
+    const ReplicaPool::Lease replica = replicas->acquire();
     for (std::size_t i = begin; i < end; ++i) {
-      results[i] = replica.predict(samples[i]);
+      results[i] = replica->predict(samples[i]);
     }
   });
   return results;
+}
+
+std::shared_ptr<ReplicaPool> MagicClassifier::replica_pool(std::size_t warm_count) {
+  if (!fitted()) throw std::logic_error("MagicClassifier::replica_pool: not fitted");
+  if (!replica_pool_) replica_pool_ = std::make_shared<ReplicaPool>(*this);
+  replica_pool_->warm(warm_count);
+  return replica_pool_;
 }
 
 Explanation MagicClassifier::explain(const acfg::Acfg& sample) {

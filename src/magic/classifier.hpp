@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "acfg/acfg.hpp"
 #include "data/dataset.hpp"
 #include "magic/dgcnn.hpp"
@@ -18,6 +20,8 @@
 #include "util/thread_pool.hpp"
 
 namespace magic::core {
+
+class ReplicaPool;
 
 /// One prediction: the winning family plus the full distribution.
 struct Prediction {
@@ -63,10 +67,19 @@ class MagicClassifier {
   Prediction predict_listing(std::string_view listing);
 
   /// Classifies a batch in parallel. Each worker thread gets its own model
-  /// replica (cloned via serialization), so this is safe despite forward
-  /// passes being stateful. Result order matches the input order.
+  /// replica from the cached replica pool (cloned once, reused across
+  /// calls; invalidated by fit), so this is safe despite forward passes
+  /// being stateful. Result order matches the input order.
   std::vector<Prediction> predict_batch(const std::vector<acfg::Acfg>& samples,
                                         util::ThreadPool& pool);
+
+  /// The cached replica pool, (re)built from the current weights on first
+  /// use, eagerly warmed to `warm_count` replicas, and invalidated whenever
+  /// fit() / fit_indices() retrains. Shared by predict_batch and the
+  /// serving layer (serve::InferenceServer); replicas are leased out, so
+  /// concurrent consumers never collide. Not itself thread-safe: call from
+  /// the thread that owns this classifier, then hand the pool to workers.
+  std::shared_ptr<ReplicaPool> replica_pool(std::size_t warm_count = 0);
 
   /// Classifies and attributes the verdict to basic blocks / attribute
   /// channels via input gradients (saliency). Analyst triage tooling: "which
@@ -108,6 +121,8 @@ class MagicClassifier {
   std::uint64_t seed_;
   std::unique_ptr<DgcnnModel> model_;
   std::vector<std::string> family_names_;
+  /// Cached clones for parallel scoring; reset whenever the weights change.
+  std::shared_ptr<ReplicaPool> replica_pool_;
 };
 
 }  // namespace magic::core

@@ -6,6 +6,7 @@
 
 #include "nn/reshape.hpp"
 #include "nn/shape_contract.hpp"
+#include "util/check.hpp"
 
 namespace magic::core {
 
@@ -116,7 +117,27 @@ nn::Tensor DgcnnModel::preprocess(const acfg::Acfg& sample) const {
   return x;
 }
 
+namespace {
+
+/// RAII clear for the concurrent-forward guard flag (exception safe).
+struct ForwardGuardClear {
+  std::atomic<bool>* flag;
+  ~ForwardGuardClear() { flag->store(false, std::memory_order_release); }
+};
+
+}  // namespace
+
 nn::Tensor DgcnnModel::forward(const acfg::Acfg& sample) {
+#ifdef MAGIC_CHECKED_BUILD
+  // One instance, one thread: concurrent callers must clone replicas
+  // (core::ReplicaPool). If the flag was already set another thread owns
+  // it, so throw *without* installing the clearing guard.
+  const bool already_running = in_forward_.exchange(true, std::memory_order_acq_rel);
+  MAGIC_CHECK(!already_running,
+              "DgcnnModel::forward: concurrent forward on one model instance; "
+              "use one replica per thread (core::ReplicaPool)");
+  ForwardGuardClear forward_guard{&in_forward_};
+#endif
   if (sample.num_vertices() == 0) {
     throw std::invalid_argument("DgcnnModel::forward: empty graph");
   }

@@ -9,6 +9,7 @@
 // calls, which is mathematically identical to minibatch SGD for a sum
 // loss.
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,7 +88,19 @@ class DgcnnModel {
   DgcnnModel(DgcnnConfig cfg, util::Rng& rng, std::size_t sort_k_hint = 16);
 
   /// Log-probabilities over families for one graph.
+  ///
+  /// NOT const and NOT thread-safe: activations are cached in the layers
+  /// for backward(), so one model instance must be driven by at most one
+  /// thread at a time. Parallel scoring clones replicas (core::ReplicaPool;
+  /// the serve layer and predict_batch do this for you). Checked builds
+  /// enforce the contract: a concurrent entry throws util::CheckError.
   nn::Tensor forward(const acfg::Acfg& sample);
+
+  /// True while a forward pass is in flight (the checked-mode concurrency
+  /// guard's flag; test/diagnostic hook).
+  bool forward_in_flight() const noexcept {
+    return in_forward_.load(std::memory_order_acquire);
+  }
 
   /// Backward from d(loss)/d(log_probs); accumulates parameter grads.
   void backward(const nn::Tensor& grad_log_probs);
@@ -130,6 +143,9 @@ class DgcnnModel {
   // The propagation operator must outlive backward.
   std::unique_ptr<tensor::SparseMatrix> last_prop_;
   nn::Tensor last_input_grad_;
+
+  // Checked-mode guard against concurrent forward passes on one instance.
+  std::atomic<bool> in_forward_{false};
 };
 
 }  // namespace magic::core

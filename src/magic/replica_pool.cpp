@@ -1,0 +1,66 @@
+#include "magic/replica_pool.hpp"
+
+#include <sstream>
+
+#include "magic/classifier.hpp"
+
+namespace magic::core {
+
+void ReplicaPool::Lease::release() noexcept {
+  if (pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_->mutex_);
+  pool_->busy_[index_] = false;
+  pool_ = nullptr;
+  replica_ = nullptr;
+}
+
+ReplicaPool::ReplicaPool(const MagicClassifier& source, std::size_t warm_count) {
+  std::ostringstream snapshot;
+  source.save(snapshot);  // throws std::logic_error when not fitted
+  blob_ = snapshot.str();
+  warm(warm_count);
+}
+
+ReplicaPool::~ReplicaPool() = default;
+
+std::unique_ptr<MagicClassifier> ReplicaPool::materialize() const {
+  std::istringstream in(blob_);
+  return std::make_unique<MagicClassifier>(MagicClassifier::load(in));
+}
+
+ReplicaPool::Lease ReplicaPool::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!busy_[i]) {
+      busy_[i] = true;
+      return Lease{this, i, replicas_[i].get()};
+    }
+  }
+  replicas_.push_back(materialize());
+  busy_.push_back(true);
+  return Lease{this, replicas_.size() - 1, replicas_.back().get()};
+}
+
+void ReplicaPool::warm(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (replicas_.size() < count) {
+    replicas_.push_back(materialize());
+    busy_.push_back(false);
+  }
+}
+
+std::size_t ReplicaPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_.size();
+}
+
+std::size_t ReplicaPool::leased() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const bool busy : busy_) {
+    if (busy) ++count;
+  }
+  return count;
+}
+
+}  // namespace magic::core

@@ -1,0 +1,104 @@
+#pragma once
+// ReplicaPool: per-thread model replicas, cloned once and leased out.
+//
+// DgcnnModel forward passes cache activations inside the layers, so one
+// model instance must never be driven by two threads at once (enforced by a
+// checked-mode guard in DgcnnModel::forward). Every parallel scoring path —
+// MagicClassifier::predict_batch and the serve::InferenceServer workers —
+// therefore needs exclusive access to a replica while scoring. Before this
+// pool, predict_batch re-serialized and re-materialized the model on
+// *every* call; the pool snapshots the weights once (text serialization,
+// bit-reproducible per model_io.cpp) and materializes each replica exactly
+// once, on first demand.
+//
+// Replicas are handed out as RAII leases: acquire() returns an idle replica
+// (materializing a new one when all are busy), and the lease returns it on
+// destruction. That makes concurrent consumers safe by construction — a
+// predict_batch running next to a live InferenceServer over the same
+// classifier simply grows the pool instead of sharing hot replicas.
+//
+// Thread-safety: acquire()/warm()/size() may be called concurrently. The
+// classifier leased through a Lease is exclusively owned until the lease is
+// destroyed. Replica addresses are stable for the pool's lifetime.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace magic::core {
+
+class MagicClassifier;
+
+/// Lazily grown pool of independent clones of one fitted classifier.
+class ReplicaPool {
+ public:
+  /// Exclusive RAII handle to one replica. Move-only; returns the replica
+  /// to the pool on destruction. Must not outlive the pool.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { swap(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        swap(other);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    MagicClassifier& operator*() const noexcept { return *replica_; }
+    MagicClassifier* operator->() const noexcept { return replica_; }
+    bool valid() const noexcept { return replica_ != nullptr; }
+
+   private:
+    friend class ReplicaPool;
+    Lease(ReplicaPool* pool, std::size_t index, MagicClassifier* replica) noexcept
+        : pool_(pool), index_(index), replica_(replica) {}
+    void release() noexcept;
+    void swap(Lease& other) noexcept {
+      std::swap(pool_, other.pool_);
+      std::swap(index_, other.index_);
+      std::swap(replica_, other.replica_);
+    }
+
+    ReplicaPool* pool_ = nullptr;
+    std::size_t index_ = 0;
+    MagicClassifier* replica_ = nullptr;
+  };
+
+  /// Snapshots `source`'s weights (throws std::logic_error if not fitted)
+  /// and eagerly materializes `warm_count` replicas.
+  explicit ReplicaPool(const MagicClassifier& source, std::size_t warm_count = 0);
+  ~ReplicaPool();
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  /// Leases an idle replica, materializing a new one when all existing
+  /// replicas are busy. Never blocks on other lease holders.
+  Lease acquire();
+
+  /// Materializes replicas until at least `count` exist (eager warm-up so
+  /// first requests don't pay the clone cost).
+  void warm(std::size_t count);
+
+  /// Number of replicas materialized so far.
+  std::size_t size() const;
+  /// Number of replicas currently leased out.
+  std::size_t leased() const;
+
+ private:
+  std::unique_ptr<MagicClassifier> materialize() const;
+
+  std::string blob_;  // serialized source model
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<MagicClassifier>> replicas_;
+  std::vector<bool> busy_;
+};
+
+}  // namespace magic::core

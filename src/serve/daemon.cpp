@@ -1,0 +1,258 @@
+#include "serve/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace magic::serve {
+namespace {
+
+/// One in-order response slot: either a pending verdict or an
+/// already-rendered line (parse errors, stats).
+struct ResponseEntry {
+  std::string id;
+  PendingVerdict pending;     // invalid when ready_line / is_stats is used
+  std::string ready_line;
+  bool is_stats = false;      // render the snapshot at flush time, so it
+                              // reflects the requests ordered before it
+};
+
+/// Core protocol loop shared by the stdio and socket paths. `read_line`
+/// returns false at end of stream; `write_line_fn` emits one response line.
+std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
+                          const std::function<void(std::string_view)>& write_line_fn,
+                          InferenceServer& server) {
+  // Bounds the number of outstanding responses per stream; beyond it the
+  // reader blocks on the oldest verdict (per-connection flow control on
+  // top of the server's global admission control).
+  constexpr std::size_t kMaxPending = 512;
+
+  std::uint64_t served = 0;
+  std::deque<ResponseEntry> pending;
+
+  auto flush_front = [&] {
+    ResponseEntry& front = pending.front();
+    if (front.pending.valid()) {
+      write_line_fn(wire::verdict_to_json(front.id, front.pending.get()));
+    } else if (front.is_stats) {
+      write_line_fn(server.stats().to_json());
+    } else {
+      write_line_fn(front.ready_line);
+    }
+    pending.pop_front();
+  };
+  auto flush_ready = [&] {
+    while (!pending.empty() &&
+           (!pending.front().pending.valid() || pending.front().pending.ready())) {
+      flush_front();
+    }
+  };
+
+  std::string line;
+  bool quit = false;
+  while (!quit && read_line(line)) {
+    ResponseEntry entry;
+    try {
+      const auto request = wire::parse_request_line(line);
+      if (!request) {
+        flush_ready();
+        continue;
+      }
+      switch (request->kind) {
+        case wire::Request::Kind::Quit:
+          quit = true;
+          break;
+        case wire::Request::Kind::Stats:
+          entry.is_stats = true;
+          pending.push_back(std::move(entry));
+          break;
+        case wire::Request::Kind::Path: {
+          entry.id = request->id;
+          std::ifstream file(request->payload);
+          if (!file) {
+            Verdict verdict;
+            verdict.status = VerdictStatus::Error;
+            verdict.error = "cannot open " + request->payload;
+            entry.ready_line = wire::verdict_to_json(entry.id, verdict);
+          } else {
+            std::ostringstream buffer;
+            buffer << file.rdbuf();
+            entry.pending = server.submit_listing(buffer.str());
+            ++served;
+          }
+          pending.push_back(std::move(entry));
+          break;
+        }
+        case wire::Request::Kind::Base64:
+          entry.id = request->id;
+          entry.pending = server.submit_listing(request->payload);
+          ++served;
+          pending.push_back(std::move(entry));
+          break;
+      }
+    } catch (const std::exception& e) {
+      Verdict verdict;
+      verdict.status = VerdictStatus::Error;
+      verdict.error = e.what();
+      entry.ready_line = wire::verdict_to_json(entry.id, verdict);
+      pending.push_back(std::move(entry));
+    }
+    if (pending.size() >= kMaxPending) flush_front();  // blocks on oldest
+    flush_ready();
+  }
+  while (!pending.empty()) flush_front();  // blocking flush at end of stream
+  return served;
+}
+
+// ---------------------------------------------------------------------------
+// Signal plumbing: the handler may only touch a lock-free atomic flag.
+
+std::atomic<bool> g_signal_stop{false};
+
+void stop_signal_handler(int) { g_signal_stop.store(true, std::memory_order_relaxed); }
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": errno " + std::to_string(errno));
+}
+
+int bind_unix_listener(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("magicd: bad socket path '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("magicd: socket");
+  ::unlink(socket_path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("magicd: cannot bind " + socket_path + " (errno " +
+                             std::to_string(errno) + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("magicd: listen");
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           InferenceServer& server) {
+  auto read_line = [&in](std::string& line) {
+    return static_cast<bool>(std::getline(in, line));
+  };
+  auto write = [&out](std::string_view line) {
+    out << line << '\n';
+    out.flush();
+  };
+  return serve_lines(read_line, write, server);
+}
+
+std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& options) {
+  if (options.handle_signals) {
+    g_signal_stop.store(false, std::memory_order_relaxed);
+    struct sigaction action {};
+    action.sa_handler = stop_signal_handler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+  }
+
+  const int listen_fd = bind_unix_listener(options.socket_path);
+
+  std::mutex conn_mutex;
+  std::vector<int> active_fds;
+  std::vector<std::thread> conn_threads;
+  std::atomic<std::uint64_t> served{0};
+
+  auto should_stop = [&] {
+    if (options.handle_signals && g_signal_stop.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return options.external_stop != nullptr &&
+           options.external_stop->load(std::memory_order_acquire);
+  };
+
+  while (!should_stop()) {
+    pollfd poller{};
+    poller.fd = listen_fd;
+    poller.events = POLLIN;
+    const int ready = ::poll(&poller, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks should_stop
+      ::close(listen_fd);
+      throw_errno("magicd: poll");
+    }
+    if (ready == 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener torn down
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      active_fds.push_back(conn_fd);
+    }
+    conn_threads.emplace_back([conn_fd, &server, &served, &conn_mutex, &active_fds] {
+      wire::FdLineReader reader(conn_fd);
+      auto read_line = [&reader](std::string& line) { return reader.next_line(line); };
+      auto write = [conn_fd](std::string_view line) { wire::write_line(conn_fd, line); };
+      try {
+        served.fetch_add(serve_lines(read_line, write, server),
+                         std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        // Client went away mid-response; drop the connection silently.
+      }
+      {
+        // Deregister before close so the drain path never touches a
+        // recycled fd number.
+        std::lock_guard<std::mutex> lock(conn_mutex);
+        for (auto it = active_fds.begin(); it != active_fds.end(); ++it) {
+          if (*it == conn_fd) {
+            active_fds.erase(it);
+            break;
+          }
+        }
+      }
+      ::close(conn_fd);
+    });
+  }
+
+  // Graceful drain: stop accepting, nudge connections to finish (half-close
+  // their read side so blocked reads see EOF and flush pending verdicts),
+  // join them, then drain the scoring queue.
+  ::close(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    for (const int fd : active_fds) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& t : conn_threads) {
+    if (t.joinable()) t.join();
+  }
+  server.stop(/*drain=*/true);
+  ::unlink(options.socket_path.c_str());
+  return served.load(std::memory_order_relaxed);
+}
+
+}  // namespace magic::serve

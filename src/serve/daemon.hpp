@@ -1,0 +1,45 @@
+#pragma once
+// magicd daemon loops: serve the wire protocol over stdio or a Unix domain
+// socket.
+//
+// Both modes pipeline: requests are submitted to the InferenceServer as
+// they are read (so micro-batching sees real concurrency) while responses
+// are flushed in request order as they resolve. A stream ends at EOF or a
+// `quit` line, after which every outstanding verdict is flushed.
+//
+// The socket daemon accepts any number of concurrent connections (each one
+// is an independent producer into the shared server) and drains gracefully
+// on SIGTERM/SIGINT: stop accepting, half-close active connections, flush
+// their in-flight verdicts, then drain the server queue.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace magic::serve {
+
+/// Serves one request stream (the stdio mode of magicd). Returns the
+/// number of scan requests submitted. Malformed lines produce an
+/// {"id":"","status":"error",...} response instead of killing the stream.
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           InferenceServer& server);
+
+/// Options for the socket daemon loop.
+struct DaemonOptions {
+  std::string socket_path;
+  /// Install SIGTERM/SIGINT handlers that trigger graceful drain.
+  bool handle_signals = true;
+  /// Optional external stop flag (tests); polled alongside the signal flag.
+  const std::atomic<bool>* external_stop = nullptr;
+};
+
+/// Binds `options.socket_path` (replacing a stale socket file), accepts
+/// connections until a stop signal, then drains and returns the total
+/// number of scan requests served. Throws std::runtime_error on socket
+/// setup failure.
+std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& options);
+
+}  // namespace magic::serve

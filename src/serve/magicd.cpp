@@ -1,0 +1,174 @@
+// magicd: the MAGIC scan daemon (the resident half of the paper's §VII
+// cloud deployment).
+//
+// Serving (requires a trained model, see model_io.cpp for the format):
+//   magicd --model FILE                     stdio mode: newline-delimited
+//                                           requests on stdin, JSON verdicts
+//                                           on stdout (see serve/wire.hpp)
+//   magicd --model FILE --socket PATH      Unix-domain-socket daemon; any
+//                                           number of concurrent clients;
+//                                           graceful drain on SIGTERM/SIGINT
+// Tuning: --workers N --queue N --batch N --window-us U --deadline-ms D
+//
+// Bootstrap (demo/CI; no real corpus required):
+//   magicd --selftrain FILE [--samples-dir DIR] [--scale F] [--epochs N]
+//                                           trains a small classifier on the
+//                                           synthetic YANCFG-style corpus,
+//                                           saves it to FILE and optionally
+//                                           writes demo listings to DIR.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "data/program_generator.hpp"
+#include "magic/classifier.hpp"
+#include "serve/daemon.hpp"
+#include "serve/server.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace magic;
+
+struct Options {
+  std::string model_path;
+  std::string selftrain_path;
+  std::string samples_dir;
+  std::string socket_path;
+  serve::ServeConfig serve;
+  double scale = 0.004;
+  std::size_t epochs = 12;
+  std::uint64_t seed = 13;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --model FILE [--socket PATH]\n"
+      << "           [--workers N] [--queue N] [--batch N] [--window-us U]\n"
+      << "           [--deadline-ms D]\n"
+      << "       " << argv0 << " --selftrain FILE [--samples-dir DIR]\n"
+      << "           [--scale F] [--epochs N] [--seed S]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--model") opt.model_path = need_value(i);
+    else if (arg == "--selftrain") opt.selftrain_path = need_value(i);
+    else if (arg == "--samples-dir") opt.samples_dir = need_value(i);
+    else if (arg == "--socket") opt.socket_path = need_value(i);
+    else if (arg == "--workers") opt.serve.workers = std::stoul(need_value(i));
+    else if (arg == "--queue") opt.serve.queue_capacity = std::stoul(need_value(i));
+    else if (arg == "--batch") opt.serve.max_batch = std::stoul(need_value(i));
+    else if (arg == "--window-us")
+      opt.serve.batch_window = std::chrono::microseconds(std::stol(need_value(i)));
+    else if (arg == "--deadline-ms")
+      opt.serve.default_deadline = std::chrono::milliseconds(std::stol(need_value(i)));
+    else if (arg == "--scale") opt.scale = std::stod(need_value(i));
+    else if (arg == "--epochs") opt.epochs = std::stoul(need_value(i));
+    else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+    else usage(argv[0]);
+  }
+  if (opt.model_path.empty() == opt.selftrain_path.empty()) usage(argv[0]);
+  return opt;
+}
+
+int selftrain(const Options& opt) {
+  util::ThreadPool pool;
+  std::cerr << "magicd: generating a YANCFG-style corpus (scale " << opt.scale
+            << ")...\n";
+  data::Dataset corpus = data::yancfg_like_corpus(opt.scale, opt.seed, pool);
+  std::cerr << "magicd: " << corpus.size() << " samples, "
+            << corpus.num_families() << " families; training "
+            << opt.epochs << " epochs...\n";
+
+  core::DgcnnConfig config;
+  config.pooling = core::PoolingType::AdaptivePooling;
+  config.pooling_ratio = 0.2;
+  config.graph_conv_channels = {32, 32};
+  config.dropout_rate = 0.5;
+  core::TrainOptions train;
+  train.epochs = opt.epochs;
+  train.batch_size = 10;
+  train.learning_rate = 3e-3;
+  train.weight_decay = 1e-4;
+  train.balance_families = true;
+  train.balance_strength = 0.5;
+
+  core::MagicClassifier clf(config, train, opt.seed);
+  util::Timer timer;
+  clf.fit(corpus, 0.15);
+  std::cerr << "magicd: trained in " << timer.seconds() << "s\n";
+  clf.save_file(opt.selftrain_path);
+  std::cerr << "magicd: model saved to " << opt.selftrain_path << "\n";
+
+  if (!opt.samples_dir.empty()) {
+    std::filesystem::create_directories(opt.samples_dir);
+    const auto specs = data::yancfg_family_specs();
+    std::size_t written = 0;
+    for (const std::size_t family : {std::size_t{3}, std::size_t{9}, std::size_t{1}}) {
+      data::ProgramGenerator gen(specs[family], util::Rng(opt.seed * 100 + family));
+      const std::string path = opt.samples_dir + "/" + specs[family].name + ".asm";
+      std::ofstream out(path);
+      out << gen.generate_listing();
+      if (!out) {
+        std::cerr << "magicd: cannot write " << path << "\n";
+        return 1;
+      }
+      ++written;
+    }
+    std::cerr << "magicd: wrote " << written << " demo listings to "
+              << opt.samples_dir << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  try {
+    if (!opt.selftrain_path.empty()) return selftrain(opt);
+
+    core::MagicClassifier clf = core::MagicClassifier::load_file(opt.model_path);
+    serve::InferenceServer server(clf, opt.serve);
+    std::cerr << "magicd: model " << opt.model_path << " ("
+              << clf.family_names().size() << " families), "
+              << server.config().workers << " workers, queue "
+              << server.config().queue_capacity << ", batch "
+              << server.config().max_batch << " @ "
+              << server.config().batch_window.count() << "us\n";
+
+    std::uint64_t served = 0;
+    if (opt.socket_path.empty()) {
+      std::cerr << "magicd: serving stdio (one request per line; 'quit' ends)\n";
+      served = serve::serve_stream(std::cin, std::cout, server);
+      server.stop(/*drain=*/true);
+    } else {
+      std::cerr << "magicd: listening on " << opt.socket_path << "\n";
+      serve::DaemonOptions daemon;
+      daemon.socket_path = opt.socket_path;
+      served = serve::run_unix_daemon(server, daemon);
+    }
+    const serve::ServerStats stats = server.stats();
+    std::cerr << "magicd: drained; served " << served << " requests ("
+              << stats.completed << " ok, " << stats.rejected_full
+              << " rejected, " << stats.expired << " expired, " << stats.failed
+              << " failed)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "magicd: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,134 @@
+#pragma once
+// InferenceServer: the long-lived, thread-safe scoring core of magic::serve.
+//
+// The paper's §VII deployment story ("MAGIC would be deployed on a cloud...
+// users upload suspicious files... classified on demand") needs more than a
+// one-shot predict(): a resident service that owns a trained model, keeps a
+// replica per worker (the DGCNN forward pass is stateful, see
+// DgcnnModel::forward), and pushes every request through one bounded queue:
+//
+//   submit() --try_push--> BoundedQueue --pop--> worker micro-batcher
+//                 |                                   |
+//            full? reject                  flush on max_batch or
+//            (backpressure)                batch_window deadline
+//                                                     |
+//                                          replica.predict() per item,
+//                                          deadline-expired items skipped,
+//                                          PendingVerdict resolved
+//
+// Dynamic micro-batching: a worker that pops one request keeps collecting
+// until it has `max_batch` items or `batch_window` has elapsed, then scores
+// the whole batch on its replica. Under load batches fill instantly (queue
+// synchronization and stats amortize across the batch); when idle a lone
+// request waits at most one batch window.
+//
+// Shutdown: stop(drain=true) — the SIGTERM path — stops admission and lets
+// workers finish every queued request; stop(drain=false) resolves queued
+// requests as ShuttingDown immediately. Every PendingVerdict is resolved
+// before stop() returns, so no waiter can hang.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "magic/classifier.hpp"
+#include "magic/replica_pool.hpp"
+#include "serve/stats.hpp"
+#include "serve/verdict.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace magic::serve {
+
+/// Tuning knobs of one InferenceServer.
+struct ServeConfig {
+  /// Worker threads == model replicas.
+  std::size_t workers = 4;
+  /// Bounded request queue: submissions beyond this reject immediately.
+  std::size_t queue_capacity = 256;
+  /// Micro-batch flush threshold (1 disables batching).
+  std::size_t max_batch = 8;
+  /// Micro-batch flush deadline: how long a worker waits for more requests
+  /// after the first one (0 disables the wait, i.e. flush immediately).
+  std::chrono::microseconds batch_window{2000};
+  /// Default per-request deadline; 0 = none. A request whose deadline has
+  /// passed when a worker picks it up resolves as DeadlineExpired without
+  /// being scored (load shedding).
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Concurrent scoring service over a fitted MagicClassifier.
+class InferenceServer {
+ public:
+  /// Snapshots `model`'s weights (one replica per worker, cloned once) and
+  /// starts the worker threads. Throws std::logic_error when `model` is not
+  /// fitted. The source classifier is not referenced after construction.
+  explicit InferenceServer(core::MagicClassifier& model, ServeConfig config = {});
+
+  /// Graceful: equivalent to stop(/*drain=*/true).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one pre-extracted ACFG. Never blocks: on a full queue or a
+  /// draining server the returned handle is already resolved with
+  /// RejectedQueueFull / ShuttingDown. `deadline` overrides the config
+  /// default (0 = no deadline).
+  PendingVerdict submit(acfg::Acfg sample,
+                        std::chrono::milliseconds deadline = std::chrono::milliseconds{-1});
+
+  /// Full-pipeline variant: extracts listing -> CFG -> ACFG on the calling
+  /// thread (producers parallelize extraction), then enqueues. Extraction
+  /// failures resolve the handle with VerdictStatus::Error.
+  PendingVerdict submit_listing(std::string_view listing,
+                                std::chrono::milliseconds deadline = std::chrono::milliseconds{-1});
+
+  /// Synchronous convenience: submit + get.
+  Verdict scan(acfg::Acfg sample);
+  Verdict scan_listing(std::string_view listing);
+
+  /// Consistent stats snapshot (callable from any thread, any time).
+  ServerStats stats() const;
+
+  const std::vector<std::string>& family_names() const noexcept { return family_names_; }
+  const ServeConfig& config() const noexcept { return config_; }
+
+  /// Stops the server (idempotent, callable concurrently). drain=true
+  /// scores everything already queued; drain=false resolves queued requests
+  /// as ShuttingDown. Either way admission stops first and all outstanding
+  /// PendingVerdicts are resolved before return.
+  void stop(bool drain = true);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Queued {
+    acfg::Acfg sample;
+    Clock::time_point submitted_at{};
+    Clock::time_point deadline{Clock::time_point::max()};
+    std::shared_ptr<detail::VerdictSlot> slot;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void process(Queued& request, core::MagicClassifier& replica);
+  static double elapsed_ms(Clock::time_point since);
+
+  ServeConfig config_;
+  std::vector<std::string> family_names_;
+  std::shared_ptr<core::ReplicaPool> replicas_;
+  util::BoundedQueue<Queued> queue_;
+  StatsCollector stats_;
+  std::atomic<bool> accepting_{true};
+  std::vector<std::thread> workers_;
+  std::mutex stop_mutex_;
+  bool stopped_ = false;
+};
+
+}  // namespace magic::serve

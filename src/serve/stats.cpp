@@ -1,0 +1,78 @@
+#include "serve/stats.hpp"
+
+#include <sstream>
+
+namespace magic::serve {
+
+double ServerStats::mean_batch_size() const noexcept {
+  std::uint64_t total = 0;
+  std::uint64_t weighted = 0;
+  for (std::size_t s = 0; s < batch_size_counts.size(); ++s) {
+    total += batch_size_counts[s];
+    weighted += batch_size_counts[s] * s;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(weighted) / static_cast<double>(total);
+}
+
+std::string ServerStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"rejected_full\":" << rejected_full
+     << ",\"rejected_shutdown\":" << rejected_shutdown
+     << ",\"expired\":" << expired << ",\"failed\":" << failed
+     << ",\"batches\":" << batches << ",\"queue_depth\":" << queue_depth
+     << ",\"workers\":" << workers << ",\"mean_batch_size\":" << mean_batch_size()
+     << ",\"batch_size_counts\":[";
+  for (std::size_t s = 1; s < batch_size_counts.size(); ++s) {
+    if (s > 1) os << ',';
+    os << batch_size_counts[s];
+  }
+  os << "],\"latency_ms\":{\"p50\":" << latency_p50_ms << ",\"p95\":" << latency_p95_ms
+     << ",\"p99\":" << latency_p99_ms << ",\"mean\":" << latency_mean_ms
+     << ",\"max\":" << latency_max_ms << "}}";
+  return os.str();
+}
+
+StatsCollector::StatsCollector(std::size_t max_batch)
+    : batch_size_counts_(max_batch + 1, 0) {}
+
+void StatsCollector::on_batch(std::size_t batch_size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (batch_size >= batch_size_counts_.size()) {
+    batch_size_counts_.resize(batch_size + 1, 0);
+  }
+  ++batch_size_counts_[batch_size];
+}
+
+void StatsCollector::on_completed(double latency_ms) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_ms_.record(latency_ms);
+}
+
+ServerStats StatsCollector::snapshot(std::size_t queue_depth,
+                                     std::size_t workers) const {
+  ServerStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  out.expired = expired_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_depth;
+  out.workers = workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.batch_size_counts = batch_size_counts_;
+    out.latency_p50_ms = latency_ms_.quantile(0.50);
+    out.latency_p95_ms = latency_ms_.quantile(0.95);
+    out.latency_p99_ms = latency_ms_.quantile(0.99);
+    out.latency_mean_ms = latency_ms_.mean();
+    out.latency_max_ms = latency_ms_.max();
+  }
+  return out;
+}
+
+}  // namespace magic::serve

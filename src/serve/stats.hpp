@@ -1,0 +1,77 @@
+#pragma once
+// Serving-side observability: counters, batch-size histogram and latency
+// percentiles, exported as a consistent ServerStats snapshot (the `stats`
+// wire command and the throughput bench both read it).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace magic::serve {
+
+/// Point-in-time view of an InferenceServer's counters and distributions.
+struct ServerStats {
+  std::uint64_t submitted = 0;        ///< all submit()/scan() entries
+  std::uint64_t completed = 0;        ///< resolved Ok
+  std::uint64_t rejected_full = 0;    ///< admission-control rejects
+  std::uint64_t rejected_shutdown = 0;///< submitted to / queued in a draining server
+  std::uint64_t expired = 0;          ///< per-request deadline passed
+  std::uint64_t failed = 0;           ///< extraction/scoring error
+  std::uint64_t batches = 0;          ///< micro-batches executed
+  std::size_t queue_depth = 0;        ///< requests queued right now
+  std::size_t workers = 0;
+
+  /// batch_size_counts[s] = number of micro-batches of size s
+  /// (index 0 unused; size max_batch is the last slot).
+  std::vector<std::uint64_t> batch_size_counts;
+
+  /// End-to-end latency of Ok verdicts (submit -> resolution).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  double mean_batch_size() const noexcept;
+  /// Single-line JSON rendering (the `stats` wire command's payload).
+  std::string to_json() const;
+};
+
+/// Thread-safe collector behind ServerStats. Counter bumps are lock-free;
+/// the histograms share one mutex (they are touched once per batch/verdict,
+/// which is amortized across the whole micro-batch).
+class StatsCollector {
+ public:
+  explicit StatsCollector(std::size_t max_batch);
+
+  void on_submitted() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_full() noexcept { rejected_full_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_shutdown() noexcept { rejected_shutdown_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expired() noexcept { expired_.fetch_add(1, std::memory_order_relaxed); }
+  void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  void on_batch(std::size_t batch_size);
+  void on_completed(double latency_ms);
+
+  ServerStats snapshot(std::size_t queue_depth, std::size_t workers) const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  mutable std::mutex mutex_;
+  util::Histogram latency_ms_;
+  std::vector<std::uint64_t> batch_size_counts_;
+};
+
+}  // namespace magic::serve

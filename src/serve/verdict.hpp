@@ -1,0 +1,119 @@
+#pragma once
+// Verdict and PendingVerdict: the result types of the serving layer.
+//
+// A submitted scan resolves to exactly one Verdict — a prediction, or an
+// explicit status explaining why no prediction was made (queue full,
+// deadline expired, server draining, pipeline error). PendingVerdict is the
+// future-like handle: copyable, waitable, and always eventually fulfilled
+// (the server resolves every outstanding slot before its workers exit, so
+// get() can never hang on a stopped server).
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "magic/classifier.hpp"
+
+namespace magic::serve {
+
+/// Terminal state of one scan request.
+enum class VerdictStatus {
+  Ok,                 ///< prediction is valid
+  RejectedQueueFull,  ///< admission control: the bounded queue was full
+  DeadlineExpired,    ///< the per-request deadline passed before scoring
+  ShuttingDown,       ///< submitted to (or queued in) a draining server
+  Error,              ///< extraction/scoring threw; see `error`
+};
+
+const char* to_string(VerdictStatus status) noexcept;
+
+/// The resolved outcome of one scan request.
+struct Verdict {
+  VerdictStatus status = VerdictStatus::Error;
+  core::Prediction prediction;  ///< valid only when status == Ok
+  double latency_ms = 0.0;      ///< submit -> resolution wall time
+  std::string error;            ///< diagnostic for status == Error
+
+  bool ok() const noexcept { return status == VerdictStatus::Ok; }
+};
+
+namespace detail {
+
+/// Shared one-shot slot between a PendingVerdict and the server.
+class VerdictSlot {
+ public:
+  /// Resolves the slot (first call wins; later calls are ignored so a
+  /// shutdown sweep cannot clobber a worker's result).
+  void fulfil(Verdict verdict) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (done_) return;
+      verdict_ = std::move(verdict);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+  }
+
+  Verdict wait() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return done_; });
+    return verdict_;
+  }
+
+  template <typename Rep, typename Period>
+  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Verdict verdict_;
+};
+
+}  // namespace detail
+
+/// Future-like handle to an in-flight scan. Copyable; all copies observe
+/// the same resolution. A default-constructed handle is invalid.
+class PendingVerdict {
+ public:
+  PendingVerdict() = default;
+
+  bool valid() const noexcept { return slot_ != nullptr; }
+
+  /// True once the verdict is resolved (non-blocking).
+  bool ready() const { return slot_ && slot_->ready(); }
+
+  /// Blocks until resolved and returns the verdict (repeatable).
+  /// Throws std::logic_error on an invalid handle.
+  Verdict get() const {
+    if (!slot_) throw std::logic_error("PendingVerdict::get: invalid handle");
+    return slot_->wait();
+  }
+
+  /// Waits up to `timeout`; true when the verdict became ready.
+  template <typename Rep, typename Period>
+  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
+    if (!slot_) throw std::logic_error("PendingVerdict::wait_for: invalid handle");
+    return slot_->wait_for(timeout);
+  }
+
+ private:
+  friend class InferenceServer;
+  explicit PendingVerdict(std::shared_ptr<detail::VerdictSlot> slot)
+      : slot_(std::move(slot)) {}
+
+  std::shared_ptr<detail::VerdictSlot> slot_;
+};
+
+}  // namespace magic::serve

@@ -1,0 +1,277 @@
+#include "serve/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace magic::serve::wire {
+namespace {
+
+constexpr std::string_view kB64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_b64_inverse() {
+  std::array<int, 256> inv{};
+  inv.fill(-1);
+  for (std::size_t i = 0; i < kB64Alphabet.size(); ++i) {
+    inv[static_cast<unsigned char>(kB64Alphabet[i])] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": errno " + std::to_string(errno));
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits off the next whitespace-delimited token.
+std::string_view take_token(std::string_view& rest) {
+  rest = trim(rest);
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  const std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const auto a = static_cast<unsigned char>(data[i]);
+    const auto b = static_cast<unsigned char>(data[i + 1]);
+    const auto c = static_cast<unsigned char>(data[i + 2]);
+    out.push_back(kB64Alphabet[a >> 2]);
+    out.push_back(kB64Alphabet[((a & 0x3) << 4) | (b >> 4)]);
+    out.push_back(kB64Alphabet[((b & 0xF) << 2) | (c >> 6)]);
+    out.push_back(kB64Alphabet[c & 0x3F]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const auto a = static_cast<unsigned char>(data[i]);
+    out.push_back(kB64Alphabet[a >> 2]);
+    out.push_back(kB64Alphabet[(a & 0x3) << 4]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const auto a = static_cast<unsigned char>(data[i]);
+    const auto b = static_cast<unsigned char>(data[i + 1]);
+    out.push_back(kB64Alphabet[a >> 2]);
+    out.push_back(kB64Alphabet[((a & 0x3) << 4) | (b >> 4)]);
+    out.push_back(kB64Alphabet[(b & 0xF) << 2]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_decode(std::string_view data) {
+  static const std::array<int, 256> inv = build_b64_inverse();
+  std::string out;
+  out.reserve(data.size() / 4 * 3);
+  std::uint32_t quantum = 0;
+  int bits = 0;
+  for (const char ch : data) {
+    if (ch == '=') break;  // padding terminates the payload
+    const int value = inv[static_cast<unsigned char>(ch)];
+    if (value < 0) {
+      throw std::runtime_error("base64_decode: invalid character");
+    }
+    quantum = (quantum << 6) | static_cast<std::uint32_t>(value);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((quantum >> bits) & 0xFF));
+    }
+  }
+  if (bits >= 6) {
+    throw std::runtime_error("base64_decode: truncated final quantum");
+  }
+  return out;
+}
+
+std::optional<Request> parse_request_line(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') return std::nullopt;
+
+  std::string_view rest = trimmed;
+  const std::string_view first = take_token(rest);
+  if (first == "stats") {
+    Request request;
+    request.kind = Request::Kind::Stats;
+    return request;
+  }
+  if (first == "quit") {
+    Request request;
+    request.kind = Request::Kind::Quit;
+    return request;
+  }
+
+  Request request;
+  request.id = std::string(first);
+  const std::string_view kind = take_token(rest);
+  const std::string_view payload = trim(rest);
+  if (payload.empty()) {
+    throw std::runtime_error("wire: request '" + request.id + "' has no payload");
+  }
+  if (kind == "path") {
+    request.kind = Request::Kind::Path;
+    request.payload = std::string(payload);
+  } else if (kind == "b64") {
+    request.kind = Request::Kind::Base64;
+    request.payload = base64_decode(payload);
+  } else {
+    throw std::runtime_error("wire: unknown request kind '" + std::string(kind) +
+                             "' (expected 'path' or 'b64')");
+  }
+  return request;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto ch = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[ch >> 4]);
+          out.push_back(hex[ch & 0xF]);
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+std::string verdict_to_json(std::string_view id, const Verdict& verdict) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << json_escape(id) << "\",\"status\":\""
+     << to_string(verdict.status) << "\"";
+  if (verdict.ok()) {
+    const core::Prediction& p = verdict.prediction;
+    const double confidence = p.family_index < p.probabilities.size()
+                                  ? p.probabilities[p.family_index]
+                                  : 0.0;
+    os << ",\"family\":\"" << json_escape(p.family_name)
+       << "\",\"family_index\":" << p.family_index
+       << ",\"confidence\":" << confidence << ",\"probabilities\":[";
+    for (std::size_t c = 0; c < p.probabilities.size(); ++c) {
+      if (c) os << ',';
+      os << p.probabilities[c];
+    }
+    os << "]";
+  }
+  if (!verdict.error.empty()) {
+    os << ",\"error\":\"" << json_escape(verdict.error) << "\"";
+  }
+  os << ",\"latency_ms\":" << verdict.latency_ms << "}";
+  return os.str();
+}
+
+bool FdLineReader::next_line(std::string& out) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      out.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      out = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    std::array<char, 4096> chunk{};
+    const ssize_t got = ::read(fd_, chunk.data(), chunk.size());
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("wire: read");
+    }
+    if (got == 0) {
+      eof_ = true;
+    } else {
+      buffer_.append(chunk.data(), static_cast<std::size_t>(got));
+    }
+  }
+}
+
+void write_line(int fd, std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("wire: write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+int connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("wire: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("wire: socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("wire: cannot connect to " + socket_path +
+                             " (errno " + std::to_string(errno) + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+UnixClient::UnixClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)), reader_(fd_) {}
+
+UnixClient::~UnixClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UnixClient::send_line(std::string_view line) { write_line(fd_, line); }
+
+void UnixClient::finish_sending() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool UnixClient::recv_line(std::string& out) { return reader_.next_line(out); }
+
+}  // namespace magic::serve::wire

@@ -1,0 +1,93 @@
+#pragma once
+// magicd wire protocol: newline-delimited requests in, JSON verdicts out.
+//
+// Request lines (fields separated by whitespace):
+//   <id> path <file>      classify the assembly listing stored at <file>
+//   <id> b64 <base64>     classify the base64-encoded listing inline
+//   stats                 emit a ServerStats JSON line
+//   quit                  drain and close this stream
+// Blank lines and lines starting with '#' are ignored.
+//
+// Response lines (one JSON object per request, in request order):
+//   {"id":"a1","status":"ok","family":"Swizzor","family_index":9,
+//    "confidence":0.98,"probabilities":[...],"latency_ms":1.42}
+//   {"id":"a2","status":"rejected_queue_full","latency_ms":0.01}
+//   {"id":"a3","status":"error","error":"..."}
+//
+// This header also carries the small POSIX helpers shared by the daemon
+// and its clients (line-buffered fd reader, full-line writer, Unix-domain
+// socket client).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/verdict.hpp"
+
+namespace magic::serve::wire {
+
+/// One parsed request line.
+struct Request {
+  enum class Kind { Path, Base64, Stats, Quit };
+  Kind kind = Kind::Quit;
+  std::string id;
+  std::string payload;  ///< file path or decoded listing text
+};
+
+/// Parses one request line. Returns nullopt for blank/comment lines;
+/// throws std::runtime_error on malformed input (unknown kind, missing
+/// fields, bad base64).
+std::optional<Request> parse_request_line(std::string_view line);
+
+std::string base64_encode(std::string_view data);
+/// Throws std::runtime_error on characters outside the base64 alphabet or
+/// a truncated final quantum. Accepts both padded and unpadded input.
+std::string base64_decode(std::string_view data);
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Renders one verdict as a single-line JSON object (no trailing newline).
+std::string verdict_to_json(std::string_view id, const Verdict& verdict);
+
+/// Line-buffered reader over a file descriptor (socket or pipe).
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+  /// Reads the next '\n'-terminated line (terminator stripped). Returns
+  /// false at EOF; a final unterminated line is returned before EOF.
+  bool next_line(std::string& out);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Writes all of `line` plus '\n'; throws std::runtime_error on failure.
+void write_line(int fd, std::string_view line);
+
+/// Blocking Unix-domain stream-socket client (used by `malware_scanner
+/// --serve` and the smoke tests).
+class UnixClient {
+ public:
+  /// Connects to the daemon socket; throws std::runtime_error on failure.
+  explicit UnixClient(const std::string& socket_path);
+  ~UnixClient();
+
+  UnixClient(const UnixClient&) = delete;
+  UnixClient& operator=(const UnixClient&) = delete;
+
+  void send_line(std::string_view line);
+  /// Signals end-of-requests (half-close); responses can still be read.
+  void finish_sending();
+  bool recv_line(std::string& out);
+
+ private:
+  int fd_ = -1;
+  FdLineReader reader_;
+};
+
+}  // namespace magic::serve::wire

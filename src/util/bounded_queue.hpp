@@ -1,0 +1,112 @@
+#pragma once
+// Bounded multi-producer multi-consumer FIFO queue.
+//
+// The admission-control primitive of the serving layer (src/serve): pushes
+// never block — a full queue rejects immediately (try_push returns false),
+// which the InferenceServer turns into a RejectedQueueFull verdict so heavy
+// traffic degrades with fast, explicit backpressure instead of unbounded
+// latency. Consumers block (with optional deadline) and drain remaining
+// items after close(), which is what makes graceful SIGTERM drain work.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace magic::util {
+
+/// Bounded MPMC FIFO with non-blocking producers and blocking consumers.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A capacity of 0 is clamped to 1.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push. Returns false when the queue is full or closed;
+  /// the item is left in a moved-from state only on success.
+  bool try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+  bool try_push(T&& item) { return try_push(item); }
+
+  /// Blocking pop. Returns false only when the queue is closed and fully
+  /// drained (the consumer-shutdown signal).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Pop with a deadline. Returns false on timeout *or* when closed and
+  /// drained; callers that need to distinguish check closed() afterwards.
+  /// (The serve batcher treats both as "flush what you have".)
+  template <typename Clock, typename Duration>
+  bool pop_until(T& out, const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_until(lock, deadline,
+                        [&] { return closed_ || !items_.empty(); })) {
+      return false;
+    }
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Closes the queue: subsequent pushes fail, queued items remain poppable
+  /// (graceful drain). Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Closes the queue and removes every queued item, returning them so the
+  /// caller can fail them explicitly (abort/fast-shutdown path).
+  std::deque<T> close_and_drain() {
+    std::deque<T> drained;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      drained.swap(items_);
+    }
+    cv_.notify_all();
+    return drained;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace magic::util

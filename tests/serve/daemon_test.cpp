@@ -1,0 +1,228 @@
+#include "serve/daemon.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/serve_test_util.hpp"
+#include "serve/wire.hpp"
+
+namespace magic::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::shared_classifier;
+
+constexpr const char* kListing =
+    "401000 mov eax, 1\n"
+    "401005 add eax, 2\n"
+    "401008 ret\n";
+
+ServeConfig daemon_config() {
+  ServeConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.max_batch = 4;
+  config.batch_window = 500us;
+  return config;
+}
+
+std::vector<std::string> run_stream(const std::string& input,
+                                    InferenceServer& server,
+                                    std::uint64_t* served = nullptr) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  const std::uint64_t n = serve_stream(in, out, server);
+  if (served != nullptr) *served = n;
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServeStream, GoldenVerdictMatchesDirectScan) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  const Verdict direct = server.scan_listing(kListing);
+  ASSERT_TRUE(direct.ok());
+
+  std::uint64_t served = 0;
+  const auto lines = run_stream(
+      "req1 b64 " + wire::base64_encode(kListing) + "\n", server, &served);
+  EXPECT_EQ(served, 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"req1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"family\":\"" + direct.prediction.family_name + "\""),
+            std::string::npos);
+}
+
+TEST(ServeStream, ResponsesComeBackInRequestOrder) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  const std::string b64 = wire::base64_encode(kListing);
+  std::ostringstream in;
+  for (int i = 0; i < 12; ++i) in << "r" << i << " b64 " << b64 << "\n";
+  const auto lines = run_stream(in.str(), server);
+  ASSERT_EQ(lines.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_NE(lines[static_cast<std::size_t>(i)].find(
+                  "\"id\":\"r" + std::to_string(i) + "\""),
+              std::string::npos)
+        << lines[static_cast<std::size_t>(i)];
+  }
+}
+
+TEST(ServeStream, CommentsAndBlanksIgnoredMalformedReportsError) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  const auto lines = run_stream(
+      "# a comment\n"
+      "\n"
+      "r1 frobnicate zzz\n"
+      "r2 b64 !!!notbase64!!!\n",
+      server);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"error\""), std::string::npos);
+}
+
+TEST(ServeStream, PathRequestReadsFileAndMissingFileIsError) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  const std::string path = ::testing::TempDir() + "magic_daemon_test_listing.asm";
+  {
+    std::ofstream out(path);
+    out << kListing;
+  }
+  const auto lines = run_stream(
+      "f1 path " + path + "\n" +
+      "f2 path " + path + ".does-not-exist\n",
+      server);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\":\"f1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":\"f2\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"error\""), std::string::npos);
+}
+
+TEST(ServeStream, StatsLineReflectsEarlierRequests) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  const auto lines = run_stream(
+      "s1 b64 " + wire::base64_encode(kListing) + "\n" +
+      "stats\n",
+      server);
+  ASSERT_EQ(lines.size(), 2u);
+  // The stats snapshot is rendered after its ordered predecessors resolve.
+  EXPECT_NE(lines[1].find("\"completed\":1"), std::string::npos) << lines[1];
+}
+
+TEST(ServeStream, QuitStopsReadingFurtherRequests) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  std::uint64_t served = 0;
+  const auto lines = run_stream(
+      "q1 b64 " + wire::base64_encode(kListing) + "\n" +
+      "quit\n" +
+      "q2 b64 " + wire::base64_encode(kListing) + "\n",
+      server, &served);
+  EXPECT_EQ(served, 1u);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"q1\""), std::string::npos);
+}
+
+TEST(UnixDaemon, RoundTripOverSocket) {
+  InferenceServer server(shared_classifier(), daemon_config());
+
+  // Keep the socket path short: sun_path is ~108 bytes.
+  const std::string socket_path =
+      "/tmp/magicd_test_" + std::to_string(::getpid()) + ".sock";
+  std::atomic<bool> stop{false};
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;
+  options.external_stop = &stop;
+
+  std::uint64_t served = 0;
+  std::thread daemon([&] { served = run_unix_daemon(server, options); });
+
+  // The listener may not be bound yet; retry the connect briefly.
+  std::unique_ptr<wire::UnixClient> client;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      client = std::make_unique<wire::UnixClient>(socket_path);
+      break;
+    } catch (const std::runtime_error&) {
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  ASSERT_NE(client, nullptr) << "could not connect to " << socket_path;
+
+  const std::string b64 = wire::base64_encode(kListing);
+  client->send_line("c1 b64 " + b64);
+  client->send_line("c2 b64 " + b64);
+  client->send_line("stats");
+  client->finish_sending();
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (client->recv_line(line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"id\":\"c1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":\"c2\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"submitted\":"), std::string::npos);
+
+  stop.store(true);
+  daemon.join();
+  EXPECT_EQ(served, 2u);
+}
+
+TEST(UnixDaemon, DrainMidConnectionResolvesOutstandingRequests) {
+  InferenceServer server(shared_classifier(), daemon_config());
+  const std::string socket_path =
+      "/tmp/magicd_drain_" + std::to_string(::getpid()) + ".sock";
+  std::atomic<bool> stop{false};
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;
+  options.external_stop = &stop;
+
+  std::thread daemon([&] { run_unix_daemon(server, options); });
+  std::unique_ptr<wire::UnixClient> client;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      client = std::make_unique<wire::UnixClient>(socket_path);
+      break;
+    } catch (const std::runtime_error&) {
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  ASSERT_NE(client, nullptr);
+
+  const std::string b64 = wire::base64_encode(kListing);
+  client->send_line("d1 b64 " + b64);
+  client->send_line("d2 b64 " + b64);
+  // Do NOT half-close: the drain path must shut the connection down for us.
+  stop.store(true);
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (client->recv_line(line)) lines.push_back(line);
+  daemon.join();
+  // Both requests were read before the drain kicked in or the connection
+  // was shut down first; either way every received response is well-formed.
+  for (const auto& response : lines) {
+    EXPECT_NE(response.find("\"status\":"), std::string::npos) << response;
+  }
+}
+
+}  // namespace
+}  // namespace magic::serve

@@ -1,0 +1,285 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/serve_test_util.hpp"
+
+namespace magic::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::plug_graph;
+using testing::shared_classifier;
+using testing::small_graph;
+
+ServeConfig quick_config() {
+  ServeConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.max_batch = 4;
+  config.batch_window = 500us;
+  return config;
+}
+
+// The server must be a pure serving wrapper: same model, same verdicts.
+TEST(InferenceServer, GoldenEquivalenceWithDirectPredict) {
+  core::MagicClassifier& clf = shared_classifier();
+  InferenceServer server(clf, quick_config());
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const acfg::Acfg sample = small_graph(static_cast<int>(seed % 2), 10 + seed);
+    const core::Prediction direct = clf.predict(sample);
+    const Verdict served = server.scan(sample);
+    ASSERT_TRUE(served.ok()) << to_string(served.status);
+    EXPECT_EQ(served.prediction.family_index, direct.family_index);
+    EXPECT_EQ(served.prediction.family_name, direct.family_name);
+    ASSERT_EQ(served.prediction.probabilities.size(), direct.probabilities.size());
+    for (std::size_t c = 0; c < direct.probabilities.size(); ++c) {
+      EXPECT_DOUBLE_EQ(served.prediction.probabilities[c], direct.probabilities[c]);
+    }
+    EXPECT_GT(served.latency_ms, 0.0);
+  }
+}
+
+TEST(InferenceServer, SubmitManyAllResolveOk) {
+  InferenceServer server(shared_classifier(), quick_config());
+  std::vector<PendingVerdict> handles;
+  handles.reserve(40);
+  for (int i = 0; i < 40; ++i) {
+    handles.push_back(server.submit(small_graph(i % 2, 100 + static_cast<std::uint64_t>(i))));
+  }
+  for (auto& handle : handles) {
+    const Verdict verdict = handle.get();
+    EXPECT_TRUE(verdict.ok()) << to_string(verdict.status);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 40u);
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+  EXPECT_GE(stats.latency_p99_ms, stats.latency_p50_ms);
+}
+
+// max_batch reached => flush immediately, well before the (huge) window.
+TEST(InferenceServer, BatcherFlushesOnBatchSize) {
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.max_batch = 2;
+  config.batch_window = 60s;  // must never be waited out
+  InferenceServer server(shared_classifier(), config);
+
+  std::vector<PendingVerdict> handles;
+  handles.reserve(4);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(server.submit(small_graph(i % 2, 200 + static_cast<std::uint64_t>(i))));
+  }
+  for (auto& handle : handles) EXPECT_TRUE(handle.get().ok());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 30s);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  ASSERT_GT(stats.batch_size_counts.size(), 2u);
+  // Every batch was flushed by size (2), never by the 60s window.
+  EXPECT_EQ(stats.batch_size_counts[2], 2u);
+  EXPECT_EQ(stats.batches, 2u);
+}
+
+// No more requests coming => the batch must flush when the window expires,
+// and the requests' latency includes that wait.
+TEST(InferenceServer, BatcherFlushesOnWindowDeadline) {
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.max_batch = 8;  // never reached
+  config.batch_window = 300ms;
+  InferenceServer server(shared_classifier(), config);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<PendingVerdict> handles;
+  handles.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(server.submit(small_graph(i % 2, 300 + static_cast<std::uint64_t>(i))));
+  }
+  for (auto& handle : handles) EXPECT_TRUE(handle.get().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // The worker waited out the whole window before scoring.
+  EXPECT_GE(elapsed, 250ms);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_NEAR(stats.mean_batch_size(), 3.0, 1e-9);
+}
+
+TEST(InferenceServer, FullQueueRejectsWithStatus) {
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.max_batch = 1;
+  config.batch_window = 0us;
+  InferenceServer server(shared_classifier(), config);
+
+  // Occupy the single worker so the queue can actually fill up.
+  PendingVerdict plug = server.submit(plug_graph());
+  std::vector<PendingVerdict> handles;
+  handles.reserve(12);
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(server.submit(small_graph(0, 400 + static_cast<std::uint64_t>(i))));
+  }
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  for (auto& handle : handles) {
+    const Verdict verdict = handle.get();
+    if (verdict.ok()) ++ok;
+    if (verdict.status == VerdictStatus::RejectedQueueFull) ++rejected;
+    EXPECT_TRUE(verdict.ok() || verdict.status == VerdictStatus::RejectedQueueFull)
+        << to_string(verdict.status);
+  }
+  EXPECT_TRUE(plug.get().ok());
+  EXPECT_EQ(ok + rejected, 12u);
+  EXPECT_GE(rejected, 1u);  // capacity 2 < 12 while the worker was busy
+  EXPECT_EQ(server.stats().rejected_full, rejected);
+}
+
+TEST(InferenceServer, ExpiredDeadlineShedsLoad) {
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.max_batch = 1;
+  config.batch_window = 0us;
+  InferenceServer server(shared_classifier(), config);
+
+  // The plugs take many ms on the lone worker; a 1 ms deadline queued
+  // behind them must be expired, not scored.
+  std::vector<PendingVerdict> plugs;
+  plugs.reserve(3);
+  for (int i = 0; i < 3; ++i) plugs.push_back(server.submit(plug_graph()));
+  PendingVerdict doomed = server.submit(small_graph(0, 500), 1ms);
+  const Verdict verdict = doomed.get();
+  EXPECT_EQ(verdict.status, VerdictStatus::DeadlineExpired);
+  for (auto& plug : plugs) EXPECT_TRUE(plug.get().ok());
+  EXPECT_EQ(server.stats().expired, 1u);
+}
+
+TEST(InferenceServer, DefaultDeadlineFromConfigApplies) {
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.max_batch = 1;
+  config.batch_window = 0us;
+  config.default_deadline = 1ms;
+  InferenceServer server(shared_classifier(), config);
+
+  std::vector<PendingVerdict> plugs;
+  plugs.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    plugs.push_back(server.submit(plug_graph(), 0ms));  // 0 = no deadline
+  }
+  PendingVerdict doomed = server.submit(small_graph(0, 600));
+  EXPECT_EQ(doomed.get().status, VerdictStatus::DeadlineExpired);
+  for (auto& plug : plugs) EXPECT_TRUE(plug.get().ok());
+}
+
+TEST(InferenceServer, GracefulStopDrainsEverythingQueued) {
+  ServeConfig config = quick_config();
+  config.queue_capacity = 64;
+  InferenceServer server(shared_classifier(), config);
+  std::vector<PendingVerdict> handles;
+  handles.reserve(20);
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(server.submit(small_graph(i % 2, 700 + static_cast<std::uint64_t>(i))));
+  }
+  server.stop(/*drain=*/true);
+  for (auto& handle : handles) {
+    EXPECT_TRUE(handle.get().ok());  // drain scores everything accepted
+  }
+  // After stop, submissions resolve immediately with ShuttingDown.
+  const Verdict late = server.submit(small_graph(0, 800)).get();
+  EXPECT_EQ(late.status, VerdictStatus::ShuttingDown);
+}
+
+TEST(InferenceServer, AbortStopResolvesQueuedAsShuttingDown) {
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  config.max_batch = 1;
+  config.batch_window = 0us;
+  InferenceServer server(shared_classifier(), config);
+
+  PendingVerdict plug = server.submit(plug_graph());
+  std::vector<PendingVerdict> handles;
+  handles.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(server.submit(small_graph(0, 900 + static_cast<std::uint64_t>(i))));
+  }
+  server.stop(/*drain=*/false);
+  // Every handle resolves; whatever was still queued reports ShuttingDown.
+  std::size_t shut_down = 0;
+  for (auto& handle : handles) {
+    const Verdict verdict = handle.get();
+    EXPECT_TRUE(verdict.ok() || verdict.status == VerdictStatus::ShuttingDown)
+        << to_string(verdict.status);
+    if (verdict.status == VerdictStatus::ShuttingDown) ++shut_down;
+  }
+  EXPECT_GE(shut_down, 1u);
+  const Verdict plugged = plug.get();
+  EXPECT_TRUE(plugged.ok() || plugged.status == VerdictStatus::ShuttingDown);
+}
+
+TEST(InferenceServer, ScanListingRunsFullPipeline) {
+  InferenceServer server(shared_classifier(), quick_config());
+  const Verdict verdict = server.scan_listing(
+      "401000 mov eax, 1\n"
+      "401005 add eax, 2\n"
+      "401008 ret\n");
+  ASSERT_TRUE(verdict.ok()) << verdict.error;
+  EXPECT_LT(verdict.prediction.family_index, 2u);
+}
+
+TEST(InferenceServer, BadListingResolvesAsError) {
+  InferenceServer server(shared_classifier(), quick_config());
+  const Verdict verdict = server.scan_listing("");
+  EXPECT_EQ(verdict.status, VerdictStatus::Error);
+  EXPECT_FALSE(verdict.error.empty());
+  EXPECT_EQ(server.stats().failed, 1u);
+}
+
+TEST(InferenceServer, UnfittedModelThrowsAtConstruction) {
+  core::MagicClassifier unfitted(testing::small_config());
+  EXPECT_THROW(InferenceServer(unfitted, quick_config()), std::logic_error);
+}
+
+TEST(InferenceServer, SharesReplicaPoolWithPredictBatch) {
+  core::MagicClassifier& clf = shared_classifier();
+  const auto pool_before = clf.replica_pool();
+  InferenceServer server(clf, quick_config());
+  EXPECT_EQ(clf.replica_pool().get(), pool_before.get());
+  // While the server leases its workers' replicas, predict_batch still
+  // works against the same pool (it leases additional replicas).
+  util::ThreadPool threads(2);
+  std::vector<acfg::Acfg> batch;
+  batch.reserve(6);
+  for (int i = 0; i < 6; ++i) batch.push_back(small_graph(i % 2, 1000 + static_cast<std::uint64_t>(i)));
+  const auto direct = clf.predict_batch(batch, threads);
+  ASSERT_EQ(direct.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Verdict served = server.scan(batch[i]);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served.prediction.family_index, direct[i].family_index);
+  }
+}
+
+TEST(PendingVerdict, InvalidHandleThrows) {
+  PendingVerdict handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(handle.ready());
+  EXPECT_THROW(handle.get(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace magic::serve

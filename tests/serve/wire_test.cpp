@@ -1,0 +1,110 @@
+#include "serve/wire.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace magic::serve::wire {
+namespace {
+
+TEST(Base64, RoundTripsArbitraryBytes) {
+  std::string data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{3}, std::size_t{100}, data.size()}) {
+    const std::string slice = data.substr(0, len);
+    EXPECT_EQ(base64_decode(base64_encode(slice)), slice) << "len=" << len;
+  }
+}
+
+TEST(Base64, KnownVectors) {
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(base64_decode("Zm9vYg=="), "foob");
+}
+
+TEST(Base64, AcceptsUnpaddedInput) {
+  EXPECT_EQ(base64_decode("Zm8"), "fo");
+}
+
+TEST(Base64, RejectsGarbage) {
+  EXPECT_THROW(base64_decode("a!b"), std::runtime_error);
+  EXPECT_THROW(base64_decode("A"), std::runtime_error);  // truncated quantum
+}
+
+TEST(ParseRequestLine, SkipsBlankAndComments) {
+  EXPECT_FALSE(parse_request_line("").has_value());
+  EXPECT_FALSE(parse_request_line("   \t ").has_value());
+  EXPECT_FALSE(parse_request_line("# comment").has_value());
+}
+
+TEST(ParseRequestLine, ParsesPathRequests) {
+  const auto request = parse_request_line("req-1 path /tmp/sample.asm");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, Request::Kind::Path);
+  EXPECT_EQ(request->id, "req-1");
+  EXPECT_EQ(request->payload, "/tmp/sample.asm");
+}
+
+TEST(ParseRequestLine, DecodesInlineBase64) {
+  const std::string listing = "401000 mov eax, 1\n401005 ret\n";
+  const auto request =
+      parse_request_line("x b64 " + base64_encode(listing));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, Request::Kind::Base64);
+  EXPECT_EQ(request->payload, listing);
+}
+
+TEST(ParseRequestLine, ParsesControlCommands) {
+  EXPECT_EQ(parse_request_line("stats")->kind, Request::Kind::Stats);
+  EXPECT_EQ(parse_request_line("quit")->kind, Request::Kind::Quit);
+  EXPECT_EQ(parse_request_line("  quit \r")->kind, Request::Kind::Quit);
+}
+
+TEST(ParseRequestLine, ThrowsOnMalformedInput) {
+  EXPECT_THROW(parse_request_line("id"), std::runtime_error);
+  EXPECT_THROW(parse_request_line("id path"), std::runtime_error);
+  EXPECT_THROW(parse_request_line("id teleport x"), std::runtime_error);
+  EXPECT_THROW(parse_request_line("id b64 !!!"), std::runtime_error);
+}
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(VerdictToJson, RendersOkVerdicts) {
+  Verdict verdict;
+  verdict.status = VerdictStatus::Ok;
+  verdict.prediction.family_index = 1;
+  verdict.prediction.family_name = "Swizzor";
+  verdict.prediction.probabilities = {0.25, 0.75};
+  verdict.latency_ms = 1.5;
+  const std::string json = verdict_to_json("r1", verdict);
+  EXPECT_NE(json.find("\"id\":\"r1\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"family\":\"Swizzor\""), std::string::npos);
+  EXPECT_NE(json.find("\"confidence\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"probabilities\":[0.25,0.75]"), std::string::npos);
+}
+
+TEST(VerdictToJson, RendersNonOkStatuses) {
+  Verdict verdict;
+  verdict.status = VerdictStatus::RejectedQueueFull;
+  EXPECT_NE(verdict_to_json("r", verdict).find("rejected_queue_full"),
+            std::string::npos);
+  verdict.status = VerdictStatus::Error;
+  verdict.error = "boom \"quoted\"";
+  const std::string json = verdict_to_json("r", verdict);
+  EXPECT_NE(json.find("\"error\":\"boom \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_EQ(json.find("\"family\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace magic::serve::wire

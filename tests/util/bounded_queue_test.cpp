@@ -1,0 +1,154 @@
+#include "util/bounded_queue.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace magic::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_EQ(q.size(), 5u);
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // admission control, not blocking
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.try_push(3));  // space freed
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItemsThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // closed for producers
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));  // consumers still drain
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));  // closed + empty = shutdown signal
+}
+
+TEST(BoundedQueue, CloseAndDrainReturnsQueuedItems) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(7));
+  EXPECT_TRUE(q.try_push(8));
+  const auto drained = q.close_and_drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], 7);
+  EXPECT_EQ(drained[1], 8);
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueue, PopUntilTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(4);
+  int out = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_until(out, start + 20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 20ms);
+}
+
+TEST(BoundedQueue, PopUntilReturnsItemImmediately) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(42));
+  int out = 0;
+  EXPECT_TRUE(q.pop_until(out, std::chrono::steady_clock::now() + 10s));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> q(4);
+  int out = 0;
+  std::thread consumer([&] { EXPECT_TRUE(q.pop(out)); });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_TRUE(q.try_push(5));
+  consumer.join();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(4);
+  std::atomic<int> woken{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      if (!q.pop(out)) woken.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woken.load(), 3);
+}
+
+// MPMC stress: every pushed item is popped exactly once, rejects are
+// accounted, nothing is lost. Exercised under TSan via scripts/check.sh.
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(2);
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (q.pop(out)) popped.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.try_push(p * kPerProducer + i)) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), accepted.load());
+}
+
+}  // namespace
+}  // namespace magic::util
