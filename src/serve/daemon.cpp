@@ -6,13 +6,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <functional>
 #include <istream>
-#include <mutex>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -177,14 +178,36 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
     sigemptyset(&action.sa_mask);
     ::sigaction(SIGTERM, &action, nullptr);
     ::sigaction(SIGINT, &action, nullptr);
+    // Belt and braces on top of MSG_NOSIGNAL in wire::write_line: a client
+    // that disconnects mid-response must never SIGPIPE-kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
   }
 
   const int listen_fd = bind_unix_listener(options.socket_path);
 
-  std::mutex conn_mutex;
-  std::vector<int> active_fds;
-  std::vector<std::thread> conn_threads;
+  // One entry per live connection. Only the accept/drain thread touches
+  // this vector; connection threads touch just their own fd and done flag,
+  // and the fd stays open until after the join, so a recycled fd number can
+  // never be shut down by mistake.
+  struct Connection {
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::thread thread;
+  };
+  std::vector<Connection> connections;
   std::atomic<std::uint64_t> served{0};
+
+  auto reap_finished = [&connections] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        ::close(it->fd);
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
 
   auto should_stop = [&] {
     if (options.handle_signals && g_signal_stop.load(std::memory_order_relaxed)) {
@@ -195,6 +218,7 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
   };
 
   while (!should_stop()) {
+    reap_finished();  // join finished connection threads as we go
     pollfd poller{};
     poller.fd = listen_fd;
     poller.events = POLLIN;
@@ -210,11 +234,9 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
       if (errno == EINTR) continue;
       break;  // listener torn down
     }
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex);
-      active_fds.push_back(conn_fd);
-    }
-    conn_threads.emplace_back([conn_fd, &server, &served, &conn_mutex, &active_fds] {
+    connections.push_back(Connection{conn_fd, std::make_shared<std::atomic<bool>>(false), {}});
+    Connection& conn = connections.back();
+    conn.thread = std::thread([conn_fd, done = conn.done, &server, &served] {
       wire::FdLineReader reader(conn_fd);
       auto read_line = [&reader](std::string& line) { return reader.next_line(line); };
       auto write = [conn_fd](std::string_view line) { wire::write_line(conn_fd, line); };
@@ -224,31 +246,35 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
       } catch (const std::exception&) {
         // Client went away mid-response; drop the connection silently.
       }
-      {
-        // Deregister before close so the drain path never touches a
-        // recycled fd number.
-        std::lock_guard<std::mutex> lock(conn_mutex);
-        for (auto it = active_fds.begin(); it != active_fds.end(); ++it) {
-          if (*it == conn_fd) {
-            active_fds.erase(it);
-            break;
-          }
-        }
-      }
-      ::close(conn_fd);
+      done->store(true, std::memory_order_release);
     });
   }
 
-  // Graceful drain: stop accepting, nudge connections to finish (half-close
-  // their read side so blocked reads see EOF and flush pending verdicts),
-  // join them, then drain the scoring queue.
+  // Graceful drain: stop accepting, half-close connection read sides so
+  // blocked reads see EOF and the protocol loops flush pending verdicts.
   ::close(listen_fd);
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex);
-    for (const int fd : active_fds) ::shutdown(fd, SHUT_RD);
+  for (const Connection& conn : connections) ::shutdown(conn.fd, SHUT_RD);
+
+  // Give well-behaved connections a grace period to finish flushing, then
+  // hard-close stragglers (peers that stopped reading): their blocked
+  // writes fail fast and the per-connection catch drops the connection,
+  // so the joins below cannot hang.
+  const auto grace_deadline = std::chrono::steady_clock::now() + options.drain_grace;
+  auto all_done = [&connections] {
+    for (const Connection& conn : connections) {
+      if (!conn.done->load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+  while (!all_done() && std::chrono::steady_clock::now() < grace_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  for (std::thread& t : conn_threads) {
-    if (t.joinable()) t.join();
+  for (const Connection& conn : connections) {
+    if (!conn.done->load(std::memory_order_acquire)) ::shutdown(conn.fd, SHUT_RDWR);
+  }
+  for (Connection& conn : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+    ::close(conn.fd);
   }
   server.stop(/*drain=*/true);
   ::unlink(options.socket_path.c_str());

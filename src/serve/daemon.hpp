@@ -13,6 +13,7 @@
 // their in-flight verdicts, then drain the server queue.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -30,10 +31,15 @@ std::uint64_t serve_stream(std::istream& in, std::ostream& out,
 /// Options for the socket daemon loop.
 struct DaemonOptions {
   std::string socket_path;
-  /// Install SIGTERM/SIGINT handlers that trigger graceful drain.
+  /// Install SIGTERM/SIGINT handlers that trigger graceful drain, and
+  /// ignore SIGPIPE so a vanished client cannot kill the process.
   bool handle_signals = true;
   /// Optional external stop flag (tests); polled alongside the signal flag.
   const std::atomic<bool>* external_stop = nullptr;
+  /// How long the drain waits for connections to flush their in-flight
+  /// verdicts before hard-closing them (bounds shutdown latency even when
+  /// a client stops reading).
+  std::chrono::milliseconds drain_grace{5000};
 };
 
 /// Binds `options.socket_path` (replacing a stale socket file), accepts

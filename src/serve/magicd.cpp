@@ -17,6 +17,7 @@
 //                                           saves it to FILE and optionally
 //                                           writes demo listings to DIR.
 
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -62,22 +63,44 @@ Options parse(int argc, char** argv) {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
   };
+  // Numeric conversions must not leak exceptions out of parse(): a bad flag
+  // value ("--workers abc") prints the usage message instead of aborting.
+  auto numeric = [&](auto convert, const std::string& value) {
+    try {
+      std::size_t consumed = 0;
+      const auto parsed = convert(value, &consumed);
+      if (consumed != value.size()) usage(argv[0]);
+      return parsed;
+    } catch (const std::exception&) {
+      usage(argv[0]);
+    }
+  };
+  auto as_ul = [&](const std::string& v) {
+    return numeric([](const std::string& s, std::size_t* pos) { return std::stoul(s, pos); }, v);
+  };
+  auto as_l = [&](const std::string& v) {
+    return numeric([](const std::string& s, std::size_t* pos) { return std::stol(s, pos); }, v);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--model") opt.model_path = need_value(i);
     else if (arg == "--selftrain") opt.selftrain_path = need_value(i);
     else if (arg == "--samples-dir") opt.samples_dir = need_value(i);
     else if (arg == "--socket") opt.socket_path = need_value(i);
-    else if (arg == "--workers") opt.serve.workers = std::stoul(need_value(i));
-    else if (arg == "--queue") opt.serve.queue_capacity = std::stoul(need_value(i));
-    else if (arg == "--batch") opt.serve.max_batch = std::stoul(need_value(i));
+    else if (arg == "--workers") opt.serve.workers = as_ul(need_value(i));
+    else if (arg == "--queue") opt.serve.queue_capacity = as_ul(need_value(i));
+    else if (arg == "--batch") opt.serve.max_batch = as_ul(need_value(i));
     else if (arg == "--window-us")
-      opt.serve.batch_window = std::chrono::microseconds(std::stol(need_value(i)));
+      opt.serve.batch_window = std::chrono::microseconds(as_l(need_value(i)));
     else if (arg == "--deadline-ms")
-      opt.serve.default_deadline = std::chrono::milliseconds(std::stol(need_value(i)));
-    else if (arg == "--scale") opt.scale = std::stod(need_value(i));
-    else if (arg == "--epochs") opt.epochs = std::stoul(need_value(i));
-    else if (arg == "--seed") opt.seed = std::stoull(need_value(i));
+      opt.serve.default_deadline = std::chrono::milliseconds(as_l(need_value(i)));
+    else if (arg == "--scale")
+      opt.scale = numeric([](const std::string& s, std::size_t* pos) { return std::stod(s, pos); },
+                          need_value(i));
+    else if (arg == "--epochs") opt.epochs = as_ul(need_value(i));
+    else if (arg == "--seed")
+      opt.seed = numeric([](const std::string& s, std::size_t* pos) { return std::stoull(s, pos); },
+                         need_value(i));
     else usage(argv[0]);
   }
   if (opt.model_path.empty() == opt.selftrain_path.empty()) usage(argv[0]);
@@ -137,8 +160,11 @@ int selftrain(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
+  // A client (or shell pipe) that vanishes mid-response must surface as a
+  // write error, not a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   try {
+    const Options opt = parse(argc, argv);
     if (!opt.selftrain_path.empty()) return selftrain(opt);
 
     core::MagicClassifier clf = core::MagicClassifier::load_file(opt.model_path);

@@ -1,11 +1,13 @@
 #include "serve/wire.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -90,9 +92,9 @@ std::string base64_decode(std::string_view data) {
   out.reserve(data.size() / 4 * 3);
   std::uint32_t quantum = 0;
   int bits = 0;
-  for (const char ch : data) {
-    if (ch == '=') break;  // padding terminates the payload
-    const int value = inv[static_cast<unsigned char>(ch)];
+  std::size_t i = 0;
+  for (; i < data.size() && data[i] != '='; ++i) {
+    const int value = inv[static_cast<unsigned char>(data[i])];
     if (value < 0) {
       throw std::runtime_error("base64_decode: invalid character");
     }
@@ -102,6 +104,18 @@ std::string base64_decode(std::string_view data) {
       bits -= 8;
       out.push_back(static_cast<char>((quantum >> bits) & 0xFF));
     }
+  }
+  // '=' may only appear as trailing padding: at most two of them, nothing
+  // after, and only on input whose padded length is a whole quantum.
+  std::size_t pads = 0;
+  for (; i < data.size(); ++i) {
+    if (data[i] != '=') {
+      throw std::runtime_error("base64_decode: data after padding");
+    }
+    ++pads;
+  }
+  if (pads > 2 || (pads > 0 && data.size() % 4 != 0)) {
+    throw std::runtime_error("base64_decode: misplaced padding");
   }
   if (bits >= 6) {
     throw std::runtime_error("base64_decode: truncated final quantum");
@@ -225,13 +239,44 @@ bool FdLineReader::next_line(std::string& out) {
 }
 
 void write_line(int fd, std::string_view line) {
+  // Sockets get MSG_NOSIGNAL (a dead peer yields EPIPE, never SIGPIPE — the
+  // daemon must outlive any one client) and MSG_DONTWAIT + poll so a peer
+  // that stopped reading cannot block this thread past kWriteTimeout; that
+  // bound is what keeps the daemon's graceful drain finite.
+  constexpr auto kWriteTimeout = std::chrono::seconds(30);
+  const auto deadline = std::chrono::steady_clock::now() + kWriteTimeout;
+
   std::string framed(line);
   framed.push_back('\n');
   std::size_t sent = 0;
+  bool is_socket = true;
   while (sent < framed.size()) {
-    const ssize_t n = ::write(fd, framed.data() + sent, framed.size() - sent);
+    const ssize_t n =
+        is_socket ? ::send(fd, framed.data() + sent, framed.size() - sent,
+                           MSG_NOSIGNAL | MSG_DONTWAIT)
+                  : ::write(fd, framed.data() + sent, framed.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOTSOCK && is_socket) {
+        is_socket = false;  // plain pipe/file fd: fall back to blocking write
+        continue;
+      }
+      if (is_socket && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (remaining.count() <= 0) {
+          throw std::runtime_error("wire: write timed out (peer not reading)");
+        }
+        pollfd poller{};
+        poller.fd = fd;
+        poller.events = POLLOUT;
+        const int ready = ::poll(&poller, 1, static_cast<int>(remaining.count()));
+        if (ready < 0 && errno != EINTR) throw_errno("wire: poll");
+        if (ready == 0) {
+          throw std::runtime_error("wire: write timed out (peer not reading)");
+        }
+        continue;
+      }
       throw_errno("wire: write");
     }
     sent += static_cast<std::size_t>(n);

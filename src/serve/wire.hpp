@@ -41,8 +41,9 @@ struct Request {
 std::optional<Request> parse_request_line(std::string_view line);
 
 std::string base64_encode(std::string_view data);
-/// Throws std::runtime_error on characters outside the base64 alphabet or
-/// a truncated final quantum. Accepts both padded and unpadded input.
+/// Throws std::runtime_error on characters outside the base64 alphabet, a
+/// truncated final quantum, or misplaced '=' (padding is only accepted as
+/// up to two trailing characters). Accepts both padded and unpadded input.
 std::string base64_decode(std::string_view data);
 
 /// Escapes a string for embedding in a JSON string literal (quotes not
@@ -67,6 +68,9 @@ class FdLineReader {
 };
 
 /// Writes all of `line` plus '\n'; throws std::runtime_error on failure.
+/// Socket fds are written with MSG_NOSIGNAL (a vanished peer raises EPIPE,
+/// not process-killing SIGPIPE) and time out after ~30s if the peer stops
+/// reading, so one stuck client can never wedge the daemon.
 void write_line(int fd, std::string_view line);
 
 /// Blocking Unix-domain stream-socket client (used by `malware_scanner

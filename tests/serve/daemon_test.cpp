@@ -185,6 +185,48 @@ TEST(UnixDaemon, RoundTripOverSocket) {
   EXPECT_EQ(served, 2u);
 }
 
+TEST(UnixDaemon, SurvivesClientThatDisconnectsWithUnreadResponses) {
+  // A client that vanishes before reading its responses must surface as a
+  // per-connection EPIPE (MSG_NOSIGNAL in write_line), never a
+  // process-killing SIGPIPE, and later clients must still be served.
+  InferenceServer server(shared_classifier(), daemon_config());
+  const std::string socket_path =
+      "/tmp/magicd_epipe_" + std::to_string(::getpid()) + ".sock";
+  std::atomic<bool> stop{false};
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;  // no SIG_IGN: MSG_NOSIGNAL must suffice
+  options.external_stop = &stop;
+
+  std::thread daemon([&] { run_unix_daemon(server, options); });
+  const std::string b64 = wire::base64_encode(kListing);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    try {
+      // Scope ends before any response is read: fd closes with verdicts
+      // (possibly) still unflushed on the daemon side.
+      wire::UnixClient vanishing(socket_path);
+      vanishing.send_line("v1 b64 " + b64);
+      vanishing.send_line("v2 b64 " + b64);
+      break;
+    } catch (const std::runtime_error&) {
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+
+  wire::UnixClient client(socket_path);
+  client.send_line("after b64 " + b64);
+  client.finish_sending();
+  std::vector<std::string> lines;
+  std::string line;
+  while (client.recv_line(line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"after\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+
+  stop.store(true);
+  daemon.join();
+}
+
 TEST(UnixDaemon, DrainMidConnectionResolvesOutstandingRequests) {
   InferenceServer server(shared_classifier(), daemon_config());
   const std::string socket_path =

@@ -35,6 +35,16 @@ TEST(Base64, RejectsGarbage) {
   EXPECT_THROW(base64_decode("A"), std::runtime_error);  // truncated quantum
 }
 
+TEST(Base64, RejectsMisplacedPadding) {
+  // '=' may only appear as up to two trailing padding characters; anything
+  // else must be a protocol error, not a silently truncated payload.
+  EXPECT_THROW(base64_decode("QUJD=garbage"), std::runtime_error);
+  EXPECT_THROW(base64_decode("Zm9v=Zm9v"), std::runtime_error);
+  EXPECT_THROW(base64_decode("Zg==="), std::runtime_error);   // three pads
+  EXPECT_THROW(base64_decode("Zm9vYg="), std::runtime_error); // not a whole quantum
+  EXPECT_EQ(base64_decode("Zg=="), "f");                      // valid padding still fine
+}
+
 TEST(ParseRequestLine, SkipsBlankAndComments) {
   EXPECT_FALSE(parse_request_line("").has_value());
   EXPECT_FALSE(parse_request_line("   \t ").has_value());
