@@ -1,0 +1,321 @@
+// bench_train_throughput: data-parallel training engine scaling sweep.
+//
+// Builds a YANCFG-style corpus, then trains the same DgcnnModel from the
+// same seed at 1 / 2 / 4 / hardware_concurrency threads, measuring epoch
+// wall-time and training throughput (graphs/second). Because the engine
+// reduces per-sample gradients in fixed sample-index order, every sweep
+// point must produce a bitwise-identical loss history; the sweep verifies
+// that and records it in the JSON.
+//
+// A GEMM microbenchmark section compares the tiled kernels (matmul,
+// matmul_tn, matmul_nt) against a naive ikj reference and the
+// transpose-then-multiply formulation they replace.
+//
+// Writes BENCH_train.json.
+//
+// Flags:
+//   --scale S      training-corpus scale (default 0.004)
+//   --epochs N     epochs per sweep point (default 4)
+//   --seed X       master seed (default 2019)
+//   --threads CSV  explicit thread counts, e.g. 1,2,4 (default 1,2,4,hw)
+//   --out FILE     JSON output path (default BENCH_train.json)
+//   --quick        tiny run for CI smoke (scale and epochs clamped)
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "magic/trainer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace magic;
+
+struct Options {
+  double scale = 0.004;
+  std::size_t epochs = 4;
+  std::uint64_t seed = 2019;
+  std::vector<std::size_t> threads;
+  std::string out = "BENCH_train.json";
+  bool quick = false;
+};
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double epoch_seconds = 0.0;
+  double graphs_per_second = 0.0;
+  std::vector<double> train_loss_history;
+};
+
+struct GemmPoint {
+  std::string name;
+  std::size_t m = 0, k = 0, n = 0;
+  double tiled_us = 0.0;
+  double reference_us = 0.0;
+  double speedup = 0.0;
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") opt.scale = std::stod(next("--scale"));
+    else if (arg == "--epochs") opt.epochs = std::stoul(next("--epochs"));
+    else if (arg == "--seed") opt.seed = std::stoull(next("--seed"));
+    else if (arg == "--out") opt.out = next("--out");
+    else if (arg == "--quick") opt.quick = true;
+    else if (arg == "--threads") {
+      opt.threads.clear();
+      std::istringstream list(next("--threads"));
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        opt.threads.push_back(std::stoul(item));
+      }
+    } else {
+      std::cerr << "unknown flag " << arg << "\n"
+                << "usage: bench_train_throughput [--scale S] [--epochs N] "
+                   "[--seed X] [--threads CSV] [--out FILE] [--quick]\n";
+      std::exit(2);
+    }
+  }
+  if (opt.quick) {
+    opt.scale = std::min(opt.scale, 0.002);
+    opt.epochs = std::min<std::size_t>(opt.epochs, 2);
+  }
+  if (opt.threads.empty()) {
+    const std::size_t hw = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
+    opt.threads = {1, 2, 4};
+    if (std::find(opt.threads.begin(), opt.threads.end(), hw) ==
+        opt.threads.end()) {
+      opt.threads.push_back(hw);
+    }
+  }
+  return opt;
+}
+
+core::DgcnnConfig model_config(std::size_t num_classes) {
+  core::DgcnnConfig config;
+  config.num_classes = num_classes;
+  config.pooling = core::PoolingType::SortPooling;
+  config.remaining = core::RemainingLayer::Conv1D;
+  config.graph_conv_channels = {32, 32, 32};
+  config.hidden_dim = 64;
+  config.dropout_rate = 0.1;
+  return config;
+}
+
+SweepPoint run_point(const data::Dataset& corpus,
+                     const std::vector<std::size_t>& train_idx,
+                     const std::vector<std::size_t>& val_idx,
+                     const Options& opt, std::size_t threads) {
+  core::TrainOptions train;
+  train.epochs = opt.epochs;
+  train.batch_size = 16;
+  train.learning_rate = 3e-3;
+  train.seed = opt.seed;
+  train.threads = threads;
+
+  util::Rng rng(opt.seed);
+  core::DgcnnModel model(model_config(corpus.num_families()), rng, 16);
+  util::Timer timer;
+  const core::TrainResult result =
+      core::train_model(model, corpus, train_idx, val_idx, train);
+  SweepPoint point;
+  point.threads = threads;
+  point.seconds = timer.seconds();
+  point.epoch_seconds = point.seconds / static_cast<double>(opt.epochs);
+  point.graphs_per_second =
+      point.seconds > 0.0
+          ? static_cast<double>(opt.epochs * train_idx.size()) / point.seconds
+          : 0.0;
+  for (const core::EpochStats& e : result.history) {
+    point.train_loss_history.push_back(e.train_loss);
+  }
+  return point;
+}
+
+// Naive ikj matmul: the kernel the tiled GEMM replaced.
+tensor::Tensor naive_matmul(const tensor::Tensor& a, const tensor::Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  tensor::Tensor out = tensor::Tensor::zeros({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = a[i * k + kk];
+      for (std::size_t j = 0; j < n; ++j) out[i * n + j] += av * b[kk * n + j];
+    }
+  }
+  return out;
+}
+
+tensor::Tensor random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor t({rows, cols});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-1.0, 1.0);
+  return t;
+}
+
+template <typename F>
+double time_us(std::size_t reps, F&& f) {
+  f();  // warm-up (also keeps the first-touch page faults out of the timing)
+  util::Timer timer;
+  for (std::size_t r = 0; r < reps; ++r) f();
+  return timer.seconds() * 1e6 / static_cast<double>(reps);
+}
+
+std::vector<GemmPoint> run_gemm_micro(bool quick) {
+  struct Case {
+    const char* name;
+    std::size_t m, k, n;
+  };
+  // Shapes from the actual backward paths: graph-conv dW (n_vertices x
+  // channels), linear dW, and a larger square stress case.
+  const Case cases[] = {{"graphconv_dw", 96, 32, 32},
+                        {"linear_dw", 64, 128, 64},
+                        {"square", 128, 128, 128}};
+  const std::size_t reps = quick ? 20 : 200;
+  std::vector<GemmPoint> points;
+  std::uint64_t seed = 100;
+  for (const Case& c : cases) {
+    const tensor::Tensor a = random_matrix(c.m, c.k, seed++);
+    const tensor::Tensor b = random_matrix(c.k, c.n, seed++);
+    GemmPoint nn;
+    nn.name = std::string(c.name) + "_nn";
+    nn.m = c.m; nn.k = c.k; nn.n = c.n;
+    tensor::Tensor out;
+    nn.tiled_us = time_us(reps, [&] { tensor::matmul_into(out, a, b); });
+    nn.reference_us = time_us(reps, [&] { naive_matmul(a, b); });
+    nn.speedup = nn.tiled_us > 0.0 ? nn.reference_us / nn.tiled_us : 0.0;
+    points.push_back(nn);
+
+    // Transpose-free A^T B vs materializing the transpose first.
+    const tensor::Tensor at = random_matrix(c.k, c.m, seed++);
+    GemmPoint tn;
+    tn.name = std::string(c.name) + "_tn";
+    tn.m = c.m; tn.k = c.k; tn.n = c.n;
+    tn.tiled_us = time_us(reps, [&] { tensor::matmul_tn_into(out, at, b); });
+    tn.reference_us =
+        time_us(reps, [&] { tensor::matmul(tensor::transpose(at), b); });
+    tn.speedup = tn.tiled_us > 0.0 ? tn.reference_us / tn.tiled_us : 0.0;
+    points.push_back(tn);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::cout << "bench_train_throughput: training sweep (epochs=" << opt.epochs
+            << ", hardware_concurrency=" << hardware << ")\n";
+
+  util::ThreadPool pool;
+  util::Timer setup;
+  data::Dataset corpus = data::yancfg_like_corpus(opt.scale, opt.seed, pool);
+  std::vector<std::size_t> train_idx, val_idx;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    (i % 8 == 0 ? val_idx : train_idx).push_back(i);
+  }
+  std::cout << "corpus: " << corpus.size() << " graphs (" << train_idx.size()
+            << " train / " << val_idx.size() << " val) in "
+            << util::format_fixed(setup.seconds(), 1) << "s\n\n";
+
+  std::vector<SweepPoint> points;
+  util::Table table({"Threads", "Total (s)", "Epoch (s)", "Graphs/s", "vs 1T"});
+  double base_gps = 0.0;
+  for (std::size_t threads : opt.threads) {
+    const SweepPoint p = run_point(corpus, train_idx, val_idx, opt, threads);
+    if (p.threads == 1) base_gps = p.graphs_per_second;
+    table.add_row({std::to_string(p.threads),
+                   util::format_fixed(p.seconds, 2),
+                   util::format_fixed(p.epoch_seconds, 2),
+                   util::format_fixed(p.graphs_per_second, 1),
+                   base_gps > 0.0
+                       ? util::format_fixed(p.graphs_per_second / base_gps, 2) + "x"
+                       : "-"});
+    points.push_back(p);
+  }
+  table.print(std::cout);
+
+  // Determinism check: the fixed-order reduction promises a bitwise
+  // identical loss trajectory at every thread count.
+  bool deterministic = true;
+  for (const SweepPoint& p : points) {
+    if (p.train_loss_history != points.front().train_loss_history) {
+      deterministic = false;
+    }
+  }
+  std::cout << "\nloss history bitwise identical across thread counts: "
+            << (deterministic ? "yes" : "NO -- DETERMINISM BUG") << "\n";
+
+  double speedup4 = 0.0;
+  for (const SweepPoint& p : points) {
+    if (p.threads == 4 && base_gps > 0.0) {
+      speedup4 = p.graphs_per_second / base_gps;
+    }
+  }
+  if (speedup4 > 0.0) {
+    std::cout << "speedup (4 threads vs 1): "
+              << util::format_fixed(speedup4, 2) << "x\n";
+  }
+
+  std::cout << "\nGEMM microbenchmark (tiled vs reference):\n";
+  const std::vector<GemmPoint> gemm = run_gemm_micro(opt.quick);
+  util::Table gtable({"Kernel", "Shape", "Tiled (us)", "Reference (us)", "Speedup"});
+  for (const GemmPoint& g : gemm) {
+    gtable.add_row({g.name,
+                    std::to_string(g.m) + "x" + std::to_string(g.k) + "x" +
+                        std::to_string(g.n),
+                    util::format_fixed(g.tiled_us, 1),
+                    util::format_fixed(g.reference_us, 1),
+                    util::format_fixed(g.speedup, 2) + "x"});
+  }
+  gtable.print(std::cout);
+
+  std::ofstream out(opt.out);
+  out << "{\"bench\":\"train_throughput\",\"epochs\":" << opt.epochs
+      << ",\"train_graphs\":" << train_idx.size()
+      << ",\"hardware_concurrency\":" << hardware
+      << ",\"seed\":" << opt.seed
+      << ",\"deterministic_across_threads\":" << (deterministic ? "true" : "false")
+      << ",\"speedup_4t\":" << speedup4 << ",\"sweep\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"threads\":" << points[i].threads
+        << ",\"seconds\":" << points[i].seconds
+        << ",\"epoch_seconds\":" << points[i].epoch_seconds
+        << ",\"graphs_per_second\":" << points[i].graphs_per_second << "}";
+  }
+  out << "],\"gemm\":[";
+  for (std::size_t i = 0; i < gemm.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"kernel\":\"" << gemm[i].name << "\",\"m\":" << gemm[i].m
+        << ",\"k\":" << gemm[i].k << ",\"n\":" << gemm[i].n
+        << ",\"tiled_us\":" << gemm[i].tiled_us
+        << ",\"reference_us\":" << gemm[i].reference_us
+        << ",\"speedup\":" << gemm[i].speedup << "}";
+  }
+  out << "]}\n";
+  std::cout << "wrote " << opt.out << "\n";
+  return deterministic ? 0 : 1;
+}

@@ -20,6 +20,12 @@
 # Any sanitizer finding fails the run: UBSan is built with
 # -fno-sanitize-recover=all, ASan/TSan abort the offending test, and the
 # suppression files under .sanitizers/ are kept free of first-party entries.
+#
+# Both configurations run the FULL ctest suite; in particular the tsan
+# configuration exercises the data-parallel trainer tests
+# (ParallelTrainer.* in test_core), which fan per-sample forward/backward
+# across the thread pool and are the main concurrency surface besides
+# magic::serve.
 
 set -euo pipefail
 

@@ -107,12 +107,16 @@ Explanation MagicClassifier::explain(const acfg::Acfg& sample) {
   for (auto* p : params) saved_grads.push_back(p->grad);
 
   model_->set_training(false);
+  // Saliency needs an eval-mode backward: eval disables grad caching, so
+  // re-enable it for this forward/backward pair.
+  model_->set_grad_enabled(true);
   const nn::Tensor log_probs = model_->forward(sample);
   const std::size_t winner = tensor::argmax(log_probs);
   // d(log p_winner)/d(inputs): seed the backward with a one-hot gradient.
   nn::Tensor seed = nn::Tensor::zeros(log_probs.shape());
   seed[winner] = 1.0;
   model_->backward(seed);
+  model_->set_grad_enabled(false);
   const nn::Tensor& input_grad = model_->input_gradient();
 
   Explanation out;

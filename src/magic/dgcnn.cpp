@@ -193,7 +193,19 @@ std::vector<nn::Parameter*> DgcnnModel::parameters() {
 void DgcnnModel::set_training(bool training) {
   head_.set_training(training);
   if (pre_pool_act_) pre_pool_act_->set_training(training);
+  set_grad_enabled(training);
 }
+
+void DgcnnModel::set_grad_enabled(bool enabled) {
+  stack_.set_grad_enabled(enabled);
+  if (sort_pool_) sort_pool_->set_grad_enabled(enabled);
+  if (pre_pool_conv_) pre_pool_conv_->set_grad_enabled(enabled);
+  if (pre_pool_act_) pre_pool_act_->set_grad_enabled(enabled);
+  if (adaptive_pool_) adaptive_pool_->set_grad_enabled(enabled);
+  head_.set_grad_enabled(enabled);
+}
+
+void DgcnnModel::reseed_rng(std::uint64_t seed) { head_.reseed_rng(seed); }
 
 std::size_t DgcnnModel::parameter_count() {
   std::size_t total = 0;

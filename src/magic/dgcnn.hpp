@@ -111,7 +111,17 @@ class DgcnnModel {
   const nn::Tensor& input_gradient() const noexcept { return last_input_grad_; }
 
   std::vector<nn::Parameter*> parameters();
+  /// Also toggles grad caching: eval mode (false) skips the backward caches
+  /// in every layer, so forward is allocation-lighter and a subsequent
+  /// backward throws std::logic_error. Callers needing eval-mode gradients
+  /// (saliency) re-enable via set_grad_enabled(true) after set_training.
   void set_training(bool training);
+  /// Toggles backward caching independently of train/eval statistics mode.
+  void set_grad_enabled(bool enabled);
+  /// Reseeds every stochastic module (Dropout) so the mask stream depends
+  /// only on the seed, not on how many samples this instance processed.
+  /// The parallel trainer derives the seed from (run seed, epoch, sample).
+  void reseed_rng(std::uint64_t seed);
 
   const DgcnnConfig& config() const noexcept { return cfg_; }
   std::size_t sort_k() const noexcept { return sort_k_; }

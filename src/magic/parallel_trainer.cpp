@@ -1,0 +1,294 @@
+#include "magic/parallel_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "nn/optimizer.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace magic::core {
+
+std::uint64_t per_sample_seed(std::uint64_t seed, std::uint64_t epoch,
+                              std::uint64_t position) noexcept {
+  // splitmix64 finalizer over a fixed-weight combination: the stream a
+  // sample consumes is a pure function of (run seed, epoch, position).
+  std::uint64_t s = seed + 0x9E3779B97F4A7C15ULL * (epoch + 1) +
+                    0xBF58476D1CE4E5B9ULL * (position + 1);
+  s ^= s >> 30;
+  s *= 0xBF58476D1CE4E5B9ULL;
+  s ^= s >> 27;
+  s *= 0x94D049BB133111EBULL;
+  s ^= s >> 31;
+  return s;
+}
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+ParallelTrainer::ParallelTrainer(DgcnnModel& model, const data::Dataset& dataset,
+                                 const TrainOptions& options)
+    : master_(model),
+      dataset_(dataset),
+      options_(options),
+      threads_(resolve_threads(options.threads)) {
+  master_params_ = master_.parameters();
+
+  // Replicas are structural clones: same config with sort_k pinned so the
+  // derived-k path cannot diverge, parameter values synced from the master.
+  DgcnnConfig replica_cfg = master_.config();
+  replica_cfg.sort_k = master_.sort_k();
+  replicas_.reserve(threads_);
+  replica_params_.reserve(threads_);
+  for (std::size_t r = 0; r < threads_; ++r) {
+    util::Rng init_rng(0x9E3779B9u + r);  // overwritten by sync_replicas
+    replicas_.push_back(std::make_unique<DgcnnModel>(replica_cfg, init_rng,
+                                                     master_.sort_k()));
+    replica_params_.push_back(replicas_.back()->parameters());
+    MAGIC_CHECK(replica_params_.back().size() == master_params_.size(),
+                "ParallelTrainer: replica parameter count "
+                    << replica_params_.back().size() << " != master "
+                    << master_params_.size());
+  }
+  sync_replicas();
+  if (threads_ > 1) {
+    // parallel_for's caller participates, so threads_ - 1 workers give
+    // exactly threads_ concurrent lanes.
+    pool_ = std::make_unique<util::ThreadPool>(threads_ - 1);
+  }
+}
+
+void ParallelTrainer::sync_replicas() {
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    for (std::size_t i = 0; i < master_params_.size(); ++i) {
+      replica_params_[r][i]->value = master_params_[i]->value;
+    }
+  }
+}
+
+void ParallelTrainer::run_slot(std::size_t replica, std::size_t slot,
+                               const std::vector<std::size_t>& order,
+                               std::size_t begin, std::size_t epoch) {
+  DgcnnModel& model = *replicas_[replica];
+  auto& params = replica_params_[replica];
+  const std::size_t position = begin + slot;
+  const acfg::Acfg& sample = dataset_.samples[order[position]];
+
+  // The dropout stream is a function of (seed, epoch, position) only, so
+  // masks are independent of the worker that drew them.
+  model.reseed_rng(per_sample_seed(options_.seed, epoch, position));
+  for (nn::Parameter* p : params) p->grad.fill(0.0);
+
+  nn::NllLoss loss;
+  const nn::Tensor log_probs = model.forward(sample);
+  slot_loss_[slot] =
+      loss.forward(log_probs, static_cast<std::size_t>(sample.label));
+  model.backward(loss.backward());
+
+  // Hand the per-sample gradients to the reducer without copying; the slot
+  // buffer (same shapes, contents stale) becomes the replica's next grad
+  // storage and is zeroed above before reuse.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::swap(params[i]->grad, slot_grads_[slot][i]);
+  }
+}
+
+void ParallelTrainer::run_chunk(const std::vector<std::size_t>& order,
+                                std::size_t begin, std::size_t end,
+                                std::size_t epoch) {
+  const std::size_t chunk = end - begin;
+  const std::size_t lanes = std::min(threads_, chunk);
+  if (lanes <= 1 || !pool_) {
+    for (std::size_t slot = 0; slot < chunk; ++slot) {
+      run_slot(0, slot, order, begin, epoch);
+    }
+    return;
+  }
+  pool_->parallel_for(lanes, [&](std::size_t r) {
+    for (std::size_t slot = r; slot < chunk; slot += lanes) {
+      run_slot(r, slot, order, begin, epoch);
+    }
+  });
+}
+
+TrainResult ParallelTrainer::train(const std::vector<std::size_t>& train_indices,
+                                   const std::vector<std::size_t>& val_indices) {
+  if (train_indices.empty()) {
+    throw std::invalid_argument("train_model: empty training set");
+  }
+  util::Rng rng(options_.seed);
+  nn::Adam optimizer(master_params_, options_.learning_rate, 0.9, 0.999, 1e-8,
+                     options_.weight_decay);
+  nn::ReduceLrOnPlateau scheduler(optimizer, options_.lr_patience,
+                                  options_.lr_factor);
+
+  // Per-slot gradient buffers sized to the largest minibatch; allocated
+  // once here, recycled by pointer swaps for the rest of the run.
+  max_chunk_ = options_.batch_size == 0
+                   ? train_indices.size()
+                   : std::min(options_.batch_size, train_indices.size());
+  slot_grads_.assign(max_chunk_, {});
+  for (auto& slot : slot_grads_) {
+    slot.reserve(master_params_.size());
+    for (nn::Parameter* p : master_params_) {
+      slot.push_back(nn::Tensor::zeros(p->value.shape()));
+    }
+  }
+  slot_loss_.assign(max_chunk_, 0.0);
+
+  TrainResult result;
+  result.best_validation_loss = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order = train_indices;
+  std::vector<nn::Tensor> best_snapshot;
+  const bool snapshotting = options_.restore_best && !val_indices.empty();
+
+  // Index pools per family for balanced oversampling (weight
+  // count^(1 - strength); see TrainOptions). Drawn from the master rng so
+  // the epoch order is thread-count independent.
+  std::vector<std::vector<std::size_t>> by_family;
+  std::vector<double> family_draw_weights;
+  if (options_.balance_families) {
+    by_family.assign(dataset_.num_families(), {});
+    for (std::size_t idx : train_indices) {
+      const int label = dataset_.samples[idx].label;
+      if (label >= 0 && static_cast<std::size_t>(label) < by_family.size()) {
+        by_family[static_cast<std::size_t>(label)].push_back(idx);
+      }
+    }
+    by_family.erase(std::remove_if(by_family.begin(), by_family.end(),
+                                   [](const auto& v) { return v.empty(); }),
+                    by_family.end());
+    const double exponent = 1.0 - std::clamp(options_.balance_strength, 0.0, 1.0);
+    for (const auto& pool : by_family) {
+      family_draw_weights.push_back(
+          std::pow(static_cast<double>(pool.size()), exponent));
+    }
+  }
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (auto& replica : replicas_) replica->set_training(true);
+    if (options_.balance_families && !by_family.empty()) {
+      for (auto& idx : order) {
+        const auto& pool = by_family[rng.weighted_index(family_draw_weights)];
+        idx = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      }
+    } else {
+      rng.shuffle(order);
+    }
+
+    double epoch_loss = 0.0;
+    optimizer.zero_grad();
+    for (std::size_t begin = 0; begin < order.size(); begin += max_chunk_) {
+      const std::size_t end = std::min(begin + max_chunk_, order.size());
+      run_chunk(order, begin, end, epoch);
+      // Deterministic reduction: slot order == sample-index order, for
+      // every thread count.
+      for (std::size_t slot = 0; slot < end - begin; ++slot) {
+        epoch_loss += slot_loss_[slot];
+        for (std::size_t i = 0; i < master_params_.size(); ++i) {
+          master_params_[i]->grad += slot_grads_[slot][i];
+        }
+      }
+      optimizer.step();
+      optimizer.zero_grad();
+      sync_replicas();
+    }
+
+    EpochStats stats;
+    stats.train_loss = epoch_loss / static_cast<double>(order.size());
+    if (!val_indices.empty()) {
+      EvalResult eval = evaluate(val_indices);
+      stats.validation_loss = eval.mean_log_loss;
+      stats.validation_accuracy = eval.confusion.accuracy();
+    } else {
+      stats.validation_loss = stats.train_loss;
+      stats.validation_accuracy = 0.0;
+    }
+    if (stats.validation_loss < result.best_validation_loss) {
+      result.best_validation_loss = stats.validation_loss;
+      result.best_epoch = epoch;
+      if (snapshotting) {
+        best_snapshot.clear();
+        for (nn::Parameter* p : master_params_) best_snapshot.push_back(p->value);
+      }
+    }
+    scheduler.observe(stats.validation_loss);
+    if (options_.verbose) {
+      MAGIC_LOG_INFO("epoch " << epoch << " train=" << stats.train_loss
+                              << " val=" << stats.validation_loss
+                              << " acc=" << stats.validation_accuracy
+                              << " lr=" << optimizer.lr() << " threads="
+                              << threads_);
+    }
+    result.history.push_back(stats);
+  }
+  if (snapshotting && !best_snapshot.empty()) {
+    for (std::size_t i = 0; i < master_params_.size(); ++i) {
+      master_params_[i]->value = best_snapshot[i];
+    }
+  }
+  master_.set_training(false);
+  return result;
+}
+
+EvalResult ParallelTrainer::evaluate(const std::vector<std::size_t>& indices) {
+  for (auto& replica : replicas_) replica->set_training(false);
+  EvalResult result{0.0, ml::ConfusionMatrix(dataset_.num_families()), {}, {}};
+  const std::size_t n = indices.size();
+  result.probabilities.assign(n, {});
+  result.labels.assign(n, 0);
+  const std::size_t lanes = std::min(threads_, n == 0 ? std::size_t{1} : n);
+
+  auto score_range = [&](std::size_t r, std::size_t stride) {
+    DgcnnModel& model = *replicas_[r];
+    for (std::size_t pos = r; pos < n; pos += stride) {
+      const acfg::Acfg& sample = dataset_.samples[indices[pos]];
+      const nn::Tensor log_probs = model.forward(sample);
+      const nn::Tensor p = nn::exp_probs(log_probs);
+      result.probabilities[pos].assign(p.data(), p.data() + p.size());
+      result.labels[pos] = static_cast<std::size_t>(sample.label);
+    }
+  };
+  if (lanes <= 1 || !pool_) {
+    score_range(0, 1);
+  } else {
+    pool_->parallel_for(lanes, [&](std::size_t r) { score_range(r, lanes); });
+  }
+  // Confusion is rebuilt serially in sample order, so the result matches
+  // the serial evaluate_model exactly.
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    std::size_t winner = 0;
+    const auto& row = result.probabilities[pos];
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      if (row[j] > row[winner]) winner = j;
+    }
+    result.confusion.add(result.labels[pos], winner);
+  }
+  result.mean_log_loss = ml::mean_log_loss(result.probabilities, result.labels);
+  return result;
+}
+
+EvalResult evaluate_model(DgcnnModel& model, const data::Dataset& dataset,
+                          const std::vector<std::size_t>& indices,
+                          std::size_t threads) {
+  const std::size_t resolved = resolve_threads(threads);
+  if (resolved <= 1) return evaluate_model(model, dataset, indices);
+  TrainOptions options;
+  options.threads = resolved;
+  ParallelTrainer trainer(model, dataset, options);
+  return trainer.evaluate(indices);
+}
+
+}  // namespace magic::core

@@ -1,0 +1,79 @@
+#pragma once
+// Data-parallel minibatch training engine (DESIGN.md "Training performance").
+//
+// Each minibatch fans per-graph forward/backward across model replicas on a
+// util::ThreadPool; per-sample gradients land in preallocated per-slot
+// buffers and are reduced into the master parameters in fixed sample-index
+// order. Floating-point addition is not associative, so determinism comes
+// from making EVERY thread count (including 1) use the same reduction
+// structure: the trained parameters and TrainResult.history are bitwise
+// identical for any TrainOptions::threads value.
+//
+// Stochastic modules (Dropout) are reseeded per (run seed, epoch, sample
+// position), so the mask a sample sees never depends on which worker
+// processed it or on how many samples that worker handled before.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "magic/trainer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace magic::core {
+
+/// Mixes (seed, epoch, position) into one per-sample stream seed
+/// (splitmix64 finalizer; exposed for tests).
+std::uint64_t per_sample_seed(std::uint64_t seed, std::uint64_t epoch,
+                              std::uint64_t position) noexcept;
+
+/// The engine behind train_model. One instance owns the replica set, the
+/// per-slot gradient buffers and the worker pool; buffers are allocated once
+/// up front so the per-step loop is allocation-free in steady state.
+class ParallelTrainer {
+ public:
+  /// `model` is the master: the optimizer steps its parameters and the
+  /// trained values end up in it, exactly like the serial engine.
+  ParallelTrainer(DgcnnModel& model, const data::Dataset& dataset,
+                  const TrainOptions& options);
+
+  TrainResult train(const std::vector<std::size_t>& train_indices,
+                    const std::vector<std::size_t>& val_indices);
+
+  /// Replica-parallel evaluation; rows stored by sample position so the
+  /// result equals the serial evaluate_model byte for byte.
+  EvalResult evaluate(const std::vector<std::size_t>& indices);
+
+  std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  /// Copies master parameter values into every replica.
+  void sync_replicas();
+  /// Runs samples order[begin, end) through the replicas; slot s leaves its
+  /// gradients in slot_grads_[s] and its loss in slot_loss_[s].
+  void run_chunk(const std::vector<std::size_t>& order, std::size_t begin,
+                 std::size_t end, std::size_t epoch);
+  /// One sample on one replica: reseed, zero grads, forward, loss,
+  /// backward, swap gradients into the slot buffers.
+  void run_slot(std::size_t replica, std::size_t slot,
+                const std::vector<std::size_t>& order, std::size_t begin,
+                std::size_t epoch);
+
+  DgcnnModel& master_;
+  const data::Dataset& dataset_;
+  TrainOptions options_;
+  std::size_t threads_;
+
+  std::vector<std::unique_ptr<DgcnnModel>> replicas_;
+  std::vector<std::vector<nn::Parameter*>> replica_params_;
+  std::vector<nn::Parameter*> master_params_;
+
+  // slot_grads_[slot][param] mirrors the master parameter shapes.
+  std::vector<std::vector<nn::Tensor>> slot_grads_;
+  std::vector<double> slot_loss_;
+  std::size_t max_chunk_ = 0;
+
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
+};
+
+}  // namespace magic::core

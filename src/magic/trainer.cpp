@@ -1,12 +1,8 @@
 #include "magic/trainer.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <stdexcept>
 
-#include "nn/optimizer.hpp"
-#include "util/logging.hpp"
+#include "magic/parallel_trainer.hpp"
 
 namespace magic::core {
 
@@ -14,108 +10,10 @@ TrainResult train_model(DgcnnModel& model, const data::Dataset& dataset,
                         const std::vector<std::size_t>& train_indices,
                         const std::vector<std::size_t>& val_indices,
                         const TrainOptions& options) {
-  if (train_indices.empty()) {
-    throw std::invalid_argument("train_model: empty training set");
-  }
-  util::Rng rng(options.seed);
-  nn::Adam optimizer(model.parameters(), options.learning_rate, 0.9, 0.999, 1e-8,
-                     options.weight_decay);
-  nn::ReduceLrOnPlateau scheduler(optimizer, options.lr_patience, options.lr_factor);
-
-  TrainResult result;
-  result.best_validation_loss = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> order = train_indices;
-  std::vector<nn::Tensor> best_snapshot;
-  const bool snapshotting = options.restore_best && !val_indices.empty();
-
-  // Index pools per family for balanced oversampling. Families are drawn
-  // with weight count^(1 - strength): strength 1 = uniform (full balance),
-  // 0.5 = sqrt compromise, 0 = natural frequency.
-  std::vector<std::vector<std::size_t>> by_family;
-  std::vector<double> family_draw_weights;
-  if (options.balance_families) {
-    by_family.assign(dataset.num_families(), {});
-    for (std::size_t idx : train_indices) {
-      const int label = dataset.samples[idx].label;
-      if (label >= 0 && static_cast<std::size_t>(label) < by_family.size()) {
-        by_family[static_cast<std::size_t>(label)].push_back(idx);
-      }
-    }
-    by_family.erase(std::remove_if(by_family.begin(), by_family.end(),
-                                   [](const auto& v) { return v.empty(); }),
-                    by_family.end());
-    const double exponent = 1.0 - std::clamp(options.balance_strength, 0.0, 1.0);
-    for (const auto& pool : by_family) {
-      family_draw_weights.push_back(
-          std::pow(static_cast<double>(pool.size()), exponent));
-    }
-  }
-
-  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    model.set_training(true);
-    if (options.balance_families && !by_family.empty()) {
-      for (auto& idx : order) {
-        const auto& pool = by_family[rng.weighted_index(family_draw_weights)];
-        idx = pool[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
-      }
-    } else {
-      rng.shuffle(order);
-    }
-    double epoch_loss = 0.0;
-    std::size_t in_batch = 0;
-    optimizer.zero_grad();
-    for (std::size_t idx : order) {
-      const acfg::Acfg& sample = dataset.samples[idx];
-      nn::NllLoss loss;
-      const nn::Tensor log_probs = model.forward(sample);
-      epoch_loss += loss.forward(log_probs, static_cast<std::size_t>(sample.label));
-      model.backward(loss.backward());
-      if (++in_batch == options.batch_size) {
-        optimizer.step();
-        optimizer.zero_grad();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
-      optimizer.step();
-      optimizer.zero_grad();
-    }
-
-    EpochStats stats;
-    stats.train_loss = epoch_loss / static_cast<double>(order.size());
-    if (!val_indices.empty()) {
-      EvalResult eval = evaluate_model(model, dataset, val_indices);
-      stats.validation_loss = eval.mean_log_loss;
-      stats.validation_accuracy = eval.confusion.accuracy();
-    } else {
-      stats.validation_loss = stats.train_loss;
-      stats.validation_accuracy = 0.0;
-    }
-    if (stats.validation_loss < result.best_validation_loss) {
-      result.best_validation_loss = stats.validation_loss;
-      result.best_epoch = epoch;
-      if (snapshotting) {
-        best_snapshot.clear();
-        for (nn::Parameter* p : model.parameters()) best_snapshot.push_back(p->value);
-      }
-    }
-    scheduler.observe(stats.validation_loss);
-    if (options.verbose) {
-      MAGIC_LOG_INFO("epoch " << epoch << " train=" << stats.train_loss
-                              << " val=" << stats.validation_loss
-                              << " acc=" << stats.validation_accuracy
-                              << " lr=" << optimizer.lr());
-    }
-    result.history.push_back(stats);
-  }
-  if (snapshotting && !best_snapshot.empty()) {
-    auto params = model.parameters();
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      params[i]->value = best_snapshot[i];
-    }
-  }
-  return result;
+  // All thread counts (1 included) run the same per-slot reduce engine, so
+  // the trajectory is bitwise independent of options.threads.
+  ParallelTrainer trainer(model, dataset, options);
+  return trainer.train(train_indices, val_indices);
 }
 
 EvalResult evaluate_model(DgcnnModel& model, const data::Dataset& dataset,

@@ -33,6 +33,11 @@ struct TrainOptions {
   bool balance_families = false;
   /// 0 = natural frequency, 0.5 = sqrt compromise, 1 = fully uniform.
   double balance_strength = 1.0;
+  /// Worker threads for the data-parallel engine (0 = hardware
+  /// concurrency). Per-sample gradients are reduced in fixed sample-index
+  /// order, so the trained parameters and history are bitwise identical for
+  /// every thread count, including 1 (see DESIGN.md "Training performance").
+  std::size_t threads = 1;
 };
 
 /// Per-epoch record of one training run.
@@ -68,5 +73,12 @@ TrainResult train_model(DgcnnModel& model, const data::Dataset& dataset,
 /// Evaluates log loss + confusion over dataset[indices] (no grads).
 EvalResult evaluate_model(DgcnnModel& model, const data::Dataset& dataset,
                           const std::vector<std::size_t>& indices);
+
+/// Parallel evaluation across `threads` model replicas (0 = hardware
+/// concurrency). Produces the same EvalResult as the serial overload: rows
+/// are stored by sample position, so the output is order-deterministic.
+EvalResult evaluate_model(DgcnnModel& model, const data::Dataset& dataset,
+                          const std::vector<std::size_t>& indices,
+                          std::size_t threads);
 
 }  // namespace magic::core

@@ -1,6 +1,7 @@
 #include "nn/activations.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/shape_contract.hpp"
 
@@ -8,11 +9,15 @@ namespace magic::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
   MAGIC_SHAPE_CONTRACT_ANY("ReLU::forward", input);
-  cached_input_ = input;
+  cache_valid_ = grad_enabled();
+  if (cache_valid_) cached_input_ = input;
   return tensor::map(input, [](double x) { return x > 0.0 ? x : 0.0; });
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("ReLU::backward: no cached forward (grad caching disabled)");
+  }
   if (!grad_output.same_shape(cached_input_)) {
     throw std::invalid_argument("ReLU::backward: shape mismatch");
   }
@@ -25,11 +30,16 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 
 Tensor Tanh::forward(const Tensor& input) {
   MAGIC_SHAPE_CONTRACT_ANY("Tanh::forward", input);
+  cache_valid_ = grad_enabled();
+  if (!cache_valid_) return tensor::map(input, [](double x) { return std::tanh(x); });
   cached_output_ = tensor::map(input, [](double x) { return std::tanh(x); });
   return cached_output_;
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("Tanh::backward: no cached forward (grad caching disabled)");
+  }
   if (!grad_output.same_shape(cached_output_)) {
     throw std::invalid_argument("Tanh::backward: shape mismatch");
   }
@@ -42,11 +52,18 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 
 Tensor Sigmoid::forward(const Tensor& input) {
   MAGIC_SHAPE_CONTRACT_ANY("Sigmoid::forward", input);
+  cache_valid_ = grad_enabled();
+  if (!cache_valid_) {
+    return tensor::map(input, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+  }
   cached_output_ = tensor::map(input, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
   return cached_output_;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("Sigmoid::backward: no cached forward (grad caching disabled)");
+  }
   if (!grad_output.same_shape(cached_output_)) {
     throw std::invalid_argument("Sigmoid::backward: shape mismatch");
   }

@@ -15,6 +15,7 @@ class ReLU : public Module {
 
  private:
   Tensor cached_input_;
+  bool cache_valid_ = false;
 };
 
 /// f(x) = tanh(x).
@@ -26,6 +27,7 @@ class Tanh : public Module {
 
  private:
   Tensor cached_output_;
+  bool cache_valid_ = false;
 };
 
 /// f(x) = 1 / (1 + exp(-x)).
@@ -37,6 +39,7 @@ class Sigmoid : public Module {
 
  private:
   Tensor cached_output_;
+  bool cache_valid_ = false;
 };
 
 /// Which nonlinearity a graph-convolution layer applies (Eq. 1's f).

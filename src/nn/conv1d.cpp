@@ -35,7 +35,8 @@ Tensor Conv1D::forward(const Tensor& input) {
                                 std::to_string(in_channels_) + " x L), got " +
                                 input.describe());
   }
-  cached_input_ = input;
+  cache_valid_ = grad_enabled();
+  if (cache_valid_) cached_input_ = input;
   const std::size_t L = input.dim(1);
   const std::size_t Lo = out_length(L);
   Tensor out({out_channels_, Lo});
@@ -56,6 +57,9 @@ Tensor Conv1D::forward(const Tensor& input) {
 }
 
 Tensor Conv1D::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("Conv1D::backward: no cached forward (grad caching disabled)");
+  }
   const std::size_t L = cached_input_.dim(1);
   const std::size_t Lo = out_length(L);
   if (grad_output.rank() != 2 || grad_output.dim(0) != out_channels_ ||

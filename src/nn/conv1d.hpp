@@ -34,6 +34,7 @@ class Conv1D : public Module {
   Parameter weight_;  // (C_out x C_in x K)
   Parameter bias_;    // (C_out)
   Tensor cached_input_;
+  bool cache_valid_ = false;
 };
 
 }  // namespace magic::nn

@@ -52,7 +52,8 @@ Tensor Conv2D::forward(const Tensor& input) {
   if (H + 2 * pad_ < kh_ || W + 2 * pad_ < kw_) {
     throw std::invalid_argument("Conv2D: input too small for kernel");
   }
-  cached_input_ = input;
+  cache_valid_ = grad_enabled();
+  if (cache_valid_) cached_input_ = input;
   const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
   const std::size_t Wo = W + 2 * pad_ - kw_ + 1;
   Tensor out({out_channels_, Ho, Wo});
@@ -90,6 +91,9 @@ Tensor Conv2D::forward(const Tensor& input) {
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("Conv2D::backward: no cached forward (grad caching disabled)");
+  }
   const std::size_t H = cached_input_.dim(1), W = cached_input_.dim(2);
   const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
   const std::size_t Wo = W + 2 * pad_ - kw_ + 1;

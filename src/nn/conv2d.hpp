@@ -32,6 +32,7 @@ class Conv2D : public Module {
   Parameter weight_;  // (C_out x C_in x kh x kw)
   Parameter bias_;    // (C_out)
   Tensor cached_input_;
+  bool cache_valid_ = false;
 };
 
 }  // namespace magic::nn

@@ -33,6 +33,8 @@ Tensor Dropout::forward(const Tensor& input) {
   return out;
 }
 
+void Dropout::reseed_rng(std::uint64_t seed) { rng_ = util::Rng(seed); }
+
 Tensor Dropout::backward(const Tensor& grad_output) {
   if (!mask_valid_) return grad_output;  // eval mode: identity
   if (!grad_output.same_shape(mask_)) {

@@ -16,6 +16,9 @@ class Dropout : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// Replaces the owned mask stream; the parallel trainer reseeds per
+  /// (epoch, sample) so masks are independent of worker assignment.
+  void reseed_rng(std::uint64_t seed) override;
   std::string name() const override { return "Dropout"; }
 
   double rate() const noexcept { return rate_; }

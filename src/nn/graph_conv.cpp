@@ -16,18 +16,24 @@ GraphConvLayer::GraphConvLayer(std::size_t in_channels, std::size_t out_channels
                              out_channels, rng)) {}
 
 Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
-  MAGIC_SHAPE_CONTRACT("GraphConvLayer::forward", z, shape::any("n"),
-                       shape::eq(in_));
-  if (z.rank() != 2 || z.dim(1) != in_) {
-    throw std::invalid_argument("GraphConvLayer::forward: expected (n x " +
-                                std::to_string(in_) + "), got " + z.describe());
-  }
-  MAGIC_CHECK(prop.rows() == z.dim(0) && prop.cols() == z.dim(0),
-              "GraphConvLayer::forward: propagation operator is "
-                  << prop.rows() << 'x' << prop.cols() << " but input has "
-                  << z.dim(0) << " vertices");
+  // Single authoritative input check, live in checked AND release builds:
+  // ShapeContractError derives from std::invalid_argument, so release-mode
+  // callers catching invalid input keep working.
+  check_shape_contract("GraphConvLayer::forward", z,
+                       {shape::any("n"), shape::eq(in_)});
   if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
+    // Checked builds upgrade this to a CheckError with the full geometry;
+    // release builds fall through to the plain invalid_argument.
+    MAGIC_CHECK(false, "GraphConvLayer::forward: propagation operator is "
+                           << prop.rows() << 'x' << prop.cols()
+                           << " but input has " << z.dim(0) << " vertices");
     throw std::invalid_argument("GraphConvLayer::forward: operator size mismatch");
+  }
+  if (!grad_enabled_) {
+    cached_prop_ = nullptr;  // invalidate any stale training cache
+    Tensor f = tensor::matmul(z, weight_.value);
+    Tensor s = prop.multiply(f);
+    return tensor::map(s, [this](double x) { return activate(activation_, x); });
   }
   cached_prop_ = &prop;
   cached_input_ = z;
@@ -39,7 +45,10 @@ Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
 
 Tensor GraphConvLayer::backward(const Tensor& grad_output) {
   if (cached_prop_ == nullptr) {
-    throw std::logic_error("GraphConvLayer::backward before forward");
+    throw std::logic_error(
+        grad_enabled_
+            ? "GraphConvLayer::backward before forward"
+            : "GraphConvLayer::backward: no cached forward (grad caching disabled)");
   }
   if (!grad_output.same_shape(cached_preact_)) {
     throw std::invalid_argument("GraphConvLayer::backward: grad shape mismatch");
@@ -49,10 +58,13 @@ Tensor GraphConvLayer::backward(const Tensor& grad_output) {
   for (std::size_t i = 0; i < ds.size(); ++i) {
     ds[i] *= activate_grad(activation_, cached_preact_[i]);
   }
-  // dF = P^T dS ; dW += Z^T dF ; dZ = dF W^T
+  // dF = P^T dS ; dW += Z^T dF ; dZ = dF W^T.
+  // matmul_tn/matmul_nt consume the operands in place -- no transpose
+  // temporaries; dw_scratch_ is reused across steps.
   Tensor df = cached_prop_->multiply_transposed(ds);
-  weight_.grad += tensor::matmul(tensor::transpose(cached_input_), df);
-  return tensor::matmul(df, tensor::transpose(weight_.value));
+  tensor::matmul_tn_into(dw_scratch_, cached_input_, df);
+  weight_.grad += dw_scratch_;
+  return tensor::matmul_nt(df, weight_.value);
 }
 
 GraphConvStack::GraphConvStack(std::size_t in_channels,
@@ -117,6 +129,10 @@ Tensor GraphConvStack::backward(const Tensor& grad_concat) {
     }
   }
   return g;
+}
+
+void GraphConvStack::set_grad_enabled(bool enabled) noexcept {
+  for (auto& layer : layers_) layer.set_grad_enabled(enabled);
 }
 
 std::vector<Parameter*> GraphConvStack::parameters() {

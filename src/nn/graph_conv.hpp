@@ -37,6 +37,11 @@ class GraphConvLayer {
   /// Accumulates dW into the parameter grad and returns dZ (w.r.t. input).
   Tensor backward(const Tensor& grad_output);
 
+  /// When disabled, forward skips the backward caches (inference mode);
+  /// a subsequent backward throws std::logic_error.
+  void set_grad_enabled(bool enabled) noexcept { grad_enabled_ = enabled; }
+  bool grad_enabled() const noexcept { return grad_enabled_; }
+
   Parameter& weight() noexcept { return weight_; }
   std::size_t in_channels() const noexcept { return in_; }
   std::size_t out_channels() const noexcept { return out_; }
@@ -45,10 +50,12 @@ class GraphConvLayer {
   std::size_t in_;
   std::size_t out_;
   Activation activation_;
+  bool grad_enabled_ = true;
   Parameter weight_;  // (in x out)
   const SparseMatrix* cached_prop_ = nullptr;
   Tensor cached_input_;
   Tensor cached_preact_;  // S = P Z W before f
+  Tensor dw_scratch_;     // reused (in x out) buffer for Z^T dF
 };
 
 /// Stack of h graph-convolution layers producing Z^{1:h}.
@@ -64,6 +71,9 @@ class GraphConvStack {
 
   /// Takes d(loss)/d(Z^{1:h}) and returns d(loss)/d(X).
   Tensor backward(const Tensor& grad_concat);
+
+  /// Propagates to every layer (see GraphConvLayer::set_grad_enabled).
+  void set_grad_enabled(bool enabled) noexcept;
 
   std::vector<Parameter*> parameters();
 

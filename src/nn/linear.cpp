@@ -22,14 +22,16 @@ Tensor Linear::forward(const Tensor& input) {
     MAGIC_SHAPE_CONTRACT("Linear::forward", input, shape::any("rows"),
                          shape::eq(in_));
   }
-  cached_input_ = input_was_rank1_ ? input.reshape({1, input.dim(0)}) : input;
-  if (cached_input_.rank() != 2 || cached_input_.dim(1) != in_) {
+  Tensor input2 = input_was_rank1_ ? input.reshape({1, input.dim(0)}) : input;
+  if (input2.rank() != 2 || input2.dim(1) != in_) {
     // Unchecked-build fallback; in checked builds the contract above fires
     // first with the richer message.
     throw std::invalid_argument("Linear::forward: expected (*, " +
                                 std::to_string(in_) + "), got " + input.describe());
   }
-  Tensor out = tensor::matmul(cached_input_, weight_.value);
+  Tensor out = tensor::matmul(input2, weight_.value);
+  cache_valid_ = grad_enabled();
+  if (cache_valid_) cached_input_ = std::move(input2);
   if (has_bias_) {
     const std::size_t rows = out.dim(0);
     for (std::size_t i = 0; i < rows; ++i) {
@@ -40,6 +42,9 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("Linear::backward: no cached forward (grad caching disabled)");
+  }
   Tensor grad2 = grad_output.rank() == 1
                      ? grad_output.reshape({1, grad_output.dim(0)})
                      : grad_output;
@@ -48,14 +53,16 @@ Tensor Linear::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Linear::backward: grad shape mismatch");
   }
   // dW = X^T dY ; db = column sums of dY ; dX = dY W^T.
-  weight_.grad += tensor::matmul(tensor::transpose(cached_input_), grad2);
+  // Transpose-free kernels; dw_scratch_ is reused across steps.
+  tensor::matmul_tn_into(dw_scratch_, cached_input_, grad2);
+  weight_.grad += dw_scratch_;
   if (has_bias_) {
     const std::size_t rows = grad2.dim(0);
     for (std::size_t i = 0; i < rows; ++i) {
       for (std::size_t j = 0; j < out_; ++j) bias_.grad[j] += grad2[i * out_ + j];
     }
   }
-  Tensor grad_in = tensor::matmul(grad2, tensor::transpose(weight_.value));
+  Tensor grad_in = tensor::matmul_nt(grad2, weight_.value);
   return input_was_rank1_ ? grad_in.reshape({in_}) : grad_in;
 }
 

@@ -30,8 +30,10 @@ class Linear : public Module {
   bool has_bias_;
   Parameter weight_;  // (in x out)
   Parameter bias_;    // (out)
-  Tensor cached_input_;  // as 2-D
+  Tensor cached_input_;  // as 2-D; only stored while grad caching is enabled
+  Tensor dw_scratch_;    // reused (in x out) buffer for X^T dY
   bool input_was_rank1_ = false;
+  bool cache_valid_ = false;
 };
 
 }  // namespace magic::nn

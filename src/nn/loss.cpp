@@ -17,11 +17,16 @@ Tensor LogSoftmax::forward(const Tensor& input) {
   double lse = 0.0;
   for (std::size_t i = 0; i < input.size(); ++i) lse += std::exp(input[i] - m);
   lse = m + std::log(lse);
+  cache_valid_ = grad_enabled();
+  if (!cache_valid_) return tensor::map(input, [lse](double x) { return x - lse; });
   cached_output_ = tensor::map(input, [lse](double x) { return x - lse; });
   return cached_output_;
 }
 
 Tensor LogSoftmax::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error("LogSoftmax::backward: no cached forward (grad caching disabled)");
+  }
   if (!grad_output.same_shape(cached_output_)) {
     throw std::invalid_argument("LogSoftmax::backward: shape mismatch");
   }

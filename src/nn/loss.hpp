@@ -18,6 +18,7 @@ class LogSoftmax : public Module {
 
  private:
   Tensor cached_output_;  // log-probabilities
+  bool cache_valid_ = false;
 };
 
 /// NLL of a single observation given log-probabilities.

@@ -10,6 +10,7 @@
 // module's backward is validated against central-difference numerical
 // gradients in tests/nn/.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,19 @@ class Module {
   virtual void set_training(bool training) { training_ = training; }
   bool training() const noexcept { return training_; }
 
+  /// Toggles caching of the activations backward() needs. When disabled
+  /// (inference/serving), forward() skips the input/activation copies and a
+  /// later backward() throws std::logic_error. DgcnnModel ties this to its
+  /// training mode; explain() re-enables it around an eval-mode backward.
+  virtual void set_grad_enabled(bool enabled) { grad_enabled_ = enabled; }
+  bool grad_enabled() const noexcept { return grad_enabled_; }
+
+  /// Re-seeds any owned RNG stream (dropout masks). The deterministic
+  /// parallel trainer derives one seed per (epoch, sample position) so that
+  /// stochastic masks are a function of the sample, not of which worker
+  /// thread happened to process it. Default: no owned randomness, no-op.
+  virtual void reseed_rng(std::uint64_t seed) { static_cast<void>(seed); }
+
   /// Short layer name for diagnostics.
   virtual std::string name() const = 0;
 
@@ -61,6 +75,7 @@ class Module {
 
  protected:
   bool training_ = true;
+  bool grad_enabled_ = true;
 };
 
 }  // namespace magic::nn

@@ -32,4 +32,24 @@ void Sequential::set_training(bool training) {
   for (auto& m : modules_) m->set_training(training);
 }
 
+void Sequential::set_grad_enabled(bool enabled) {
+  Module::set_grad_enabled(enabled);
+  for (auto& m : modules_) m->set_grad_enabled(enabled);
+}
+
+void Sequential::reseed_rng(std::uint64_t seed) {
+  // splitmix64 finalizer mixes the child index into the seed so each module
+  // gets an uncorrelated stream.
+  std::size_t index = 0;
+  for (auto& m : modules_) {
+    std::uint64_t s = seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(++index);
+    s ^= s >> 30;
+    s *= 0xBF58476D1CE4E5B9ULL;
+    s ^= s >> 27;
+    s *= 0x94D049BB133111EBULL;
+    s ^= s >> 31;
+    m->reseed_rng(s);
+  }
+}
+
 }  // namespace magic::nn

@@ -28,6 +28,10 @@ class Sequential : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void set_training(bool training) override;
+  void set_grad_enabled(bool enabled) override;
+  /// Derives a distinct child seed per module index, so sibling stochastic
+  /// layers get uncorrelated streams from one seed.
+  void reseed_rng(std::uint64_t seed) override;
   std::string name() const override { return "Sequential"; }
 
   std::size_t size() const noexcept { return modules_.size(); }

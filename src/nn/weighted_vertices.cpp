@@ -27,20 +27,29 @@ Tensor WeightedVertices::forward(const Tensor& input) {
     throw std::invalid_argument("WeightedVertices::forward: expected (" +
                                 std::to_string(k_) + " x C), got " + input.describe());
   }
-  cached_input_ = input;
   const std::size_t c = input.dim(1);
-  cached_preact_ = Tensor::zeros({c});
+  Tensor preact = Tensor::zeros({c});
   for (std::size_t i = 0; i < k_; ++i) {
     const double w = weight_.value[i];
     for (std::size_t j = 0; j < c; ++j) {
-      cached_preact_[j] += w * input[i * c + j];
+      preact[j] += w * input[i * c + j];
     }
   }
-  return tensor::map(cached_preact_,
-                     [this](double x) { return activate(activation_, x); });
+  Tensor out = tensor::map(preact,
+                           [this](double x) { return activate(activation_, x); });
+  cache_valid_ = grad_enabled();
+  if (cache_valid_) {
+    cached_input_ = input;
+    cached_preact_ = std::move(preact);
+  }
+  return out;
 }
 
 Tensor WeightedVertices::backward(const Tensor& grad_output) {
+  if (!cache_valid_) {
+    throw std::logic_error(
+        "WeightedVertices::backward: no cached forward (grad caching disabled)");
+  }
   if (!grad_output.same_shape(cached_preact_)) {
     throw std::invalid_argument("WeightedVertices::backward: grad shape mismatch");
   }

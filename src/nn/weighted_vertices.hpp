@@ -35,6 +35,7 @@ class WeightedVertices : public Module {
   Parameter weight_;  // (k)
   Tensor cached_input_;
   Tensor cached_preact_;  // S = W Zsp, length C
+  bool cache_valid_ = false;
 };
 
 }  // namespace magic::nn

@@ -98,6 +98,12 @@ Tensor Tensor::reshape(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+void Tensor::resize(Shape new_shape) {
+  const std::size_t n = shape_size(new_shape);
+  if (n != data_.size()) data_.resize(n);
+  shape_ = std::move(new_shape);
+}
+
 // The at() family is bounds- and rank-checked when MAGIC_CHECKED_BUILD is
 // defined (always in test builds); an unchecked Release build indexes
 // directly, so checked mode costs nothing when off.

@@ -56,6 +56,12 @@ class Tensor {
   /// Returns a copy with a new shape of identical total size.
   Tensor reshape(Shape new_shape) const;
 
+  /// Re-shapes this tensor in place, growing/shrinking storage as needed.
+  /// Element values are unspecified afterwards (callers overwrite them);
+  /// when the total size is unchanged no allocation happens, which is what
+  /// the matmul_*_into workspace variants rely on.
+  void resize(Shape new_shape);
+
   // --- element access -------------------------------------------------------
   double* data() noexcept { return data_.data(); }
   const double* data() const noexcept { return data_.data(); }
@@ -108,8 +114,25 @@ Tensor operator*(double s, const Tensor& a);
 /// Elementwise (Hadamard) product.
 Tensor hadamard(const Tensor& a, const Tensor& b);
 
-/// Dense 2-D matrix product: (m x k) * (k x n) -> (m x n).
+/// Dense 2-D matrix product: (m x k) * (k x n) -> (m x n). Cache/register
+/// blocked; accumulation over k is strictly in index order per output
+/// element, so results are deterministic for fixed inputs.
 Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Transposed-A product A^T * B: (k x m)^T * (k x n) -> (m x n), without
+/// materializing the transpose. Bit-identical to matmul(transpose(a), b).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Transposed-B product A * B^T: (m x k) * (n x k)^T -> (m x n), without
+/// materializing the transpose. Bit-identical to matmul(a, transpose(b)).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Workspace variants: write the product into `out` (resized as needed; no
+/// allocation when the shape already matches — the training hot path reuses
+/// one workspace per layer). `out` must not alias `a` or `b`.
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
 
 /// 2-D transpose.
 Tensor transpose(const Tensor& a);

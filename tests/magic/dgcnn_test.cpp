@@ -107,6 +107,9 @@ TEST(DgcnnModel, EndToEndGradientMatchesNumericOnFirstLayer) {
   cfg.graph_conv_activation = nn::Activation::Tanh;
   DgcnnModel model(cfg, rng, 4);
   model.set_training(false);
+  // Eval mode disables grad caching; the numeric check needs an eval-mode
+  // backward (no dropout), so opt back in like MagicClassifier::explain.
+  model.set_grad_enabled(true);
   acfg::Acfg g = make_graph(0, 6, true, data_rng);
 
   auto loss_value = [&]() {

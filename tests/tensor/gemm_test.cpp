@@ -1,0 +1,127 @@
+// Kernel-equivalence tests for the blocked GEMM family: the tiled matmul and
+// the transpose-free matmul_tn / matmul_nt variants must match a naive
+// reference (and each other through tensor::transpose) over edge shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace magic::tensor {
+namespace {
+
+// Naive ikj reference: ascending-k accumulation, the order the blocked
+// kernels are required to preserve.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out = Tensor::zeros({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = a[i * k + kk];
+      for (std::size_t j = 0; j < n; ++j) out[i * n + j] += av * b[kk * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                     double zero_fraction = 0.0) {
+  util::Rng rng(seed);
+  Tensor t({rows, cols});
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.uniform() < zero_fraction ? 0.0 : rng.uniform(-2.0, 2.0);
+  }
+  return t;
+}
+
+// Tight relative tolerance rather than bitwise: with -ffp-contract the
+// compiler may fuse multiply-adds differently per loop shape, which shifts
+// results by a few ULPs between kernels. (Run-to-run determinism of each
+// kernel -- what the parallel trainer relies on -- is exact regardless.)
+void expect_equal(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_TRUE(got.same_shape(want)) << what << ": shape " << got.describe()
+                                    << " vs " << want.describe();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double tol = 1e-12 * std::max(1.0, std::abs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol) << what << " at flat index " << i;
+  }
+}
+
+// Shapes chosen to hit every tail path: 1xN / Nx1, dims that are not
+// multiples of the 4-row register block or the 64-wide k tile, and sizes
+// straddling one tile boundary.
+struct Dims {
+  std::size_t m, k, n;
+};
+const Dims kShapes[] = {{1, 1, 1},  {1, 7, 5},   {5, 1, 7},   {7, 5, 1},
+                        {3, 3, 3},  {4, 64, 4},  {5, 65, 3},  {9, 130, 2},
+                        {8, 16, 8}, {13, 21, 17}};
+
+TEST(Gemm, TiledMatmulMatchesNaiveReference) {
+  for (const auto& d : kShapes) {
+    const Tensor a = random_matrix(d.m, d.k, 11 * d.m + d.k);
+    const Tensor b = random_matrix(d.k, d.n, 13 * d.k + d.n);
+    expect_equal(matmul(a, b), naive_matmul(a, b), "matmul");
+  }
+}
+
+TEST(Gemm, TiledMatmulMatchesNaiveOnZeroHeavyRows) {
+  // Post-ReLU activations are ~half zeros; the zero-skip must not change
+  // results. Includes fully-zero rows (the 4-row skip fast path).
+  for (const auto& d : kShapes) {
+    Tensor a = random_matrix(d.m, d.k, 3 * d.m + d.k, 0.6);
+    for (std::size_t j = 0; j < d.k; ++j) a[0 * d.k + j] = 0.0;
+    const Tensor b = random_matrix(d.k, d.n, 17 * d.k + d.n, 0.3);
+    expect_equal(matmul(a, b), naive_matmul(a, b), "matmul zero-heavy");
+  }
+}
+
+TEST(Gemm, MatmulTnMatchesTransposeThenMatmul) {
+  for (const auto& d : kShapes) {
+    // a is (k x m): matmul_tn(a, b) == matmul(a^T, b).
+    const Tensor a = random_matrix(d.k, d.m, 5 * d.m + d.k, 0.4);
+    const Tensor b = random_matrix(d.k, d.n, 7 * d.k + d.n);
+    expect_equal(matmul_tn(a, b), matmul(transpose(a), b), "matmul_tn");
+  }
+}
+
+TEST(Gemm, MatmulNtMatchesMatmulThenTranspose) {
+  for (const auto& d : kShapes) {
+    // b is (n x k): matmul_nt(a, b) == matmul(a, b^T).
+    const Tensor a = random_matrix(d.m, d.k, 23 * d.m + d.k, 0.4);
+    const Tensor b = random_matrix(d.n, d.k, 29 * d.k + d.n);
+    expect_equal(matmul_nt(a, b), matmul(a, transpose(b)), "matmul_nt");
+  }
+}
+
+TEST(Gemm, IntoVariantsReuseOutputStorage) {
+  Tensor out;
+  const Tensor a = random_matrix(6, 9, 41);
+  const Tensor b = random_matrix(9, 4, 42);
+  matmul_into(out, a, b);
+  expect_equal(out, naive_matmul(a, b), "matmul_into");
+  const double* storage = out.data();
+  // Same result shape: the buffer must be reused, not reallocated.
+  matmul_into(out, a, b);
+  EXPECT_EQ(out.data(), storage);
+  expect_equal(out, naive_matmul(a, b), "matmul_into reuse");
+  // Shape change (6x4 -> 9x9 via tn) still yields a correct result.
+  matmul_tn_into(out, a, a);
+  expect_equal(out, matmul(transpose(a), a), "matmul_tn_into");
+}
+
+TEST(Gemm, RejectsBadShapes) {
+  const Tensor a = random_matrix(3, 4, 1);
+  const Tensor b = random_matrix(5, 6, 2);
+  const Tensor v({4});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);     // inner mismatch
+  EXPECT_THROW(matmul(a, v), std::invalid_argument);     // rank-1 operand
+  EXPECT_THROW(matmul_tn(a, b), std::invalid_argument);  // a.dim(0) != b.dim(0)
+  EXPECT_THROW(matmul_nt(a, b), std::invalid_argument);  // a.dim(1) != b.dim(1)
+}
+
+}  // namespace
+}  // namespace magic::tensor
