@@ -17,6 +17,9 @@
 //   --seed X       master seed (default 2019)
 //   --out FILE     JSON output path (default BENCH_serve.json)
 //   --quick        tiny sweep for smoke runs (fewer samples, epochs)
+//   --metrics-out FILE  enable magic::obs and dump the process-wide metrics
+//                  snapshot (serve.* counters + latency histogram,
+//                  extraction spans, trainer phases) as JSON
 
 #include <algorithm>
 #include <cstdint>
@@ -31,6 +34,7 @@
 #include "data/corpus.hpp"
 #include "data/program_generator.hpp"
 #include "magic/classifier.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -47,6 +51,7 @@ struct Options {
   std::size_t epochs = 6;
   std::uint64_t seed = 2019;
   std::string out = "BENCH_serve.json";
+  std::string metrics_out;
   bool quick = false;
 };
 
@@ -74,11 +79,13 @@ Options parse(int argc, char** argv) {
     else if (arg == "--epochs") opt.epochs = std::stoul(next("--epochs"));
     else if (arg == "--seed") opt.seed = std::stoull(next("--seed"));
     else if (arg == "--out") opt.out = next("--out");
+    else if (arg == "--metrics-out") opt.metrics_out = next("--metrics-out");
     else if (arg == "--quick") opt.quick = true;
     else {
       std::cerr << "unknown flag " << arg << "\n"
                 << "usage: bench_serve_throughput [--samples N] [--scale S] "
-                   "[--epochs N] [--seed X] [--out FILE] [--quick]\n";
+                   "[--epochs N] [--seed X] [--out FILE] [--quick] "
+                   "[--metrics-out FILE]\n";
       std::exit(2);
     }
   }
@@ -161,6 +168,7 @@ std::string json_point(const SweepPoint& p) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (!opt.metrics_out.empty()) magic::obs::set_enabled(true);
   const unsigned hardware = std::thread::hardware_concurrency();
   std::cout << "bench_serve_throughput: serving sweep ("
             << opt.samples << " samples, hardware_concurrency=" << hardware
@@ -226,5 +234,11 @@ int main(int argc, char** argv) {
   }
   out << "]}\n";
   std::cout << "wrote " << opt.out << "\n";
+
+  if (!opt.metrics_out.empty()) {
+    std::ofstream metrics(opt.metrics_out);
+    metrics << magic::obs::MetricsRegistry::global().snapshot_json() << "\n";
+    std::cout << "wrote " << opt.metrics_out << "\n";
+  }
   return 0;
 }

@@ -20,6 +20,9 @@
 //   --threads CSV  explicit thread counts, e.g. 1,2,4 (default 1,2,4,hw)
 //   --out FILE     JSON output path (default BENCH_train.json)
 //   --quick        tiny run for CI smoke (scale and epochs clamped)
+//   --metrics-out FILE  enable magic::obs and dump the process-wide metrics
+//                  snapshot (per-epoch forward/backward/reduce/optimizer
+//                  phase timings, extraction spans) as JSON
 
 #include <algorithm>
 #include <cstdint>
@@ -32,6 +35,7 @@
 
 #include "data/corpus.hpp"
 #include "magic/trainer.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/tensor.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -48,6 +52,7 @@ struct Options {
   std::uint64_t seed = 2019;
   std::vector<std::size_t> threads;
   std::string out = "BENCH_train.json";
+  std::string metrics_out;
   bool quick = false;
 };
 
@@ -82,6 +87,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--epochs") opt.epochs = std::stoul(next("--epochs"));
     else if (arg == "--seed") opt.seed = std::stoull(next("--seed"));
     else if (arg == "--out") opt.out = next("--out");
+    else if (arg == "--metrics-out") opt.metrics_out = next("--metrics-out");
     else if (arg == "--quick") opt.quick = true;
     else if (arg == "--threads") {
       opt.threads.clear();
@@ -93,7 +99,8 @@ Options parse(int argc, char** argv) {
     } else {
       std::cerr << "unknown flag " << arg << "\n"
                 << "usage: bench_train_throughput [--scale S] [--epochs N] "
-                   "[--seed X] [--threads CSV] [--out FILE] [--quick]\n";
+                   "[--seed X] [--threads CSV] [--out FILE] [--quick] "
+                   "[--metrics-out FILE]\n";
       std::exit(2);
     }
   }
@@ -225,6 +232,7 @@ std::vector<GemmPoint> run_gemm_micro(bool quick) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (!opt.metrics_out.empty()) magic::obs::set_enabled(true);
   const unsigned hardware = std::thread::hardware_concurrency();
   std::cout << "bench_train_throughput: training sweep (epochs=" << opt.epochs
             << ", hardware_concurrency=" << hardware << ")\n";
@@ -317,5 +325,11 @@ int main(int argc, char** argv) {
   }
   out << "]}\n";
   std::cout << "wrote " << opt.out << "\n";
+
+  if (!opt.metrics_out.empty()) {
+    std::ofstream metrics(opt.metrics_out);
+    metrics << obs::MetricsRegistry::global().snapshot_json() << "\n";
+    std::cout << "wrote " << opt.metrics_out << "\n";
+  }
   return deterministic ? 0 : 1;
 }

@@ -25,7 +25,9 @@
 # configuration exercises the data-parallel trainer tests
 # (ParallelTrainer.* in test_core), which fan per-sample forward/backward
 # across the thread pool and are the main concurrency surface besides
-# magic::serve.
+# magic::serve, and the magic::obs registry tests (Metrics.Concurrent* in
+# test_obs), which hammer one counter/histogram from many threads while
+# snapshot_json() runs.
 
 set -euo pipefail
 

@@ -58,6 +58,10 @@ done
 [[ "$(grep -c '"status":"ok"' "${STDIO_OUT}")" -eq 3 ]] \
   || fail "stdio mode: expected 3 ok verdicts: $(cat "${STDIO_OUT}")"
 grep -q '"completed":3' "${STDIO_OUT}" || fail "stdio mode: stats line wrong: $(tail -1 "${STDIO_OUT}")"
+# The stats payload carries the process-wide obs registry alongside the
+# per-server snapshot (serve latency quantiles live there).
+grep -q '"obs":{' "${STDIO_OUT}" || fail "stdio mode: stats line missing obs registry: $(tail -1 "${STDIO_OUT}")"
+grep -q '"serve.latency_ms"' "${STDIO_OUT}" || fail "stdio mode: stats line missing serve.latency_ms: $(tail -1 "${STDIO_OUT}")"
 echo "    3/3 verdicts ok"
 
 echo "==> socket mode: daemon + malware_scanner --serve client"

@@ -2,10 +2,14 @@
 
 #include "acfg/attributes.hpp"
 #include "cfg/cfg_builder.hpp"
+#include "obs/trace.hpp"
 
 namespace magic::acfg {
 
 Acfg extract_acfg(const cfg::ControlFlowGraph& graph) {
+  // The attribute loop is the paper's "tensorize" stage: Table I features
+  // per basic block into the n x kNumChannels matrix.
+  MAGIC_OBS_SPAN(attrs, "extract.attributes");
   const std::size_t n = graph.num_blocks();
   Acfg out;
   out.out_edges = graph.adjacency();
@@ -22,7 +26,14 @@ Acfg extract_acfg(const cfg::ControlFlowGraph& graph) {
 }
 
 Acfg extract_acfg_from_listing(std::string_view listing) {
-  return extract_acfg(cfg::CfgBuilder::build_from_listing(listing));
+  MAGIC_OBS_SPAN(total, "extract.pipeline");
+  Acfg out = extract_acfg(cfg::CfgBuilder::build_from_listing(listing));
+#ifdef MAGIC_OBS_BUILD
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().counter("extract.graphs").add();
+  }
+#endif
+  return out;
 }
 
 std::vector<Acfg> extract_batch(const std::vector<std::string>& listings,

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "asmx/opcode_table.hpp"
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 
 namespace magic::asmx {
@@ -135,6 +136,7 @@ Operand parse_operand(std::string_view text) {
 }
 
 ParseResult parse_listing(std::string_view text) {
+  MAGIC_OBS_SPAN(parse, "extract.parse");
   ParseResult result;
   std::unordered_map<std::string, std::uint64_t> labels;
   std::vector<PendingTarget> pending;

@@ -2,6 +2,7 @@
 
 #include "asmx/parser.hpp"
 #include "asmx/tagging.hpp"
+#include "obs/trace.hpp"
 
 namespace magic::cfg {
 
@@ -50,6 +51,9 @@ ControlFlowGraph CfgBuilder::connect_blocks(const asmx::Program& program) {
 
 ControlFlowGraph CfgBuilder::build_from_listing(std::string_view listing) {
   asmx::ParseResult parsed = asmx::parse_listing(listing);
+  // Tagging (Alg. 1) and block connection (Alg. 2) share the cfg-build
+  // span; parse has its own inside parse_listing.
+  MAGIC_OBS_SPAN(cfg, "extract.cfg_build");
   asmx::TaggingPass tagger;
   tagger.run(parsed.program);
   CfgBuilder builder;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <mutex>
+#include <stdexcept>
 
 #include "util/logging.hpp"
 
@@ -10,6 +11,17 @@ namespace magic::core {
 
 CvResult cross_validate(const DgcnnConfig& config, const data::Dataset& dataset,
                         const CvOptions& options, util::ThreadPool& pool) {
+  // Guard the two degenerate configurations before any work: folds < 2
+  // leaves nothing to hold out (and folds == 0 divides by zero in every
+  // per-fold average below); epochs == 0 trains nothing and would take
+  // min_element of the empty mean_epoch_val_loss -- undefined behaviour.
+  if (options.folds < 2) {
+    throw std::invalid_argument("cross_validate: folds must be >= 2, got " +
+                                std::to_string(options.folds));
+  }
+  if (options.train.epochs == 0) {
+    throw std::invalid_argument("cross_validate: train.epochs must be >= 1");
+  }
   util::Rng rng(options.seed);
   const auto splits = data::stratified_k_fold(dataset, options.folds, rng);
 

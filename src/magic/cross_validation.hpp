@@ -34,7 +34,9 @@ struct CvResult {
 };
 
 struct CvOptions {
+  /// Number of folds; cross_validate requires >= 2 (1 leaves no holdout).
   std::size_t folds = 5;
+  /// Per-fold training options; cross_validate requires train.epochs >= 1.
   TrainOptions train;
   std::uint64_t seed = 11;
   /// Train folds concurrently on the pool (each fold is single-threaded).
@@ -42,6 +44,8 @@ struct CvOptions {
 };
 
 /// Runs K-fold CV of one DGCNN config over the dataset.
+/// Throws std::invalid_argument for degenerate options (folds < 2 or
+/// train.epochs == 0).
 CvResult cross_validate(const DgcnnConfig& config, const data::Dataset& dataset,
                         const CvOptions& options, util::ThreadPool& pool);
 

@@ -1,9 +1,18 @@
-// Text serialization for MagicClassifier (format "MAGIC-MODEL v1").
+// Text serialization for MagicClassifier (format "MAGIC-MODEL v2";
+// "MAGIC-MODEL v1" files still load).
 //
 // The file stores the config, the derived SortPooling k, the family-name
 // table and every parameter tensor in the deterministic order returned by
 // DgcnnModel::parameters(). Loading rebuilds the identical architecture and
 // overwrites its weights, so save -> load -> predict is bit-reproducible.
+//
+// v2 writes each family name length-prefixed ("<bytes> <raw name>") so
+// names containing whitespace -- "Trojan Horse", UTF-8 labels with spaces,
+// even embedded newlines -- survive the round trip. v1 wrote one bare name
+// per line but read it back with operator>>, which split on the first
+// space and then cascaded the leftover tokens into later names; that is
+// the corruption this version fixes. The v1 reader is kept for old files
+// (correct for the space-free names v1 could actually round-trip).
 
 #include <istream>
 #include <limits>
@@ -60,9 +69,11 @@ nn::Activation parse_activation(const std::string& s) {
 void MagicClassifier::save(std::ostream& os) const {
   if (!fitted()) throw std::logic_error("MagicClassifier::save: not fitted");
   const DgcnnConfig& c = model_->config();
-  os << "MAGIC-MODEL v1\n";
+  os << "MAGIC-MODEL v2\n";
   os << "families " << family_names_.size() << "\n";
-  for (const auto& name : family_names_) os << name << "\n";
+  // Length prefix in bytes, then exactly that many raw bytes: immune to
+  // whitespace (and any other byte) inside the name.
+  for (const auto& name : family_names_) os << name.size() << " " << name << "\n";
   os << "pooling " << pooling_name(c.pooling) << " ratio " << c.pooling_ratio
      << " sort_k " << model_->sort_k() << " remaining " << remaining_name(c.remaining)
      << " conv1d " << c.conv1d_channels_first << " " << c.conv1d_channels_second
@@ -91,12 +102,32 @@ void MagicClassifier::save(std::ostream& os) const {
 
 MagicClassifier MagicClassifier::load(std::istream& is) {
   expect(is, "MAGIC-MODEL");
-  expect(is, "v1");
+  std::string version;
+  if (!(is >> version) || (version != "v1" && version != "v2")) {
+    throw std::runtime_error("MagicClassifier::load: unsupported version '" +
+                             version + "' (expected v1 or v2)");
+  }
   expect(is, "families");
   std::size_t n_families = 0;
   is >> n_families;
   std::vector<std::string> names(n_families);
-  for (auto& name : names) is >> name;
+  if (version == "v1") {
+    // Legacy whitespace-delimited names (correct only for space-free names,
+    // which is all v1 save() could round-trip).
+    for (auto& name : names) is >> name;
+  } else {
+    for (auto& name : names) {
+      std::size_t len = 0;
+      if (!(is >> len)) {
+        throw std::runtime_error("MagicClassifier::load: truncated family table");
+      }
+      is.get();  // the single separator byte after the length
+      name.resize(len);
+      if (len > 0 && !is.read(name.data(), static_cast<std::streamsize>(len))) {
+        throw std::runtime_error("MagicClassifier::load: truncated family name");
+      }
+    }
+  }
 
   DgcnnConfig cfg;
   std::size_t sort_k = 0;
@@ -142,6 +173,16 @@ MagicClassifier MagicClassifier::load(std::istream& is) {
   if (!is) throw std::runtime_error("MagicClassifier::load: truncated header");
   cfg.sort_k = sort_k;
 
+  // A family table that disagrees with the model's class count means the
+  // checkpoint is corrupt (or hand-edited); predictions would index the
+  // name table out of range or mislabel every verdict.
+  if (names.size() != cfg.num_classes) {
+    throw std::runtime_error(
+        "MagicClassifier::load: family table has " + std::to_string(names.size()) +
+        " names but the model declares " + std::to_string(cfg.num_classes) +
+        " classes");
+  }
+
   MagicClassifier clf(cfg);
   clf.family_names_ = std::move(names);
   util::Rng rng(1);  // weights are overwritten below
@@ -157,9 +198,21 @@ MagicClassifier MagicClassifier::load(std::istream& is) {
   for (nn::Parameter* p : params) {
     std::string name;
     std::size_t size = 0;
-    if (!(is >> name >> size) || size != p->value.size()) {
+    if (!(is >> name >> size)) {
+      throw std::runtime_error("MagicClassifier::load: truncated parameter header (expected " +
+                               p->name + ")");
+    }
+    // Stored tensors must line up with the rebuilt architecture one-to-one;
+    // a renamed or reordered entry would silently load weights into the
+    // wrong layer.
+    if (name != p->name) {
+      throw std::runtime_error("MagicClassifier::load: parameter name mismatch: expected '" +
+                               p->name + "', got '" + name + "'");
+    }
+    if (size != p->value.size()) {
       throw std::runtime_error("MagicClassifier::load: parameter shape mismatch for " +
-                               p->name);
+                               p->name + ": expected " + std::to_string(p->value.size()) +
+                               " values, got " + std::to_string(size));
     }
     for (std::size_t i = 0; i < size; ++i) {
       if (!(is >> p->value[i])) {

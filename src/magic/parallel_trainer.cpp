@@ -8,10 +8,25 @@
 #include <utility>
 
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace magic::core {
+
+namespace {
+
+// Compile-away gate for the phase-timing instrumentation: with MAGIC_OBS
+// off every `if constexpr (kObsCompiled)` block vanishes and the trainer is
+// byte-for-byte the uninstrumented engine.
+#ifdef MAGIC_OBS_BUILD
+constexpr bool kObsCompiled = true;
+#else
+constexpr bool kObsCompiled = false;
+#endif
+
+}  // namespace
 
 std::uint64_t per_sample_seed(std::uint64_t seed, std::uint64_t epoch,
                               std::uint64_t position) noexcept {
@@ -91,10 +106,23 @@ void ParallelTrainer::run_slot(std::size_t replica, std::size_t slot,
   for (nn::Parameter* p : params) p->grad.fill(0.0);
 
   nn::NllLoss loss;
-  const nn::Tensor log_probs = model.forward(sample);
-  slot_loss_[slot] =
-      loss.forward(log_probs, static_cast<std::size_t>(sample.label));
-  model.backward(loss.backward());
+  if (timing_) {
+    // Per-slot accumulators, no shared state: workers never contend on the
+    // timing path, and the clock is only read while obs is enabled.
+    util::Timer timer;
+    const nn::Tensor log_probs = model.forward(sample);
+    slot_forward_ms_[slot] = timer.millis();
+    slot_loss_[slot] =
+        loss.forward(log_probs, static_cast<std::size_t>(sample.label));
+    timer.reset();
+    model.backward(loss.backward());
+    slot_backward_ms_[slot] = timer.millis();
+  } else {
+    const nn::Tensor log_probs = model.forward(sample);
+    slot_loss_[slot] =
+        loss.forward(log_probs, static_cast<std::size_t>(sample.label));
+    model.backward(loss.backward());
+  }
 
   // Hand the per-sample gradients to the reducer without copying; the slot
   // buffer (same shapes, contents stale) becomes the replica's next grad
@@ -146,6 +174,13 @@ TrainResult ParallelTrainer::train(const std::vector<std::size_t>& train_indices
     }
   }
   slot_loss_.assign(max_chunk_, 0.0);
+  if constexpr (kObsCompiled) {
+    timing_ = obs::enabled();
+    if (timing_) {
+      slot_forward_ms_.assign(max_chunk_, 0.0);
+      slot_backward_ms_.assign(max_chunk_, 0.0);
+    }
+  }
 
   TrainResult result;
   result.best_validation_loss = std::numeric_limits<double>::infinity();
@@ -189,10 +224,22 @@ TrainResult ParallelTrainer::train(const std::vector<std::size_t>& train_indices
     }
 
     double epoch_loss = 0.0;
+    double forward_ms = 0.0, backward_ms = 0.0, reduce_ms = 0.0,
+           optimizer_ms = 0.0;
+    util::Timer epoch_timer;  // read only while timing_
     optimizer.zero_grad();
     for (std::size_t begin = 0; begin < order.size(); begin += max_chunk_) {
       const std::size_t end = std::min(begin + max_chunk_, order.size());
       run_chunk(order, begin, end, epoch);
+      if constexpr (kObsCompiled) {
+        if (timing_) {
+          for (std::size_t slot = 0; slot < end - begin; ++slot) {
+            forward_ms += slot_forward_ms_[slot];
+            backward_ms += slot_backward_ms_[slot];
+          }
+        }
+      }
+      util::Timer phase_timer;
       // Deterministic reduction: slot order == sample-index order, for
       // every thread count.
       for (std::size_t slot = 0; slot < end - begin; ++slot) {
@@ -201,15 +248,49 @@ TrainResult ParallelTrainer::train(const std::vector<std::size_t>& train_indices
           master_params_[i]->grad += slot_grads_[slot][i];
         }
       }
+      if constexpr (kObsCompiled) {
+        if (timing_) reduce_ms += phase_timer.millis();
+      }
+      phase_timer.reset();
       optimizer.step();
       optimizer.zero_grad();
       sync_replicas();
+      if constexpr (kObsCompiled) {
+        if (timing_) optimizer_ms += phase_timer.millis();
+      }
+    }
+    if constexpr (kObsCompiled) {
+      if (timing_) {
+        // Per-epoch phase breakdown + throughput, visible in any
+        // snapshot_json() sink (--metrics-out, magicd stats).
+        const double wall_ms = epoch_timer.millis();
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+        registry.histogram("train.epoch.forward_ms").record(forward_ms);
+        registry.histogram("train.epoch.backward_ms").record(backward_ms);
+        registry.histogram("train.epoch.reduce_ms").record(reduce_ms);
+        registry.histogram("train.epoch.optimizer_ms").record(optimizer_ms);
+        registry.histogram("train.epoch.wall_ms").record(wall_ms);
+        if (wall_ms > 0.0) {
+          registry.gauge("train.samples_per_sec")
+              .set(static_cast<double>(order.size()) / (wall_ms / 1e3));
+        }
+        registry.counter("train.epochs").add();
+        registry.counter("train.samples").add(order.size());
+      }
     }
 
     EpochStats stats;
     stats.train_loss = epoch_loss / static_cast<double>(order.size());
     if (!val_indices.empty()) {
+      util::Timer validation_timer;
       EvalResult eval = evaluate(val_indices);
+      if constexpr (kObsCompiled) {
+        if (timing_) {
+          obs::MetricsRegistry::global()
+              .histogram("train.epoch.validation_ms")
+              .record(validation_timer.millis());
+        }
+      }
       stats.validation_loss = eval.mean_log_loss;
       stats.validation_accuracy = eval.confusion.accuracy();
     } else {

@@ -73,6 +73,14 @@ class ParallelTrainer {
   std::vector<double> slot_loss_;
   std::size_t max_chunk_ = 0;
 
+  // obs phase timing (magic::obs). Sampled once at train() entry; when
+  // false (obs disabled or compiled out) no clock is ever read and the
+  // per-slot timing buffers stay empty. Per-slot accumulators keep the
+  // worker threads contention-free, exactly like slot_loss_.
+  bool timing_ = false;
+  std::vector<double> slot_forward_ms_;
+  std::vector<double> slot_backward_ms_;
+
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
 };
 

@@ -1,0 +1,118 @@
+#pragma once
+// magic::obs — process-wide observability: a registry of named counters,
+// gauges and histograms that every pipeline stage (asm parse -> CFG -> ACFG
+// -> DGCNN train/serve) records into, exported as one JSON snapshot.
+//
+// Cost model (the "no sink attached" contract):
+//   * Handles are lock-cheap: Counter::add / Gauge::set are one relaxed
+//     atomic op; HistogramCell::record takes a per-cell mutex (events that
+//     reach a histogram are per-batch / per-verdict / per-epoch, never
+//     per-element of a hot loop).
+//   * Registry lookups (counter()/gauge()/histogram()) take the registry
+//     mutex and should be done once and cached; the returned references
+//     stay valid for the registry's lifetime (reset() zeroes values but
+//     never invalidates handles).
+//   * Tracing (obs::Span, trainer phase timers) is additionally gated on a
+//     process-wide enabled() flag — one relaxed atomic load, no clock read,
+//     no allocation when disabled — and compiles away entirely when
+//     MAGIC_OBS_BUILD is not defined (same discipline as
+//     MAGIC_CHECKED_BUILD; CMake option MAGIC_OBS, default ON).
+//
+// Numeric output: snapshot_json() renders non-finite doubles as 0 so the
+// snapshot is always valid JSON.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/histogram.hpp"
+
+namespace magic::obs {
+
+/// Process-wide switch for the *tracing* layer (spans, phase timers and the
+/// serve-side global mirror). Metric handles themselves always work; this
+/// flag only gates the instrumentation that would otherwise read clocks on
+/// hot paths. Default: disabled.
+void set_enabled(bool on) noexcept;
+bool enabled() noexcept;
+
+/// Monotonically increasing event count (relaxed atomic).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (relaxed atomic double).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper over util::Histogram (log-bucketed quantiles).
+class HistogramCell {
+ public:
+  void record(double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.record(value);
+  }
+  /// Consistent copy of the underlying histogram.
+  util::Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.reset();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  util::Histogram histogram_;
+};
+
+/// Named metric registry. Lookup creates on first use; names are free-form
+/// dotted paths ("train.epoch.forward_ms"). Thread-safe; handle references
+/// remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in instrumentation site uses.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramCell& histogram(std::string_view name);
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {"count","sum","mean","min","max","p50","p95","p99"}}}. Keys sorted.
+  std::string snapshot_json() const;
+
+  /// Zeroes every registered metric. Handles stay valid (tests and
+  /// long-lived daemons rely on this; nothing is deallocated).
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: node-based, so mapped references are stable across inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, HistogramCell, std::less<>> histograms_;
+};
+
+}  // namespace magic::obs

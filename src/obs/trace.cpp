@@ -1,0 +1,34 @@
+#include "obs/trace.hpp"
+
+#include "util/logging.hpp"
+
+namespace magic::obs {
+
+double ScopedTimer::stop() {
+  if (cell_ == nullptr) return 0.0;
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  cell_->record(ms);
+  cell_ = nullptr;
+  return ms;
+}
+
+Span::Span(std::string_view stage) {
+  if (!enabled()) return;  // one relaxed load; no clock, no allocation
+  stage_ = std::string(stage);
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter(stage_ + ".calls").add();
+  cell_ = &registry.histogram(stage_ + ".ms");
+  start_ = Clock::now();
+}
+
+Span::~Span() {
+  if (cell_ == nullptr) return;
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  cell_->record(ms);
+  MAGIC_CLOG(::magic::util::LogLevel::Debug, "trace",
+             "stage=" << stage_ << " ms=" << ms);
+}
+
+}  // namespace magic::obs

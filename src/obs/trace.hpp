@@ -1,0 +1,74 @@
+#pragma once
+// RAII tracing for magic::obs: Span records a stage's wall time into the
+// global MetricsRegistry (histogram "<stage>.ms" + counter "<stage>.calls"),
+// ScopedTimer records into a caller-cached HistogramCell.
+//
+// Both are no-ops — no clock read, no registry lookup — while
+// obs::enabled() is false, and the MAGIC_OBS_SPAN macro compiles away
+// entirely when MAGIC_OBS_BUILD is not defined (CMake option MAGIC_OBS).
+// At LogLevel::Debug a finishing Span additionally emits one structured
+// log line (component "trace"), so `magicd --log-json` + debug level
+// yields a machine-readable per-stage trace.
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace magic::obs {
+
+/// Records elapsed milliseconds into `cell` on destruction (or stop()).
+/// Constructed with nullptr it is inert. The cell reference must be cached
+/// by the caller (see MetricsRegistry cost model).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramCell* cell) noexcept
+      : cell_(cell),
+        start_(cell ? Clock::now() : Clock::time_point{}) {}
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records once and deactivates; returns the elapsed milliseconds
+  /// (0 when inert or already stopped).
+  double stop();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  HistogramCell* cell_;
+  Clock::time_point start_;
+};
+
+/// Per-stage trace span. Active only while obs::enabled(); an active span
+/// bumps "<stage>.calls" and records "<stage>.ms" when it ends, and emits a
+/// Debug-level structured log line.
+class Span {
+ public:
+  explicit Span(std::string_view stage);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const noexcept { return cell_ != nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::string stage_;           // empty when inactive
+  HistogramCell* cell_ = nullptr;
+  Clock::time_point start_;
+};
+
+}  // namespace magic::obs
+
+// Compile-away span macro for hot paths: MAGIC_OBS_SPAN(extract_parse,
+// "extract.parse") declares a local span named after the first token.
+#ifdef MAGIC_OBS_BUILD
+#define MAGIC_OBS_SPAN(var, stage) ::magic::obs::Span magic_obs_span_##var { stage }
+#else
+#define MAGIC_OBS_SPAN(var, stage) \
+  do {                             \
+  } while (false)
+#endif

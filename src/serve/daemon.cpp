@@ -21,10 +21,18 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/wire.hpp"
 
 namespace magic::serve {
 namespace {
+
+/// The `stats` wire response: the per-server snapshot plus the process-wide
+/// metrics registry (extraction spans, serve latency quantiles, ...).
+std::string stats_payload(InferenceServer& server) {
+  return "{\"server\":" + server.stats().to_json() +
+         ",\"obs\":" + obs::MetricsRegistry::global().snapshot_json() + "}";
+}
 
 /// One in-order response slot: either a pending verdict or an
 /// already-rendered line (parse errors, stats).
@@ -54,7 +62,7 @@ std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
     if (front.pending.valid()) {
       write_line_fn(wire::verdict_to_json(front.id, front.pending.get()));
     } else if (front.is_stats) {
-      write_line_fn(server.stats().to_json());
+      write_line_fn(stats_payload(server));
     } else {
       write_line_fn(front.ready_line);
     }

@@ -17,19 +17,26 @@
 //                                           saves it to FILE and optionally
 //                                           writes demo listings to DIR.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/corpus.hpp"
 #include "data/program_generator.hpp"
 #include "magic/classifier.hpp"
+#include "obs/metrics.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -45,13 +52,16 @@ struct Options {
   double scale = 0.004;
   std::size_t epochs = 12;
   std::uint64_t seed = 13;
+  /// Period of the stats flush to the log (0 = off).
+  std::size_t stats_every_s = 0;
+  bool log_json = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " --model FILE [--socket PATH]\n"
       << "           [--workers N] [--queue N] [--batch N] [--window-us U]\n"
-      << "           [--deadline-ms D]\n"
+      << "           [--deadline-ms D] [--stats-every SECS] [--log-json]\n"
       << "       " << argv0 << " --selftrain FILE [--samples-dir DIR]\n"
       << "           [--scale F] [--epochs N] [--seed S]\n";
   std::exit(2);
@@ -97,6 +107,8 @@ Options parse(int argc, char** argv) {
     else if (arg == "--scale")
       opt.scale = numeric([](const std::string& s, std::size_t* pos) { return std::stod(s, pos); },
                           need_value(i));
+    else if (arg == "--stats-every") opt.stats_every_s = as_ul(need_value(i));
+    else if (arg == "--log-json") opt.log_json = true;
     else if (arg == "--epochs") opt.epochs = as_ul(need_value(i));
     else if (arg == "--seed")
       opt.seed = numeric([](const std::string& s, std::size_t* pos) { return std::stoull(s, pos); },
@@ -165,6 +177,10 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   try {
     const Options opt = parse(argc, argv);
+    if (opt.log_json) util::set_log_format(util::LogFormat::Json);
+    // The daemon always collects metrics: the `stats` wire command and the
+    // periodic flush both read the process-wide registry.
+    obs::set_enabled(true);
     if (!opt.selftrain_path.empty()) return selftrain(opt);
 
     core::MagicClassifier clf = core::MagicClassifier::load_file(opt.model_path);
@@ -175,6 +191,37 @@ int main(int argc, char** argv) {
               << server.config().queue_capacity << ", batch "
               << server.config().max_batch << " @ "
               << server.config().batch_window.count() << "us\n";
+
+    // Optional periodic stats flush: the same payload as the `stats` wire
+    // command, logged at Info every --stats-every seconds. Stopped via a
+    // condition variable so shutdown never waits out a full period.
+    std::atomic<bool> stats_stop{false};
+    std::mutex stats_mutex;
+    std::condition_variable stats_cv;
+    std::thread stats_thread;
+    if (opt.stats_every_s > 0) {
+      stats_thread = std::thread([&] {
+        std::unique_lock<std::mutex> lock(stats_mutex);
+        while (!stats_cv.wait_for(
+            lock, std::chrono::seconds(opt.stats_every_s),
+            [&] { return stats_stop.load(std::memory_order_relaxed); })) {
+          MAGIC_CLOG(util::LogLevel::Info, "serve",
+                     "stats {\"server\":"
+                         << server.stats().to_json() << ",\"obs\":"
+                         << obs::MetricsRegistry::global().snapshot_json()
+                         << "}");
+        }
+      });
+    }
+    auto stop_stats_thread = [&] {
+      if (!stats_thread.joinable()) return;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats_stop.store(true, std::memory_order_relaxed);
+      }
+      stats_cv.notify_all();
+      stats_thread.join();
+    };
 
     std::uint64_t served = 0;
     if (opt.socket_path.empty()) {
@@ -187,6 +234,7 @@ int main(int argc, char** argv) {
       daemon.socket_path = opt.socket_path;
       served = serve::run_unix_daemon(server, daemon);
     }
+    stop_stats_thread();
     const serve::ServerStats stats = server.stats();
     std::cerr << "magicd: drained; served " << served << " requests ("
               << stats.completed << " ok, " << stats.rejected_full

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/histogram.hpp"
+
 namespace magic::serve {
 
 double ServerStats::mean_batch_size() const noexcept {
@@ -23,8 +25,10 @@ std::string ServerStats::to_json() const {
      << ",\"batches\":" << batches << ",\"queue_depth\":" << queue_depth
      << ",\"workers\":" << workers << ",\"mean_batch_size\":" << mean_batch_size()
      << ",\"batch_size_counts\":[";
-  for (std::size_t s = 1; s < batch_size_counts.size(); ++s) {
-    if (s > 1) os << ',';
+  // Full array including index 0: the JSON must describe exactly the
+  // distribution mean_batch_size() averaged over.
+  for (std::size_t s = 0; s < batch_size_counts.size(); ++s) {
+    if (s > 0) os << ',';
     os << batch_size_counts[s];
   }
   os << "],\"latency_ms\":{\"p50\":" << latency_p50_ms << ",\"p95\":" << latency_p95_ms
@@ -34,11 +38,21 @@ std::string ServerStats::to_json() const {
 }
 
 StatsCollector::StatsCollector(std::size_t max_batch)
-    : batch_size_counts_(max_batch + 1, 0) {}
+    : batch_size_counts_(max_batch + 1, 0) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  global_.submitted = &registry.counter("serve.submitted");
+  global_.completed = &registry.counter("serve.completed");
+  global_.rejected_full = &registry.counter("serve.rejected_full");
+  global_.rejected_shutdown = &registry.counter("serve.rejected_shutdown");
+  global_.expired = &registry.counter("serve.expired");
+  global_.failed = &registry.counter("serve.failed");
+  global_.batches = &registry.counter("serve.batches");
+  global_.latency_ms = &registry.histogram("serve.latency_ms");
+}
 
 void StatsCollector::on_batch(std::size_t batch_size) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  bump(batches_, global_.batches);
+  std::lock_guard<std::mutex> lock(batch_mutex_);
   if (batch_size >= batch_size_counts_.size()) {
     batch_size_counts_.resize(batch_size + 1, 0);
   }
@@ -46,32 +60,33 @@ void StatsCollector::on_batch(std::size_t batch_size) {
 }
 
 void StatsCollector::on_completed(double latency_ms) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  bump(completed_, global_.completed);
   latency_ms_.record(latency_ms);
+  if (obs::enabled()) global_.latency_ms->record(latency_ms);
 }
 
 ServerStats StatsCollector::snapshot(std::size_t queue_depth,
                                      std::size_t workers) const {
   ServerStats out;
-  out.submitted = submitted_.load(std::memory_order_relaxed);
-  out.completed = completed_.load(std::memory_order_relaxed);
-  out.rejected_full = rejected_full_.load(std::memory_order_relaxed);
-  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-  out.expired = expired_.load(std::memory_order_relaxed);
-  out.failed = failed_.load(std::memory_order_relaxed);
-  out.batches = batches_.load(std::memory_order_relaxed);
+  out.submitted = submitted_.value();
+  out.completed = completed_.value();
+  out.rejected_full = rejected_full_.value();
+  out.rejected_shutdown = rejected_shutdown_.value();
+  out.expired = expired_.value();
+  out.failed = failed_.value();
+  out.batches = batches_.value();
   out.queue_depth = queue_depth;
   out.workers = workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(batch_mutex_);
     out.batch_size_counts = batch_size_counts_;
-    out.latency_p50_ms = latency_ms_.quantile(0.50);
-    out.latency_p95_ms = latency_ms_.quantile(0.95);
-    out.latency_p99_ms = latency_ms_.quantile(0.99);
-    out.latency_mean_ms = latency_ms_.mean();
-    out.latency_max_ms = latency_ms_.max();
   }
+  const util::Histogram latency = latency_ms_.snapshot();
+  out.latency_p50_ms = latency.quantile(0.50);
+  out.latency_p95_ms = latency.quantile(0.95);
+  out.latency_p99_ms = latency.quantile(0.99);
+  out.latency_mean_ms = latency.mean();
+  out.latency_max_ms = latency.max();
   return out;
 }
 

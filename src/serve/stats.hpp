@@ -2,15 +2,23 @@
 // Serving-side observability: counters, batch-size histogram and latency
 // percentiles, exported as a consistent ServerStats snapshot (the `stats`
 // wire command and the throughput bench both read it).
+//
+// The collector is built on the magic::obs primitives: counters are
+// obs::Counter (relaxed atomics), the latency distribution is an
+// obs::HistogramCell. Each InferenceServer keeps its own instances so its
+// snapshot() is exact per-server; while obs::enabled() every event is
+// additionally mirrored into the process-wide MetricsRegistry under
+// "serve.*" (counters accumulate across servers there), which is what puts
+// serve latency quantiles into MetricsRegistry::snapshot_json() for
+// `magicd stats` and `--metrics-out`.
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
-#include "util/histogram.hpp"
+#include "obs/metrics.hpp"
 
 namespace magic::serve {
 
@@ -26,8 +34,10 @@ struct ServerStats {
   std::size_t queue_depth = 0;        ///< requests queued right now
   std::size_t workers = 0;
 
-  /// batch_size_counts[s] = number of micro-batches of size s
-  /// (index 0 unused; size max_batch is the last slot).
+  /// batch_size_counts[s] = number of micro-batches of size s. Index 0 is
+  /// always 0 (a micro-batch has at least one request) but is emitted and
+  /// averaged like every other slot, so to_json() and mean_batch_size()
+  /// always agree on the same array.
   std::vector<std::uint64_t> batch_size_counts;
 
   /// End-to-end latency of Ok verdicts (submit -> resolution).
@@ -39,21 +49,24 @@ struct ServerStats {
 
   double mean_batch_size() const noexcept;
   /// Single-line JSON rendering (the `stats` wire command's payload).
+  /// Emits batch_size_counts in full, from index 0.
   std::string to_json() const;
 };
 
 /// Thread-safe collector behind ServerStats. Counter bumps are lock-free;
-/// the histograms share one mutex (they are touched once per batch/verdict,
-/// which is amortized across the whole micro-batch).
+/// the latency histogram and the batch-size table each take one mutex per
+/// batch/verdict (amortized across the whole micro-batch).
 class StatsCollector {
  public:
   explicit StatsCollector(std::size_t max_batch);
 
-  void on_submitted() noexcept { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void on_rejected_full() noexcept { rejected_full_.fetch_add(1, std::memory_order_relaxed); }
-  void on_rejected_shutdown() noexcept { rejected_shutdown_.fetch_add(1, std::memory_order_relaxed); }
-  void on_expired() noexcept { expired_.fetch_add(1, std::memory_order_relaxed); }
-  void on_failed() noexcept { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_submitted() noexcept { bump(submitted_, global_.submitted); }
+  void on_rejected_full() noexcept { bump(rejected_full_, global_.rejected_full); }
+  void on_rejected_shutdown() noexcept {
+    bump(rejected_shutdown_, global_.rejected_shutdown);
+  }
+  void on_expired() noexcept { bump(expired_, global_.expired); }
+  void on_failed() noexcept { bump(failed_, global_.failed); }
 
   void on_batch(std::size_t batch_size);
   void on_completed(double latency_ms);
@@ -61,17 +74,37 @@ class StatsCollector {
   ServerStats snapshot(std::size_t queue_depth, std::size_t workers) const;
 
  private:
-  std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> rejected_full_{0};
-  std::atomic<std::uint64_t> rejected_shutdown_{0};
-  std::atomic<std::uint64_t> expired_{0};
-  std::atomic<std::uint64_t> failed_{0};
-  std::atomic<std::uint64_t> batches_{0};
+  /// Cached handles into the process-wide registry ("serve.*" names);
+  /// only written while obs::enabled().
+  struct GlobalMirror {
+    obs::Counter* submitted;
+    obs::Counter* completed;
+    obs::Counter* rejected_full;
+    obs::Counter* rejected_shutdown;
+    obs::Counter* expired;
+    obs::Counter* failed;
+    obs::Counter* batches;
+    obs::HistogramCell* latency_ms;
+  };
 
-  mutable std::mutex mutex_;
-  util::Histogram latency_ms_;
+  static void bump(obs::Counter& local, obs::Counter* mirror) noexcept {
+    local.add();
+    if (obs::enabled()) mirror->add();
+  }
+
+  obs::Counter submitted_;
+  obs::Counter completed_;
+  obs::Counter rejected_full_;
+  obs::Counter rejected_shutdown_;
+  obs::Counter expired_;
+  obs::Counter failed_;
+  obs::Counter batches_;
+  obs::HistogramCell latency_ms_;
+
+  mutable std::mutex batch_mutex_;
   std::vector<std::uint64_t> batch_size_counts_;
+
+  GlobalMirror global_;
 };
 
 }  // namespace magic::serve

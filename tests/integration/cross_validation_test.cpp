@@ -50,6 +50,19 @@ TEST(CrossValidation, HighAccuracyOnSeparableData) {
   EXPECT_GT(result.accuracy, 0.85);
 }
 
+TEST(CrossValidation, RejectsDegenerateOptions) {
+  // epochs == 0 used to take min_element of an empty vector (UB) and
+  // folds == 0 divided by zero; both must be rejected up front.
+  data::Dataset d = separable_dataset(6, 9);
+  util::ThreadPool pool(2);
+  EXPECT_THROW(cross_validate(quick_config(), d, quick_cv(0, 4), pool),
+               std::invalid_argument);
+  EXPECT_THROW(cross_validate(quick_config(), d, quick_cv(1, 4), pool),
+               std::invalid_argument);
+  EXPECT_THROW(cross_validate(quick_config(), d, quick_cv(3, 0), pool),
+               std::invalid_argument);
+}
+
 TEST(CrossValidation, SerialAndParallelAgree) {
   data::Dataset d = separable_dataset(8, 4);
   util::ThreadPool pool(4);

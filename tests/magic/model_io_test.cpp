@@ -39,7 +39,7 @@ TEST(ModelIo, HeaderCarriesConfigFlags) {
   std::stringstream ss;
   clf.save(ss);
   const std::string text = ss.str();
-  EXPECT_NE(text.find("MAGIC-MODEL v1"), std::string::npos);
+  EXPECT_NE(text.find("MAGIC-MODEL v2"), std::string::npos);
   EXPECT_NE(text.find("log1p 0"), std::string::npos);
   EXPECT_NE(text.find("norm 0"), std::string::npos);
   EXPECT_NE(text.find("pooling sort"), std::string::npos);
@@ -99,6 +99,164 @@ TEST(ModelIo, SaveIsDeterministic) {
   clf.save(a);
   clf.save(b);
   EXPECT_EQ(a.str(), b.str());
+}
+
+MagicClassifier fitted_with_names(std::vector<std::string> names,
+                                  std::uint64_t seed) {
+  data::Dataset d = testing::separable_dataset(6, seed);
+  d.family_names = std::move(names);
+  TrainOptions quick;
+  quick.epochs = 2;
+  quick.learning_rate = 1e-3;
+  MagicClassifier clf(wv_config(), quick, seed);
+  clf.fit(d, 0.2);
+  return clf;
+}
+
+TEST(ModelIo, SpacedFamilyNamesRoundTrip) {
+  // v1 wrote one bare name per line but read with operator>>, so a space
+  // split one name into several and cascaded into the following entries.
+  MagicClassifier clf =
+      fitted_with_names({"Trojan Horse Generic", "Benign  (two spaces)"}, 7);
+  std::stringstream ss;
+  clf.save(ss);
+  MagicClassifier restored = MagicClassifier::load(ss);
+  ASSERT_EQ(restored.family_names().size(), 2u);
+  EXPECT_EQ(restored.family_names()[0], "Trojan Horse Generic");
+  EXPECT_EQ(restored.family_names()[1], "Benign  (two spaces)");
+
+  // And predictions are bit-identical after the round trip.
+  util::Rng rng(8);
+  acfg::Acfg g = testing::make_graph(1, 7, true, rng);
+  const auto a = clf.predict(g);
+  const auto b = restored.predict(g);
+  EXPECT_EQ(a.family_index, b.family_index);
+  EXPECT_EQ(a.family_name, b.family_name);
+  ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+  for (std::size_t c = 0; c < a.probabilities.size(); ++c) {
+    EXPECT_EQ(a.probabilities[c], b.probabilities[c]);  // bitwise
+  }
+}
+
+TEST(ModelIo, Utf8FamilyNamesRoundTrip) {
+  MagicClassifier clf =
+      fitted_with_names({"Троян Общий", "良性 プログラム"}, 9);
+  std::stringstream ss;
+  clf.save(ss);
+  MagicClassifier restored = MagicClassifier::load(ss);
+  ASSERT_EQ(restored.family_names().size(), 2u);
+  EXPECT_EQ(restored.family_names()[0], "Троян Общий");
+  EXPECT_EQ(restored.family_names()[1], "良性 プログラム");
+}
+
+TEST(ModelIo, LoadsLegacyV1Checkpoint) {
+  // Rewrite a fresh v2 checkpoint into the v1 layout (bare names, which is
+  // all v1 could round-trip) and check the legacy reader still works.
+  MagicClassifier clf = fitted_classifier(wv_config(), 10);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  const auto header = text.find("MAGIC-MODEL v2");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 14, "MAGIC-MODEL v1");
+  for (const auto& name : clf.family_names()) {
+    const std::string prefixed = std::to_string(name.size()) + " " + name;
+    const auto pos = text.find(prefixed);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, prefixed.size(), name);
+  }
+  std::stringstream legacy(text);
+  MagicClassifier restored = MagicClassifier::load(legacy);
+  EXPECT_EQ(restored.family_names(), clf.family_names());
+
+  util::Rng rng(11);
+  acfg::Acfg g = testing::make_graph(0, 6, false, rng);
+  const auto a = clf.predict(g);
+  const auto b = restored.predict(g);
+  for (std::size_t c = 0; c < a.probabilities.size(); ++c) {
+    EXPECT_EQ(a.probabilities[c], b.probabilities[c]);
+  }
+}
+
+TEST(ModelIo, RejectsUnsupportedVersion) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 12);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  text.replace(text.find("MAGIC-MODEL v2"), 14, "MAGIC-MODEL v9");
+  std::stringstream corrupted(text);
+  try {
+    MagicClassifier::load(corrupted);
+    FAIL() << "expected rejection of version v9";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIo, RejectsRenamedParameter) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 13);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  // The first parameter header is the line after "params N".
+  auto pos = text.find("params ");
+  ASSERT_NE(pos, std::string::npos);
+  pos = text.find('\n', pos) + 1;
+  const auto name_end = text.find(' ', pos);
+  ASSERT_NE(name_end, std::string::npos);
+  text.replace(pos, name_end - pos, "bogus_tensor");
+  std::stringstream corrupted(text);
+  try {
+    MagicClassifier::load(corrupted);
+    FAIL() << "expected rejection of renamed parameter";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("name mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus_tensor"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelIo, RejectsFamilyTableClassCountMismatch) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 14);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  // Drop one family entry and shrink the declared count: the table no
+  // longer matches the model's `classes` field.
+  const std::string& last = clf.family_names().back();
+  const std::string entry = std::to_string(last.size()) + " " + last + "\n";
+  const auto entry_pos = text.find(entry);
+  ASSERT_NE(entry_pos, std::string::npos);
+  text.erase(entry_pos, entry.size());
+  const auto count_pos = text.find("families 2");
+  ASSERT_NE(count_pos, std::string::npos);
+  text.replace(count_pos, 10, "families 1");
+  std::stringstream corrupted(text);
+  try {
+    MagicClassifier::load(corrupted);
+    FAIL() << "expected rejection of family/class count mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("family table"), std::string::npos) << what;
+    EXPECT_NE(what.find("1"), std::string::npos) << what;
+    EXPECT_NE(what.find("2"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelIo, RejectsTruncatedFamilyTable) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 15);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  // Claim a name longer than the remaining file.
+  const std::string& first = clf.family_names().front();
+  const std::string entry = std::to_string(first.size()) + " " + first;
+  const auto pos = text.find(entry);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, entry.size(), "999999 " + first);
+  std::stringstream corrupted(text);
+  EXPECT_THROW(MagicClassifier::load(corrupted), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+// Structured-log rendering: both process-wide formats, component handling
+// and JSON escaping (render_log_line is the pure core behind log_line).
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace magic::util {
+namespace {
+
+constexpr const char* kTs = "2026-01-02T03:04:05.678Z";
+
+TEST(LoggingFormat, TextWithComponent) {
+  EXPECT_EQ(render_log_line(LogFormat::Text, LogLevel::Info, "serve",
+                            "drained 3 requests", kTs),
+            "2026-01-02T03:04:05.678Z [INFO] serve: drained 3 requests");
+}
+
+TEST(LoggingFormat, TextWithoutComponent) {
+  EXPECT_EQ(render_log_line(LogFormat::Text, LogLevel::Warn, "", "careful", kTs),
+            "2026-01-02T03:04:05.678Z [WARN] careful");
+}
+
+TEST(LoggingFormat, JsonWithComponent) {
+  EXPECT_EQ(render_log_line(LogFormat::Json, LogLevel::Debug, "trace",
+                            "stage=extract.parse ms=1.5", kTs),
+            "{\"ts\":\"2026-01-02T03:04:05.678Z\",\"level\":\"debug\","
+            "\"component\":\"trace\",\"msg\":\"stage=extract.parse ms=1.5\"}");
+}
+
+TEST(LoggingFormat, JsonOmitsEmptyComponent) {
+  const std::string line =
+      render_log_line(LogFormat::Json, LogLevel::Error, "", "boom", kTs);
+  EXPECT_EQ(line.find("component"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+}
+
+TEST(LoggingFormat, JsonEscapesMessage) {
+  const std::string line = render_log_line(LogFormat::Json, LogLevel::Info, "c",
+                                           "say \"hi\"\nback\\slash", kTs);
+  EXPECT_NE(line.find("say \\\"hi\\\"\\nback\\\\slash"), std::string::npos) << line;
+}
+
+TEST(LoggingFormat, JsonEscapesControlCharacters) {
+  const std::string line =
+      render_log_line(LogFormat::Json, LogLevel::Info, "c", std::string(1, '\x01'), kTs);
+  EXPECT_NE(line.find("\\u0001"), std::string::npos) << line;
+}
+
+TEST(LoggingFormat, TimestampShape) {
+  const std::string ts = log_timestamp();
+  ASSERT_EQ(ts.size(), 24u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(LoggingFormat, FormatSettingRoundTrips) {
+  const LogFormat before = log_format();
+  set_log_format(LogFormat::Json);
+  EXPECT_EQ(log_format(), LogFormat::Json);
+  set_log_format(before);
+}
+
+}  // namespace
+}  // namespace magic::util

@@ -1,0 +1,159 @@
+// MetricsRegistry: handle semantics, snapshot JSON shape, reset behaviour,
+// and concurrent counter bumps (this file is part of the TSan suite).
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace magic::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("t.count");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge& g = registry.gauge("t.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  HistogramCell& h = registry.histogram("t.hist");
+  h.record(1.0);
+  h.record(3.0);
+  const util::Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_DOUBLE_EQ(snap.sum(), 4.0);
+}
+
+TEST(Metrics, LookupReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("stable");
+  // Force rebalancing inserts around it; node-based storage must keep the
+  // original reference valid.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("stable." + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &registry.counter("stable"));
+  a.add();
+  EXPECT_EQ(registry.counter("stable").value(), 1u);
+}
+
+TEST(Metrics, ResetValuesKeepsHandlesValid) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("r.count");
+  Gauge& g = registry.gauge("r.gauge");
+  HistogramCell& h = registry.histogram("r.hist");
+  c.add(7);
+  g.set(1.0);
+  h.record(2.0);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count(), 0u);
+  // The same handles keep working after the reset.
+  c.add();
+  EXPECT_EQ(registry.counter("r.count").value(), 1u);
+}
+
+TEST(Metrics, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("a.gauge").set(1.5);
+  registry.histogram("a.hist").record(2.0);
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.gauge\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.hist\":{\"count\":1"), std::string::npos) << json;
+  for (const char* key : {"\"sum\":", "\"mean\":", "\"min\":", "\"max\":",
+                          "\"p50\":", "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Metrics, SnapshotJsonRendersNonFiniteAsZero) {
+  MetricsRegistry registry;
+  registry.gauge("bad").set(std::numeric_limits<double>::infinity());
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"bad\":0"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+TEST(Metrics, SnapshotJsonEscapesNames) {
+  MetricsRegistry registry;
+  registry.counter("quote\"back\\slash").add();
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos) << json;
+}
+
+TEST(Metrics, EmptyRegistrySnapshotIsValid) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.snapshot_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(Metrics, ConcurrentCounterBumps) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kBumps = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Lookup inside the thread: exercises the registry mutex under TSan.
+      Counter& c = registry.counter("mt.count");
+      HistogramCell& h = registry.histogram("mt.hist");
+      for (int i = 0; i < kBumps; ++i) {
+        c.add();
+        if (i % 100 == 0) h.record(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("mt.count").value(),
+            static_cast<std::uint64_t>(kThreads) * kBumps);
+  EXPECT_EQ(registry.histogram("mt.hist").snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * (kBumps / 100));
+}
+
+TEST(Metrics, ConcurrentSnapshotWhileWriting) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Counter& c = registry.counter("snap.count");
+    while (!stop.load(std::memory_order_relaxed)) c.add();
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = registry.snapshot_json();
+    EXPECT_FALSE(json.empty());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(Metrics, EnabledFlagDefaultsOffAndToggles) {
+  // The harness never enables obs globally, so the default must hold here.
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace magic::obs

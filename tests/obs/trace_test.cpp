@@ -1,0 +1,89 @@
+// Span / ScopedTimer: record when enabled, stay inert (no registry writes)
+// when disabled.
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace magic::obs {
+namespace {
+
+/// Enables tracing for one test and restores the disabled default + clean
+/// registry afterwards (the suite runs one test per process via ctest, but
+/// keep the state clean for direct `./test_obs` runs too).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::global().reset_values();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset_values();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsCallsAndMillis) {
+  {
+    Span span("t.stage");
+    EXPECT_TRUE(span.active());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  MetricsRegistry& registry = MetricsRegistry::global();
+  EXPECT_EQ(registry.counter("t.stage.calls").value(), 1u);
+  const util::Histogram h = registry.histogram("t.stage.ms").snapshot();
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST_F(TraceTest, SpanInertWhenDisabled) {
+  set_enabled(false);
+  {
+    Span span("t.off");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(MetricsRegistry::global().counter("t.off.calls").value(), 0u);
+  EXPECT_EQ(MetricsRegistry::global().histogram("t.off.ms").snapshot().count(), 0u);
+}
+
+TEST_F(TraceTest, MacroDeclaresASpan) {
+  {
+    MAGIC_OBS_SPAN(macro, "t.macro");
+  }
+#ifdef MAGIC_OBS_BUILD
+  EXPECT_EQ(MetricsRegistry::global().counter("t.macro.calls").value(), 1u);
+#else
+  EXPECT_EQ(MetricsRegistry::global().counter("t.macro.calls").value(), 0u);
+#endif
+}
+
+TEST_F(TraceTest, ScopedTimerRecordsIntoCell) {
+  HistogramCell cell;
+  {
+    ScopedTimer timer(&cell);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const util::Histogram h = cell.snapshot();
+  ASSERT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST_F(TraceTest, ScopedTimerStopRecordsOnceAndReturnsElapsed) {
+  HistogramCell cell;
+  ScopedTimer timer(&cell);
+  const double first = timer.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(timer.stop(), 0.0);  // second stop is a no-op
+  EXPECT_EQ(cell.snapshot().count(), 1u);
+}
+
+TEST_F(TraceTest, ScopedTimerNullIsInert) {
+  ScopedTimer timer(nullptr);
+  EXPECT_EQ(timer.stop(), 0.0);
+}
+
+}  // namespace
+}  // namespace magic::obs
