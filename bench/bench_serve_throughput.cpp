@@ -10,20 +10,30 @@
 // JSON records hardware_concurrency alongside the measurements (CI runs
 // this on a multi-core runner; a 1-core container will honestly report ~1x).
 //
+// A second section compares the two classify() engines on one replica —
+// packed block-diagonal batching vs the per-item loop — both directly
+// (threads=1, same replica count) and at the serving layer, and writes the
+// comparison to BENCH_batch.json. The process exits nonzero if the engines
+// disagree (>1e-9 relative) or the packed serve point never packed a batch,
+// so CI doubles as an equivalence gate.
+//
 // Flags:
 //   --samples N    scan requests per sweep point (default 400)
 //   --scale S      training-corpus scale (default 0.002)
 //   --epochs N     training epochs (default 6)
 //   --seed X       master seed (default 2019)
 //   --out FILE     JSON output path (default BENCH_serve.json)
+//   --batch-out FILE  packed-vs-per-sample JSON path (default BENCH_batch.json)
 //   --quick        tiny sweep for smoke runs (fewer samples, epochs)
 //   --metrics-out FILE  enable magic::obs and dump the process-wide metrics
 //                  snapshot (serve.* counters + latency histogram,
 //                  extraction spans, trainer phases) as JSON
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <span>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -51,6 +61,7 @@ struct Options {
   std::size_t epochs = 6;
   std::uint64_t seed = 2019;
   std::string out = "BENCH_serve.json";
+  std::string batch_out = "BENCH_batch.json";
   std::string metrics_out;
   bool quick = false;
 };
@@ -79,13 +90,14 @@ Options parse(int argc, char** argv) {
     else if (arg == "--epochs") opt.epochs = std::stoul(next("--epochs"));
     else if (arg == "--seed") opt.seed = std::stoull(next("--seed"));
     else if (arg == "--out") opt.out = next("--out");
+    else if (arg == "--batch-out") opt.batch_out = next("--batch-out");
     else if (arg == "--metrics-out") opt.metrics_out = next("--metrics-out");
     else if (arg == "--quick") opt.quick = true;
     else {
       std::cerr << "unknown flag " << arg << "\n"
                 << "usage: bench_serve_throughput [--samples N] [--scale S] "
-                   "[--epochs N] [--seed X] [--out FILE] [--quick] "
-                   "[--metrics-out FILE]\n";
+                   "[--epochs N] [--seed X] [--out FILE] [--batch-out FILE] "
+                   "[--quick] [--metrics-out FILE]\n";
       std::exit(2);
     }
   }
@@ -118,12 +130,14 @@ std::vector<acfg::Acfg> make_workload(std::size_t count, std::uint64_t seed,
 
 SweepPoint run_point(core::MagicClassifier& clf,
                      const std::vector<acfg::Acfg>& workload,
-                     std::size_t workers, bool batched) {
+                     std::size_t workers, bool batched,
+                     core::PredictEngine engine = core::PredictEngine::Packed) {
   serve::ServeConfig config;
   config.workers = workers;
   config.queue_capacity = workload.size() + 1;  // sweep measures throughput, not sheds
   config.max_batch = batched ? 8 : 1;
   config.batch_window = std::chrono::microseconds(batched ? 2000 : 0);
+  config.engine = engine;
   serve::InferenceServer server(clf, config);
 
   std::vector<serve::PendingVerdict> handles;
@@ -158,10 +172,65 @@ std::string json_point(const SweepPoint& p) {
      << ",\"seconds\":" << p.seconds
      << ",\"throughput_rps\":" << p.throughput
      << ",\"mean_batch_size\":" << p.stats.mean_batch_size()
+     << ",\"packed_batches\":" << p.stats.packed_batches
      << ",\"latency_p50_ms\":" << p.stats.latency_p50_ms
      << ",\"latency_p95_ms\":" << p.stats.latency_p95_ms
      << ",\"latency_p99_ms\":" << p.stats.latency_p99_ms << "}";
   return os.str();
+}
+
+/// Direct engine comparison on ONE leased replica (threads = 1): the packed
+/// block-diagonal forward vs the per-item loop over identical inputs.
+struct EngineComparison {
+  double per_sample_rps = 0.0;
+  double packed_rps = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+  bool agree = true;
+};
+
+EngineComparison compare_engines(const core::MagicClassifier& clf,
+                                 const std::vector<acfg::Acfg>& workload,
+                                 std::size_t repeats) {
+  core::PredictOptions per_sample;
+  per_sample.threads = 1;
+  per_sample.engine = core::PredictEngine::PerSample;
+  core::PredictOptions packed;
+  packed.threads = 1;
+  packed.engine = core::PredictEngine::Packed;
+
+  // Warm the replica pool and both code paths so neither timed measurement
+  // pays materialization or first-touch costs.
+  std::vector<core::Prediction> serial = clf.classify(workload, per_sample);
+  std::vector<core::Prediction> fused = clf.classify(workload, packed);
+
+  // Interleave the engines repeat by repeat so slow machine-level drift
+  // (frequency scaling, noisy neighbours) hits both measurements equally.
+  EngineComparison cmp;
+  double serial_s = 0.0, packed_s = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    util::Timer serial_timer;
+    serial = clf.classify(workload, per_sample);
+    serial_s += serial_timer.seconds();
+    util::Timer packed_timer;
+    fused = clf.classify(workload, packed);
+    packed_s += packed_timer.seconds();
+  }
+
+  const double total = static_cast<double>(workload.size() * repeats);
+  cmp.per_sample_rps = serial_s > 0.0 ? total / serial_s : 0.0;
+  cmp.packed_rps = packed_s > 0.0 ? total / packed_s : 0.0;
+  cmp.speedup = cmp.per_sample_rps > 0.0 ? cmp.packed_rps / cmp.per_sample_rps : 0.0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (fused[i].family_index != serial[i].family_index) cmp.agree = false;
+    for (std::size_t c = 0; c < serial[i].probabilities.size(); ++c) {
+      const double a = fused[i].probabilities[c];
+      const double b = serial[i].probabilities[c];
+      cmp.max_abs_diff = std::max(cmp.max_abs_diff, std::abs(a - b));
+      if (std::abs(a - b) > 1e-9 * std::max(1.0, std::abs(b))) cmp.agree = false;
+    }
+  }
+  return cmp;
 }
 
 }  // namespace
@@ -235,10 +304,77 @@ int main(int argc, char** argv) {
   out << "]}\n";
   std::cout << "wrote " << opt.out << "\n";
 
+  // ---- Packed vs per-sample engine comparison (BENCH_batch.json) ---------
+  //
+  // Measured on the paper's original DGCNN head (SortPooling -> Conv1D):
+  // that variant batches end to end (block-diagonal graph conv, per-segment
+  // sort pooling, fused dense head), whereas the AMP variant above spends
+  // most of its time in a pre-pool Conv2D over variable-height images that
+  // cannot batch. Same corpus, same workload, same replica count.
+  core::DgcnnConfig sp_config;
+  sp_config.pooling = core::PoolingType::SortPooling;
+  sp_config.remaining = core::RemainingLayer::Conv1D;
+  sp_config.pooling_ratio = 0.6;
+  sp_config.graph_conv_channels = {32, 32};
+  sp_config.dropout_rate = 0.5;
+  core::MagicClassifier sp_clf(sp_config, train, opt.seed);
+  sp_clf.fit(corpus, 0.15);
+
+  std::cout << "\npacked vs per-sample engine (SortPooling/Conv1D, threads=1, "
+               "one replica):\n";
+  const std::size_t repeats = opt.quick ? 8 : 16;
+  const EngineComparison cmp = compare_engines(sp_clf, workload, repeats);
+  std::cout << "  per-sample: " << util::format_fixed(cmp.per_sample_rps, 1)
+            << " graphs/s\n  packed:     "
+            << util::format_fixed(cmp.packed_rps, 1) << " graphs/s\n  speedup:    "
+            << util::format_fixed(cmp.speedup, 2) << "x  (max |diff| "
+            << cmp.max_abs_diff << ")\n";
+
+  // Serving layer, same replica count for both engines.
+  const std::size_t serve_workers = 2;
+  const SweepPoint serve_per_sample =
+      run_point(sp_clf, workload, serve_workers, /*batched=*/true,
+                core::PredictEngine::PerSample);
+  const SweepPoint serve_packed =
+      run_point(sp_clf, workload, serve_workers, /*batched=*/true,
+                core::PredictEngine::Packed);
+  std::cout << "  serve (" << serve_workers << " workers, micro-batched): "
+            << util::format_fixed(serve_per_sample.throughput, 1)
+            << " -> " << util::format_fixed(serve_packed.throughput, 1)
+            << " req/s, " << serve_packed.stats.packed_batches
+            << " packed batches\n";
+
+  std::ofstream batch_out(opt.batch_out);
+  batch_out << "{\"bench\":\"packed_batch\",\"model\":\"" << sp_config.describe()
+            << "\",\"samples\":" << opt.samples
+            << ",\"hardware_concurrency\":" << hardware
+            << ",\"seed\":" << opt.seed
+            << ",\"repeats\":" << repeats
+            << ",\"direct\":{\"per_sample_rps\":" << cmp.per_sample_rps
+            << ",\"packed_rps\":" << cmp.packed_rps
+            << ",\"speedup_packed\":" << cmp.speedup
+            << ",\"max_abs_diff\":" << cmp.max_abs_diff
+            << ",\"agree_1e9\":" << (cmp.agree ? "true" : "false")
+            << "},\"serve\":{\"workers\":" << serve_workers
+            << ",\"per_sample\":" << json_point(serve_per_sample)
+            << ",\"packed\":" << json_point(serve_packed) << "}}\n";
+  std::cout << "wrote " << opt.batch_out << "\n";
+
+  bool failed = false;
+  if (!cmp.agree) {
+    std::cerr << "FAIL: packed and per-sample predictions disagree beyond "
+                 "1e-9 relative tolerance\n";
+    failed = true;
+  }
+  if (serve_packed.stats.packed_batches == 0) {
+    std::cerr << "FAIL: packed serve point never executed a packed batch\n";
+    failed = true;
+  }
+
   if (!opt.metrics_out.empty()) {
     std::ofstream metrics(opt.metrics_out);
     metrics << magic::obs::MetricsRegistry::global().snapshot_json() << "\n";
     std::cout << "wrote " << opt.metrics_out << "\n";
   }
-  return 0;
+  return failed ? 1 : 0;
 }

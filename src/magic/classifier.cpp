@@ -1,10 +1,13 @@
 #include "magic/classifier.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
 #include "acfg/extractor.hpp"
 #include "magic/replica_pool.hpp"
@@ -45,7 +48,11 @@ TrainResult MagicClassifier::fit_indices(const data::Dataset& dataset,
                                          const std::vector<std::size_t>& val_indices) {
   family_names_ = dataset.family_names;
   config_.num_classes = dataset.num_families();
-  replica_pool_.reset();  // stale clones must not outlive a retrain
+  {
+    // Stale clones must not outlive a retrain.
+    std::lock_guard<std::mutex> lock(*pool_mutex_);
+    replica_pool_.reset();
+  }
   util::Rng rng(seed_);
   const std::size_t k =
       derive_sort_k(dataset, train_indices, config_.pooling_ratio);
@@ -53,31 +60,142 @@ TrainResult MagicClassifier::fit_indices(const data::Dataset& dataset,
   return train_model(*model_, dataset, train_indices, val_indices, train_options_);
 }
 
-Prediction MagicClassifier::predict(const acfg::Acfg& sample) {
-  if (!fitted()) throw std::logic_error("MagicClassifier::predict: not fitted");
-  model_->set_training(false);
-  const nn::Tensor log_probs = model_->forward(sample);
-  const nn::Tensor probs = nn::exp_probs(log_probs);
+Prediction MagicClassifier::make_prediction(const double* probs,
+                                            std::size_t classes) const {
   Prediction pred;
-  pred.family_index = tensor::argmax(probs);
+  // First maximum wins on ties, exactly like tensor::argmax.
+  for (std::size_t j = 1; j < classes; ++j) {
+    if (probs[j] > probs[pred.family_index]) pred.family_index = j;
+  }
   pred.family_name = pred.family_index < family_names_.size()
                          ? family_names_[pred.family_index]
                          : std::to_string(pred.family_index);
-  pred.probabilities.assign(probs.data(), probs.data() + probs.size());
+  pred.probabilities.assign(probs, probs + classes);
   return pred;
 }
 
-Prediction MagicClassifier::predict_listing(std::string_view listing) {
+Prediction MagicClassifier::predict_on_own_model(const acfg::Acfg& sample) const {
+  model_->set_training(false);
+  const nn::Tensor log_probs = model_->forward(sample);
+  const nn::Tensor probs = nn::exp_probs(log_probs);
+  return make_prediction(probs.data(), probs.size());
+}
+
+std::vector<Prediction> MagicClassifier::predict_packed_on_own_model(
+    const GraphBatch& batch) const {
+  model_->set_training(false);
+  const nn::Tensor log_probs = model_->predict_batch(batch);  // (N x classes)
+  const std::size_t classes = log_probs.dim(1);
+  std::vector<Prediction> preds;
+  preds.reserve(batch.size());
+  std::vector<double> probs(classes);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double* row = log_probs.data() + i * classes;
+    for (std::size_t j = 0; j < classes; ++j) probs[j] = std::exp(row[j]);
+    preds.push_back(make_prediction(probs.data(), classes));
+  }
+  return preds;
+}
+
+std::vector<Prediction> MagicClassifier::classify(
+    std::span<const acfg::Acfg> samples, const PredictOptions& options) const {
+  if (!fitted()) throw std::logic_error("MagicClassifier::classify: not fitted");
+  if (options.engine == PredictEngine::Packed && options.max_pack_vertices == 0) {
+    throw std::invalid_argument(
+        "MagicClassifier::classify: max_pack_vertices must be >= 1");
+  }
+  std::vector<Prediction> results(samples.size());
+  if (samples.empty()) return results;
+
+  std::size_t threads =
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, samples.size());
+  // Pool replicas are already exclusively leased; they score serially on
+  // their own model and never spawn nested pools.
+  if (is_pool_replica_) threads = 1;
+
+  // Work units are contiguous [begin, end) ranges of `samples`: greedy
+  // vertex-budget packs for the packed engine, one range per worker for
+  // the per-sample engine.
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (options.engine == PredictEngine::Packed) {
+    std::size_t begin = 0, budget = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const std::size_t n = samples[i].num_vertices();
+      if (i > begin && budget + n > options.max_pack_vertices) {
+        chunks.emplace_back(begin, i);
+        begin = i;
+        budget = 0;
+      }
+      budget += n;
+    }
+    chunks.emplace_back(begin, samples.size());
+  } else {
+    const std::size_t per = (samples.size() + threads - 1) / threads;
+    for (std::size_t begin = 0; begin < samples.size(); begin += per) {
+      chunks.emplace_back(begin, std::min(samples.size(), begin + per));
+    }
+  }
+
+  auto run_chunk = [&](const MagicClassifier& scorer, std::size_t begin,
+                       std::size_t end) {
+    if (options.engine == PredictEngine::Packed) {
+      const GraphBatch batch = GraphBatch::pack(samples.subspan(begin, end - begin));
+      std::vector<Prediction> preds = scorer.predict_packed_on_own_model(batch);
+      for (std::size_t j = 0; j < preds.size(); ++j) {
+        results[begin + j] = std::move(preds[j]);
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = scorer.predict_on_own_model(samples[i]);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    if (is_pool_replica_) {
+      for (const auto& [begin, end] : chunks) run_chunk(*this, begin, end);
+    } else {
+      // One lease covers the whole call; exclusive access for every chunk.
+      const std::shared_ptr<ReplicaPool> replicas = ensure_replica_pool();
+      const ReplicaPool::Lease replica = replicas->acquire();
+      for (const auto& [begin, end] : chunks) run_chunk(*replica, begin, end);
+    }
+    return results;
+  }
+
+  const std::shared_ptr<ReplicaPool> replicas = ensure_replica_pool();
+  util::ThreadPool pool(threads);
+  pool.parallel_for(chunks.size(), [&](std::size_t c) {
+    const ReplicaPool::Lease replica = replicas->acquire();
+    run_chunk(*replica, chunks[c].first, chunks[c].second);
+  });
+  return results;
+}
+
+Prediction MagicClassifier::predict(const acfg::Acfg& sample) const {
+  if (!fitted()) throw std::logic_error("MagicClassifier::predict: not fitted");
+  if (is_pool_replica_) return predict_on_own_model(sample);
+  const std::shared_ptr<ReplicaPool> replicas = ensure_replica_pool();
+  const ReplicaPool::Lease replica = replicas->acquire();
+  return replica->predict_on_own_model(sample);
+}
+
+Prediction MagicClassifier::predict_listing(std::string_view listing) const {
   return predict(acfg::extract_acfg_from_listing(listing));
 }
 
 std::vector<Prediction> MagicClassifier::predict_batch(
-    const std::vector<acfg::Acfg>& samples, util::ThreadPool& pool) {
+    const std::vector<acfg::Acfg>& samples, util::ThreadPool& pool) const {
   if (!fitted()) throw std::logic_error("MagicClassifier::predict_batch: not fitted");
   std::vector<Prediction> results(samples.size());
+  if (samples.empty()) return results;
   const std::size_t chunks = std::min(pool.size(), std::max<std::size_t>(1, samples.size()));
   // One replica per chunk, materialized once and reused on later calls.
-  std::shared_ptr<ReplicaPool> replicas = replica_pool(chunks);
+  const std::shared_ptr<ReplicaPool> replicas = ensure_replica_pool();
+  replicas->warm(chunks);
   const std::size_t per_chunk = (samples.size() + chunks - 1) / chunks;
   pool.parallel_for(chunks, [&](std::size_t c) {
     const std::size_t begin = c * per_chunk;
@@ -85,17 +203,36 @@ std::vector<Prediction> MagicClassifier::predict_batch(
     if (begin >= end) return;
     const ReplicaPool::Lease replica = replicas->acquire();
     for (std::size_t i = begin; i < end; ++i) {
-      results[i] = replica->predict(samples[i]);
+      results[i] = replica->predict_on_own_model(samples[i]);
     }
   });
   return results;
 }
 
-std::shared_ptr<ReplicaPool> MagicClassifier::replica_pool(std::size_t warm_count) {
-  if (!fitted()) throw std::logic_error("MagicClassifier::replica_pool: not fitted");
+std::vector<Prediction> MagicClassifier::predict_packed(const GraphBatch& batch) const {
+  if (!fitted()) throw std::logic_error("MagicClassifier::predict_packed: not fitted");
+  if (is_pool_replica_) return predict_packed_on_own_model(batch);
+  const std::shared_ptr<ReplicaPool> replicas = ensure_replica_pool();
+  const ReplicaPool::Lease replica = replicas->acquire();
+  return replica->predict_packed_on_own_model(batch);
+}
+
+std::shared_ptr<ReplicaPool> MagicClassifier::ensure_replica_pool() const {
+  std::lock_guard<std::mutex> lock(*pool_mutex_);
   if (!replica_pool_) replica_pool_ = std::make_shared<ReplicaPool>(*this);
-  replica_pool_->warm(warm_count);
   return replica_pool_;
+}
+
+std::shared_ptr<ReplicaPool> MagicClassifier::replica_pool(
+    const ReplicaPoolOptions& options) const {
+  if (!fitted()) throw std::logic_error("MagicClassifier::replica_pool: not fitted");
+  const std::shared_ptr<ReplicaPool> pool = ensure_replica_pool();
+  pool->warm(options.warm_count);
+  return pool;
+}
+
+std::shared_ptr<ReplicaPool> MagicClassifier::replica_pool(std::size_t warm_count) const {
+  return replica_pool(ReplicaPoolOptions{warm_count});
 }
 
 Explanation MagicClassifier::explain(const acfg::Acfg& sample) {
@@ -160,17 +297,23 @@ EvalResult MagicClassifier::evaluate(const data::Dataset& dataset,
   return evaluate_model(*model_, dataset, indices);
 }
 
-void MagicClassifier::save_file(const std::string& path) const {
+void MagicClassifier::save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("MagicClassifier: cannot open " + path);
   save(out);
   if (!out) throw std::runtime_error("MagicClassifier: write failed for " + path);
 }
 
-MagicClassifier MagicClassifier::load_file(const std::string& path) {
+MagicClassifier MagicClassifier::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("MagicClassifier: cannot open " + path);
   return load(in);
+}
+
+void MagicClassifier::save_file(const std::string& path) const { save(path); }
+
+MagicClassifier MagicClassifier::load_file(const std::string& path) {
+  return load(path);
 }
 
 }  // namespace magic::core

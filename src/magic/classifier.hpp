@@ -5,23 +5,61 @@
 // then classify unknown programs given either their ACFG or their raw
 // disassembly listing (the CFG/ACFG extraction happens inside). Models can
 // be saved and loaded, so a cloud-trained model can ship to clients.
+//
+// Inference surface: classify(span, PredictOptions) is the single entry
+// point — const, thread-safe (replica leases) and engine-selectable
+// (packed block-diagonal batching vs. per-sample forwards). The historic
+// predict / predict_listing / predict_batch calls are thin wrappers over
+// it and remain source compatible.
 
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
-
-#include <memory>
 
 #include "acfg/acfg.hpp"
 #include "data/dataset.hpp"
 #include "magic/dgcnn.hpp"
+#include "magic/graph_batch.hpp"
 #include "magic/trainer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace magic::core {
 
 class ReplicaPool;
+
+/// Which forward path classify() drives.
+enum class PredictEngine {
+  /// Pack graphs into block-diagonal GraphBatches and score each pack in
+  /// one fused forward (DgcnnModel::predict_batch). Default; results match
+  /// PerSample to floating-point reassociation (tests pin 1e-9 relative).
+  Packed,
+  /// One forward per graph — the training-time code path.
+  PerSample,
+};
+
+/// Options for MagicClassifier::classify().
+struct PredictOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Each worker
+  /// scores on its own exclusively leased model replica, so any value is
+  /// safe from any thread.
+  std::size_t threads = 1;
+  /// Packed engine only: graphs are grouped greedily until the next graph
+  /// would push the pack past this many total vertices (a single oversized
+  /// graph still forms its own pack). Bounds peak memory of the packed
+  /// activations. Must be >= 1.
+  std::size_t max_pack_vertices = 4096;
+  PredictEngine engine = PredictEngine::Packed;
+};
+
+/// Named options for MagicClassifier::replica_pool().
+struct ReplicaPoolOptions {
+  /// Replicas to materialize eagerly; the pool still grows on demand.
+  std::size_t warm_count = 0;
+};
 
 /// One prediction: the winning family plus the full distribution.
 struct Prediction {
@@ -58,28 +96,45 @@ class MagicClassifier {
                           const std::vector<std::size_t>& train_indices,
                           const std::vector<std::size_t>& val_indices);
 
-  /// Classifies one ACFG. Requires a fitted or loaded model. Not const and
-  /// not thread-safe: forward passes cache activations inside the model
-  /// (clone the classifier per thread for parallel prediction).
-  Prediction predict(const acfg::Acfg& sample);
+  /// ---- Prediction surface ----------------------------------------------
+  ///
+  /// classify() is THE inference entry point: const, thread-safe (every
+  /// call scores on exclusively leased replicas from the cached pool, never
+  /// on the shared model instance) and engine-selectable via PredictOptions.
+  /// predict / predict_listing / predict_batch below are thin wrappers kept
+  /// so existing call sites compile unchanged.
+
+  /// Classifies `samples` in input order. Requires a fitted or loaded
+  /// model. Safe to call concurrently from any number of threads.
+  std::vector<Prediction> classify(std::span<const acfg::Acfg> samples,
+                                   const PredictOptions& options = {}) const;
+
+  /// Classifies one ACFG: classify() of a single sample (per-sample
+  /// engine). Const and thread-safe — scoring happens on a leased replica.
+  Prediction predict(const acfg::Acfg& sample) const;
 
   /// Full pipeline: assembly listing -> CFG -> ACFG -> prediction.
-  Prediction predict_listing(std::string_view listing);
+  /// Const and thread-safe, like predict().
+  Prediction predict_listing(std::string_view listing) const;
 
-  /// Classifies a batch in parallel. Each worker thread gets its own model
-  /// replica from the cached replica pool (cloned once, reused across
-  /// calls; invalidated by fit), so this is safe despite forward passes
-  /// being stateful. Result order matches the input order.
+  /// Compatibility wrapper: per-sample engine driven by the caller's thread
+  /// pool (classify() manages its own workers instead). Result order
+  /// matches the input order.
   std::vector<Prediction> predict_batch(const std::vector<acfg::Acfg>& samples,
-                                        util::ThreadPool& pool);
+                                        util::ThreadPool& pool) const;
+
+  /// Scores one pre-packed batch in a single fused forward on a leased
+  /// replica; returns one Prediction per packed graph. Const, thread-safe.
+  std::vector<Prediction> predict_packed(const GraphBatch& batch) const;
 
   /// The cached replica pool, (re)built from the current weights on first
-  /// use, eagerly warmed to `warm_count` replicas, and invalidated whenever
-  /// fit() / fit_indices() retrains. Shared by predict_batch and the
+  /// use, eagerly warmed to `options.warm_count` replicas, and invalidated
+  /// whenever fit() / fit_indices() retrains. Shared by classify() and the
   /// serving layer (serve::InferenceServer); replicas are leased out, so
-  /// concurrent consumers never collide. Not itself thread-safe: call from
-  /// the thread that owns this classifier, then hand the pool to workers.
-  std::shared_ptr<ReplicaPool> replica_pool(std::size_t warm_count = 0);
+  /// concurrent consumers never collide. Thread-safe.
+  std::shared_ptr<ReplicaPool> replica_pool(const ReplicaPoolOptions& options) const;
+  /// Compatibility overload of the above (warm_count positional).
+  std::shared_ptr<ReplicaPool> replica_pool(std::size_t warm_count = 0) const;
 
   /// Classifies and attributes the verdict to basic blocks / attribute
   /// channels via input gradients (saliency). Analyst triage tooling: "which
@@ -95,10 +150,18 @@ class MagicClassifier {
   const DgcnnConfig& config() const noexcept { return config_; }
   const std::vector<std::string>& family_names() const noexcept { return family_names_; }
 
-  /// Model persistence (text format; includes config, k, family names and
-  /// all parameters). See model_io.cpp for the format.
+  /// ---- Persistence -------------------------------------------------------
+  ///
+  /// One canonical surface: save(stream) / load(stream) define the text
+  /// format ("MAGIC-MODEL v2": config, derived k, family names, every
+  /// parameter tensor; see model_io.cpp). The path overloads open the file
+  /// and delegate to the stream pair; save -> load -> predict is
+  /// bit-reproducible. save_file/load_file are legacy aliases of the path
+  /// overloads and simply delegate.
   void save(std::ostream& os) const;
+  void save(const std::string& path) const;
   static MagicClassifier load(std::istream& is);
+  static MagicClassifier load(const std::string& path);
   void save_file(const std::string& path) const;
   static MagicClassifier load_file(const std::string& path);
 
@@ -108,6 +171,10 @@ class MagicClassifier {
 
  private:
   friend MagicClassifier load_classifier(std::istream& is);
+  /// The pool marks the replicas it materializes (is_pool_replica_), which
+  /// makes their predict*/classify score on their own model directly
+  /// instead of re-routing through a nested pool.
+  friend class ReplicaPool;
 
   /// Derives the SortPooling k from the training-set size distribution:
   /// the vertex count at the (1 - ratio) percentile, so that roughly
@@ -116,13 +183,28 @@ class MagicClassifier {
                                    const std::vector<std::size_t>& train_indices,
                                    double ratio);
 
+  /// Scoring on this instance's own model (exclusive access required; the
+  /// public const entry points guarantee it via leases / is_pool_replica_).
+  Prediction predict_on_own_model(const acfg::Acfg& sample) const;
+  std::vector<Prediction> predict_packed_on_own_model(const GraphBatch& batch) const;
+  /// Builds a Prediction from one row of class probabilities.
+  Prediction make_prediction(const double* probs, std::size_t classes) const;
+  /// The cached pool, built under pool_mutex_ on first use.
+  std::shared_ptr<ReplicaPool> ensure_replica_pool() const;
+
   DgcnnConfig config_;
   TrainOptions train_options_;
   std::uint64_t seed_;
   std::unique_ptr<DgcnnModel> model_;
   std::vector<std::string> family_names_;
   /// Cached clones for parallel scoring; reset whenever the weights change.
-  std::shared_ptr<ReplicaPool> replica_pool_;
+  /// Guarded by pool_mutex_ (a unique_ptr so the classifier stays movable).
+  mutable std::shared_ptr<ReplicaPool> replica_pool_;
+  mutable std::unique_ptr<std::mutex> pool_mutex_ = std::make_unique<std::mutex>();
+  /// True for replicas materialized by a ReplicaPool: they are exclusively
+  /// leased already, so their predict paths drive model_ directly (routing
+  /// through their own pool would recurse forever).
+  bool is_pool_replica_ = false;
 };
 
 }  // namespace magic::core

@@ -169,6 +169,60 @@ nn::Tensor DgcnnModel::forward(const acfg::Acfg& sample) {
   return head_.forward(pooled);
 }
 
+nn::Tensor DgcnnModel::predict_batch(const GraphBatch& batch) {
+#ifdef MAGIC_CHECKED_BUILD
+  // Same exclusivity contract as forward(): one instance, one thread.
+  const bool already_running = in_forward_.exchange(true, std::memory_order_acq_rel);
+  MAGIC_CHECK(!already_running,
+              "DgcnnModel::predict_batch: concurrent entry on one model "
+              "instance; use one replica per thread (core::ReplicaPool)");
+  ForwardGuardClear forward_guard{&in_forward_};
+#endif
+  if (head_.grad_enabled()) {
+    throw std::logic_error(
+        "DgcnnModel::predict_batch: inference-only; call set_training(false) "
+        "first (there is no batched backward)");
+  }
+  if (batch.num_channels() != cfg_.input_channels) {
+    throw std::invalid_argument("DgcnnModel::predict_batch: channel mismatch");
+  }
+  // Packed preprocessing: log1p is elementwise, so scaling the concatenated
+  // attribute matrix equals scaling each graph.
+  nn::Tensor x = batch.attributes();
+  if (cfg_.log1p_attributes) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::log1p(x[i]);
+  }
+  // One block-diagonal spmm per graph-conv layer covers all N graphs.
+  const tensor::SparseMatrix prop =
+      batch.propagation_operator(cfg_.normalize_propagation);
+  nn::Tensor z = stack_.forward(prop, x);
+
+  if (cfg_.pooling == PoolingType::SortPooling) {
+    // Per-segment pooling into (N x k x C), then one fused head pass.
+    return head_.forward_batch(sort_pool_->forward_packed(z, batch.offsets()));
+  }
+  // AdaptivePooling path: the pre-pool Conv2D sees a variable-height
+  // (1 x n_g x C) image per graph, so that stage loops per segment; the
+  // pooled (f x g x g) maps are fixed-size and batch from there on.
+  const std::size_t c = z.dim(1);
+  const std::size_t N = batch.size();
+  const std::size_t f = cfg_.conv2d_channels;
+  const std::size_t g = cfg_.adaptive_grid();
+  nn::Tensor pooled({N, f, g, g});
+  for (std::size_t i = 0; i < N; ++i) {
+    const std::size_t base = batch.offset(i);
+    const std::size_t n = batch.vertices(i);
+    nn::Tensor img({1, n, c});
+    const double* src = z.data() + base * c;
+    for (std::size_t j = 0; j < n * c; ++j) img[j] = src[j];
+    nn::Tensor p = adaptive_pool_->forward(
+        pre_pool_act_->forward(pre_pool_conv_->forward(img)));
+    double* dst = pooled.data() + i * f * g * g;
+    for (std::size_t j = 0; j < f * g * g; ++j) dst[j] = p[j];
+  }
+  return head_.forward_batch(pooled);
+}
+
 void DgcnnModel::backward(const nn::Tensor& grad_log_probs) {
   nn::Tensor g = head_.backward(grad_log_probs);
   if (cfg_.pooling == PoolingType::SortPooling) {

@@ -4,10 +4,11 @@
 //  Conv2D -> AdaptiveMaxPooling -> VGG-style Conv2D stack} -> MLP ->
 // LogSoftmax.
 //
-// One model instance processes one graph at a time (CFGs vary in size);
-// batching is gradient accumulation across consecutive forward/backward
-// calls, which is mathematically identical to minibatch SGD for a sum
-// loss.
+// Training processes one graph at a time (CFGs vary in size); batching is
+// gradient accumulation across consecutive forward/backward calls, which is
+// mathematically identical to minibatch SGD for a sum loss. Inference
+// additionally offers predict_batch(): a packed block-diagonal forward that
+// scores N graphs in one pass (see magic/graph_batch.hpp).
 
 #include <atomic>
 #include <memory>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "acfg/acfg.hpp"
+#include "magic/graph_batch.hpp"
 #include "nn/activations.hpp"
 #include "nn/adaptive_max_pool.hpp"
 #include "nn/conv1d.hpp"
@@ -95,6 +97,16 @@ class DgcnnModel {
   /// the serve layer and predict_batch do this for you). Checked builds
   /// enforce the contract: a concurrent entry throws util::CheckError.
   nn::Tensor forward(const acfg::Acfg& sample);
+
+  /// Packed-batch inference: log-probabilities for every graph in `batch`,
+  /// shape (N x num_classes), row i matching forward(graphs[i]) to within
+  /// floating-point reassociation (in practice bitwise for the GEMM stages).
+  ///
+  /// Inference-only: throws std::logic_error while grad caching is enabled
+  /// (call set_training(false) first); there is no batched backward. Like
+  /// forward(), NOT thread-safe per instance — the checked-mode concurrency
+  /// guard covers this entry point too.
+  nn::Tensor predict_batch(const GraphBatch& batch);
 
   /// True while a forward pass is in flight (the checked-mode concurrency
   /// guard's flag; test/diagnostic hook).

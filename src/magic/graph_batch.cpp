@@ -1,0 +1,121 @@
+#include "magic/graph_batch.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace magic::core {
+namespace {
+
+[[noreturn]] void bad_batch(const std::string& what) {
+  throw std::invalid_argument("GraphBatch: " + what);
+}
+
+}  // namespace
+
+GraphBatch GraphBatch::pack(std::span<const acfg::Acfg> graphs) {
+  std::vector<const acfg::Acfg*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const acfg::Acfg& g : graphs) ptrs.push_back(&g);
+  return pack(std::span<const acfg::Acfg* const>(ptrs));
+}
+
+GraphBatch GraphBatch::pack(std::span<const acfg::Acfg* const> graphs) {
+  if (graphs.empty()) bad_batch("cannot pack an empty batch");
+  std::size_t total = 0;
+  std::size_t channels = 0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const acfg::Acfg& g = *graphs[i];
+    const std::size_t n = g.num_vertices();
+    if (n == 0) bad_batch("graph " + std::to_string(i) + " is empty");
+    if (g.attributes.rank() != 2 || g.attributes.dim(0) != n) {
+      bad_batch("graph " + std::to_string(i) +
+                " attribute matrix does not match its vertex count");
+    }
+    if (i == 0) {
+      channels = g.num_channels();
+    } else if (g.num_channels() != channels) {
+      bad_batch("graph " + std::to_string(i) + " has " +
+                std::to_string(g.num_channels()) + " channels, batch has " +
+                std::to_string(channels));
+    }
+    total += n;
+  }
+
+  tensor::Tensor attributes({total, channels});
+  std::vector<std::size_t> offsets;
+  offsets.reserve(graphs.size() + 1);
+  offsets.push_back(0);
+  std::vector<std::vector<std::size_t>> out_edges;
+  out_edges.reserve(total);
+  std::size_t row = 0;
+  for (const acfg::Acfg* gp : graphs) {
+    const acfg::Acfg& g = *gp;
+    const std::size_t n = g.num_vertices();
+    const std::size_t base = row;
+    for (std::size_t i = 0; i < n * channels; ++i) {
+      attributes[base * channels + i] = g.attributes[i];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      std::vector<std::size_t> shifted;
+      shifted.reserve(g.out_edges[v].size());
+      for (std::size_t target : g.out_edges[v]) {
+        if (target >= n) bad_batch("edge target out of range in input graph");
+        shifted.push_back(base + target);
+      }
+      out_edges.push_back(std::move(shifted));
+    }
+    row += n;
+    offsets.push_back(row);
+  }
+  return GraphBatch(std::move(attributes), std::move(offsets),
+                    std::move(out_edges));
+}
+
+GraphBatch::GraphBatch(tensor::Tensor attributes,
+                       std::vector<std::size_t> offsets,
+                       std::vector<std::vector<std::size_t>> out_edges)
+    : attributes_(std::move(attributes)),
+      offsets_(std::move(offsets)),
+      out_edges_(std::move(out_edges)) {
+  if (offsets_.size() < 2) bad_batch("offsets must describe at least one graph");
+  if (offsets_.front() != 0) bad_batch("offsets must start at 0");
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    if (offsets_[i + 1] <= offsets_[i]) {
+      bad_batch("offsets must be strictly increasing (graph " +
+                std::to_string(i) + " would be empty)");
+    }
+  }
+  if (attributes_.rank() != 2) bad_batch("attributes must be rank 2");
+  const std::size_t total = offsets_.back();
+  if (attributes_.dim(0) != total) {
+    bad_batch("offsets end at " + std::to_string(total) +
+              " but attributes have " + std::to_string(attributes_.dim(0)) +
+              " rows");
+  }
+  if (out_edges_.size() != total) {
+    bad_batch("adjacency covers " + std::to_string(out_edges_.size()) +
+              " vertices but offsets describe " + std::to_string(total));
+  }
+  // Block-diagonal check: each vertex's edges must stay in its own segment.
+  std::size_t segment = 0;
+  for (std::size_t v = 0; v < total; ++v) {
+    while (v >= offsets_[segment + 1]) ++segment;
+    for (std::size_t target : out_edges_[v]) {
+      if (target < offsets_[segment] || target >= offsets_[segment + 1]) {
+        bad_batch("edge " + std::to_string(v) + " -> " +
+                  std::to_string(target) + " crosses a segment boundary");
+      }
+    }
+  }
+}
+
+tensor::SparseMatrix GraphBatch::propagation_operator(bool normalize) const {
+  // out_edges_ is already a global adjacency list whose edges never cross
+  // segment boundaries, so the single-graph operator builders produce the
+  // block-diagonal batch operator directly (per-vertex degrees only involve
+  // the vertex's own segment).
+  return normalize ? tensor::SparseMatrix::propagation_operator(out_edges_)
+                   : tensor::SparseMatrix::augmented_adjacency(out_edges_);
+}
+
+}  // namespace magic::core

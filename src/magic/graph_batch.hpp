@@ -1,0 +1,83 @@
+#pragma once
+// GraphBatch: N variable-size ACFGs packed into one block-diagonal batch.
+//
+// The DGCNN forward pass is dominated by (sparse propagation) x (dense GEMM)
+// products whose row count is the vertex count of one graph. Packing a
+// micro-batch of graphs into a single concatenated vertex-attribute matrix
+// with per-graph row offsets turns N small products into one large one — the
+// standard trick of minibatched GNN stacks (DGL / PyTorch Geometric; Zhang
+// et al.'s reference DGCNN trains exactly this way). Because the combined
+// propagation operator is block diagonal, one spmm over the packed rows is
+// mathematically identical to N independent per-graph propagations, and the
+// dense stages downstream see one tall matrix instead of N short ones.
+//
+// A GraphBatch is immutable once built. pack() validates every graph
+// (non-empty, consistent channel width); the raw-parts constructor re-checks
+// the packing invariants so a hand-assembled batch with mismatched offsets
+// fails fast instead of silently mixing vertices across graphs.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "tensor/sparse.hpp"
+#include "tensor/tensor.hpp"
+
+namespace magic::core {
+
+/// Immutable packed batch of ACFGs (attributes + offsets + shifted topology).
+class GraphBatch {
+ public:
+  /// Packs `graphs` in order. Throws std::invalid_argument on an empty
+  /// batch, an empty graph, or inconsistent channel counts.
+  static GraphBatch pack(std::span<const acfg::Acfg> graphs);
+  /// Zero-copy-friendly variant for callers whose samples are not
+  /// contiguous (the serving layer batches request structs).
+  static GraphBatch pack(std::span<const acfg::Acfg* const> graphs);
+
+  /// Assembles a batch from pre-packed parts, validating the packing
+  /// invariants: `attributes` is (total x channels); `offsets` has N + 1
+  /// strictly increasing entries with offsets[0] == 0 and
+  /// offsets[N] == total; `out_edges` holds one adjacency list per packed
+  /// vertex using *global* (packed) vertex ids, and every edge must stay
+  /// inside its source's segment (the block-diagonal property). Throws
+  /// std::invalid_argument on any violation.
+  GraphBatch(tensor::Tensor attributes, std::vector<std::size_t> offsets,
+             std::vector<std::vector<std::size_t>> out_edges);
+
+  /// Number of graphs N (always >= 1).
+  std::size_t size() const noexcept { return offsets_.size() - 1; }
+  /// Total packed vertex count (sum of per-graph vertex counts).
+  std::size_t total_vertices() const noexcept { return offsets_.back(); }
+  /// Attribute channels per vertex.
+  std::size_t num_channels() const { return attributes_.dim(1); }
+  /// First packed row of graph `i`.
+  std::size_t offset(std::size_t i) const { return offsets_.at(i); }
+  /// Vertex count of graph `i`.
+  std::size_t vertices(std::size_t i) const {
+    return offsets_.at(i + 1) - offsets_.at(i);
+  }
+
+  /// Concatenated vertex-attribute matrix, shape (total_vertices x channels).
+  const tensor::Tensor& attributes() const noexcept { return attributes_; }
+  /// The N + 1 segment boundaries (offsets()[0] == 0, back() == total).
+  const std::vector<std::size_t>& offsets() const noexcept { return offsets_; }
+  /// Packed adjacency in global vertex ids (block diagonal by construction).
+  const std::vector<std::vector<std::size_t>>& out_edges() const noexcept {
+    return out_edges_;
+  }
+
+  /// Block-diagonal propagation operator over the packed vertex space:
+  /// D^-1 (A + I) when `normalize`, A + I otherwise. Each diagonal block is
+  /// exactly the corresponding single-graph operator, so one multiply by
+  /// this matrix equals N independent per-graph propagations.
+  tensor::SparseMatrix propagation_operator(bool normalize = true) const;
+
+ private:
+  tensor::Tensor attributes_;                        // (total x channels)
+  std::vector<std::size_t> offsets_;                 // N + 1 boundaries
+  std::vector<std::vector<std::size_t>> out_edges_;  // global ids per vertex
+};
+
+}  // namespace magic::core

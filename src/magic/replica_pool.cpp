@@ -25,7 +25,11 @@ ReplicaPool::~ReplicaPool() = default;
 
 std::unique_ptr<MagicClassifier> ReplicaPool::materialize() const {
   std::istringstream in(blob_);
-  return std::make_unique<MagicClassifier>(MagicClassifier::load(in));
+  auto replica = std::make_unique<MagicClassifier>(MagicClassifier::load(in));
+  // Leased replicas are exclusively owned, so their predict paths drive the
+  // model directly instead of re-routing through a (nested) pool.
+  replica->is_pool_replica_ = true;
+  return replica;
 }
 
 ReplicaPool::Lease ReplicaPool::acquire() {

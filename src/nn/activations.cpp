@@ -28,6 +28,21 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
+Tensor ReLU::forward_batch(const Tensor& input) {
+  require_batch_inference("ReLU::forward_batch");
+  (void)batch_item_shape(input, "ReLU::forward_batch");
+  return forward(input);  // elementwise; eval-mode forward caches nothing
+}
+
+Tensor ReLU::forward_batch_owned(Tensor&& input) {
+  require_batch_inference("ReLU::forward_batch");
+  (void)batch_item_shape(input, "ReLU::forward_batch");
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = input[i] > 0.0 ? input[i] : 0.0;  // same expression as forward()
+  }
+  return std::move(input);
+}
+
 Tensor Tanh::forward(const Tensor& input) {
   MAGIC_SHAPE_CONTRACT_ANY("Tanh::forward", input);
   cache_valid_ = grad_enabled();

@@ -40,6 +40,12 @@ Tensor Conv1D::forward(const Tensor& input) {
   const std::size_t L = input.dim(1);
   const std::size_t Lo = out_length(L);
   Tensor out({out_channels_, Lo});
+  convolve_into(input.data(), out.data(), L, Lo);
+  return out;
+}
+
+void Conv1D::convolve_into(const double* in, double* out, std::size_t L,
+                           std::size_t Lo) const {
   for (std::size_t oc = 0; oc < out_channels_; ++oc) {
     for (std::size_t t = 0; t < Lo; ++t) {
       double acc = bias_.value[oc];
@@ -47,10 +53,56 @@ Tensor Conv1D::forward(const Tensor& input) {
       for (std::size_t ic = 0; ic < in_channels_; ++ic) {
         for (std::size_t k = 0; k < kernel_; ++k) {
           acc += weight_.value[(oc * in_channels_ + ic) * kernel_ + k] *
-                 input[ic * L + base + k];
+                 in[ic * L + base + k];
         }
       }
       out[oc * Lo + t] = acc;
+    }
+  }
+}
+
+Tensor Conv1D::forward_batch(const Tensor& input) {
+  require_batch_inference("Conv1D::forward_batch");
+  (void)batch_item_shape(input, "Conv1D::forward_batch");
+  if (input.rank() != 3 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv1D::forward_batch: expected (batch x " +
+                                std::to_string(in_channels_) + " x L), got " +
+                                input.describe());
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t L = input.dim(2);
+  const std::size_t Lo = out_length(L);
+  // im2col: one row per (sample, output position), laid out C_in-major /
+  // K-minor to match the (C_out x C_in x K) weight rows. The whole batch
+  // then runs as a single register-blocked GEMM against W^T instead of
+  // batch * C_out re-streams of each image.
+  const std::size_t K = in_channels_ * kernel_;
+  col_scratch_.resize({batch * Lo, K});
+  double* col = col_scratch_.data();
+  for (std::size_t s = 0; s < batch; ++s) {
+    const double* in = input.data() + s * in_channels_ * L;
+    for (std::size_t t = 0; t < Lo; ++t) {
+      double* row = col + (s * Lo + t) * K;
+      const std::size_t base = t * stride_;
+      for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+        const double* src = in + ic * L + base;
+        for (std::size_t k = 0; k < kernel_; ++k) row[ic * kernel_ + k] = src[k];
+      }
+    }
+  }
+  tensor::matmul_nt_into(gemm_scratch_, col_scratch_,
+                         weight_.value.reshape({out_channels_, K}));
+  // Scatter (batch*Lo x C_out) back to (batch x C_out x Lo), adding bias.
+  Tensor out({batch, out_channels_, Lo});
+  const double* gm = gemm_scratch_.data();
+  for (std::size_t s = 0; s < batch; ++s) {
+    double* po = out.data() + s * out_channels_ * Lo;
+    const double* gs = gm + s * Lo * out_channels_;
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const double b = bias_.value[oc];
+      for (std::size_t t = 0; t < Lo; ++t) {
+        po[oc * Lo + t] = gs[t * out_channels_ + oc] + b;
+      }
     }
   }
   return out;

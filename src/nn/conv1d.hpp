@@ -21,12 +21,21 @@ class Conv1D : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// (batch x C_in x L) -> (batch x C_out x L_out). Lowered to one im2col +
+  /// GEMM over the whole batch (instead of re-streaming every image once
+  /// per output channel), so it matches forward() per sample to within
+  /// floating-point associativity of the shared kernels.
+  Tensor forward_batch(const Tensor& input) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "Conv1D"; }
 
   std::size_t out_length(std::size_t in_length) const;
 
  private:
+  /// Shared convolution core: one (C_in x L) image into (C_out x Lo).
+  void convolve_into(const double* in, double* out, std::size_t L,
+                     std::size_t Lo) const;
+
   std::size_t in_channels_;
   std::size_t out_channels_;
   std::size_t kernel_;
@@ -35,6 +44,11 @@ class Conv1D : public Module {
   Parameter bias_;    // (C_out)
   Tensor cached_input_;
   bool cache_valid_ = false;
+  // forward_batch workspaces, reused across calls so steady-state batched
+  // inference allocates nothing here (same instance/thread contract as the
+  // gradient caches above).
+  Tensor col_scratch_;   // im2col matrix (batch*L_out x C_in*K)
+  Tensor gemm_scratch_;  // GEMM output (batch*L_out x C_out)
 };
 
 }  // namespace magic::nn

@@ -57,8 +57,14 @@ Tensor Conv2D::forward(const Tensor& input) {
   const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
   const std::size_t Wo = W + 2 * pad_ - kw_ + 1;
   Tensor out({out_channels_, Ho, Wo});
-  const double* pin = input.data();
-  double* pout = out.data();
+  convolve_into(input.data(), out.data(), H, W);
+  return out;
+}
+
+void Conv2D::convolve_into(const double* pin, double* pout, std::size_t H,
+                           std::size_t W) const {
+  const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
+  const std::size_t Wo = W + 2 * pad_ - kw_ + 1;
   // Kernel-offset decomposition: for each (ky, kx) the contribution is a
   // shifted elementwise product, so the inner loop is a contiguous axpy.
   for (std::size_t oc = 0; oc < out_channels_; ++oc) {
@@ -86,6 +92,28 @@ Tensor Conv2D::forward(const Tensor& input) {
         }
       }
     }
+  }
+}
+
+Tensor Conv2D::forward_batch(const Tensor& input) {
+  require_batch_inference("Conv2D::forward_batch");
+  (void)batch_item_shape(input, "Conv2D::forward_batch");
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2D::forward_batch: expected (batch x " +
+                                std::to_string(in_channels_) +
+                                " x H x W), got " + input.describe());
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t H = input.dim(2), W = input.dim(3);
+  if (H + 2 * pad_ < kh_ || W + 2 * pad_ < kw_) {
+    throw std::invalid_argument("Conv2D::forward_batch: input too small for kernel");
+  }
+  const std::size_t Ho = H + 2 * pad_ - kh_ + 1;
+  const std::size_t Wo = W + 2 * pad_ - kw_ + 1;
+  Tensor out({batch, out_channels_, Ho, Wo});
+  for (std::size_t s = 0; s < batch; ++s) {
+    convolve_into(input.data() + s * in_channels_ * H * W,
+                  out.data() + s * out_channels_ * Ho * Wo, H, W);
   }
   return out;
 }

@@ -20,10 +20,17 @@ class Conv2D : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// (batch x C_in x H x W) -> (batch x C_out x Ho x Wo); each sample runs
+  /// the same kernel as forward(), so results match per sample exactly.
+  Tensor forward_batch(const Tensor& input) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "Conv2D"; }
 
  private:
+  /// Shared convolution core: one (C_in x H x W) image into (C_out x Ho x Wo).
+  void convolve_into(const double* pin, double* pout, std::size_t H,
+                     std::size_t W) const;
+
   std::size_t in_channels_;
   std::size_t out_channels_;
   std::size_t kh_;

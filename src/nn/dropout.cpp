@@ -33,6 +33,24 @@ Tensor Dropout::forward(const Tensor& input) {
   return out;
 }
 
+Tensor Dropout::forward_batch(const Tensor& input) {
+  require_batch_inference("Dropout::forward_batch");
+  (void)batch_item_shape(input, "Dropout::forward_batch");
+  if (training_) {
+    throw std::logic_error("Dropout::forward_batch: eval mode required");
+  }
+  return input;  // inverted dropout is identity at inference time
+}
+
+Tensor Dropout::forward_batch_owned(Tensor&& input) {
+  require_batch_inference("Dropout::forward_batch");
+  (void)batch_item_shape(input, "Dropout::forward_batch");
+  if (training_) {
+    throw std::logic_error("Dropout::forward_batch: eval mode required");
+  }
+  return std::move(input);
+}
+
 void Dropout::reseed_rng(std::uint64_t seed) { rng_ = util::Rng(seed); }
 
 Tensor Dropout::backward(const Tensor& grad_output) {

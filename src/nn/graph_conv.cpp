@@ -43,6 +43,39 @@ Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
   return tensor::map(cached_preact_, [this](double x) { return activate(activation_, x); });
 }
 
+void GraphConvLayer::forward_inference_into(const SparseMatrix& prop,
+                                            const Tensor& z, Tensor& f_scratch,
+                                            double* out, std::size_t out_stride,
+                                            Tensor* next_input) {
+  check_shape_contract("GraphConvLayer::forward", z,
+                       {shape::any("n"), shape::eq(in_)});
+  if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
+    throw std::invalid_argument("GraphConvLayer::forward: operator size mismatch");
+  }
+  if (grad_enabled_) {
+    throw std::logic_error(
+        "GraphConvLayer::forward_inference_into: grad caching must be off");
+  }
+  cached_prop_ = nullptr;  // invalidate any stale training cache
+  const std::size_t n = z.dim(0);
+  tensor::matmul_into(f_scratch, z, weight_.value);  // consumes z fully
+  // The resize may reallocate; safe even when next_input aliases z because
+  // the matmul above was the last reader of z.
+  if (next_input != nullptr) next_input->resize({n, out_});
+  double* mirror = next_input != nullptr ? next_input->data() : nullptr;
+  const std::size_t width = out_;
+  const Activation act = activation_;
+  prop.multiply_into(f_scratch, out, out_stride,
+                     [mirror, width, act](std::size_t r, double* row) {
+                       double* m = mirror != nullptr ? mirror + r * width : nullptr;
+                       for (std::size_t j = 0; j < width; ++j) {
+                         const double v = activate(act, row[j]);
+                         row[j] = v;
+                         if (m != nullptr) m[j] = v;
+                       }
+                     });
+}
+
 Tensor GraphConvLayer::backward(const Tensor& grad_output) {
   if (cached_prop_ == nullptr) {
     throw std::logic_error(
@@ -87,8 +120,27 @@ Tensor GraphConvStack::forward(const SparseMatrix& prop, const Tensor& x) {
   MAGIC_SHAPE_CONTRACT("GraphConvStack::forward", x, shape::any("n"),
                        shape::eq(layers_.front().in_channels()));
   layer_outputs_.clear();
-  layer_outputs_.reserve(layers_.size());
   last_n_ = x.dim(0);
+  if (!layers_.front().grad_enabled()) {
+    // Inference fast path: each layer activates straight into its column
+    // slice of the concatenated Z^{1:h}, so there are no per-layer output
+    // tensors and no final concat copy. Bit-identical to the training path
+    // below (same matmul/spmm kernels in the same order).
+    const std::size_t n = x.dim(0);
+    Tensor concat({n, total_channels_});  // zero-init = spmm accumulator
+    const Tensor* zin = &x;
+    std::size_t offset = 0;
+    for (std::size_t t = 0; t < layers_.size(); ++t) {
+      const bool last = t + 1 == layers_.size();
+      layers_[t].forward_inference_into(prop, *zin, f_scratch_,
+                                        concat.data() + offset, total_channels_,
+                                        last ? nullptr : &z_scratch_);
+      offset += layers_[t].out_channels();
+      zin = &z_scratch_;
+    }
+    return concat;
+  }
+  layer_outputs_.reserve(layers_.size());
   Tensor z = x;
   for (auto& layer : layers_) {
     z = layer.forward(prop, z);

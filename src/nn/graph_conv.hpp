@@ -37,6 +37,20 @@ class GraphConvLayer {
   /// Accumulates dW into the parameter grad and returns dZ (w.r.t. input).
   Tensor backward(const Tensor& grad_output);
 
+  /// Inference-only fused forward: computes f(P Z W) and writes the
+  /// activated rows directly into `out` (row stride `out_stride`, rows
+  /// zero-initialized by the caller) — typically a column slice of the
+  /// stack's concatenated Z^{1:h}, which skips the per-layer output
+  /// tensor and the final concat copy entirely. When `next_input` is
+  /// non-null the activated values are mirrored into it contiguously for
+  /// the next layer (it may alias `z`; `z` is fully consumed first).
+  /// `f_scratch` holds Z W and is reused across calls. Results are
+  /// bit-identical to forward(); throws std::logic_error while grad
+  /// caching is enabled.
+  void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                              Tensor& f_scratch, double* out,
+                              std::size_t out_stride, Tensor* next_input);
+
   /// When disabled, forward skips the backward caches (inference mode);
   /// a subsequent backward throws std::logic_error.
   void set_grad_enabled(bool enabled) noexcept { grad_enabled_ = enabled; }
@@ -87,6 +101,10 @@ class GraphConvStack {
   std::vector<Tensor> layer_outputs_;  // Z_1..Z_h from the last forward
   std::size_t total_channels_ = 0;
   std::size_t last_n_ = 0;
+  // Inference fast-path workspaces (see forward); reused across calls under
+  // the one-instance-one-thread replica contract.
+  Tensor f_scratch_;  // Z W for the layer in flight
+  Tensor z_scratch_;  // contiguous copy of the previous layer's output
 };
 
 }  // namespace magic::nn

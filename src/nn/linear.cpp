@@ -41,6 +41,17 @@ Tensor Linear::forward(const Tensor& input) {
   return input_was_rank1_ ? out.reshape({out_}) : out;
 }
 
+Tensor Linear::forward_batch(const Tensor& input) {
+  require_batch_inference("Linear::forward_batch");
+  (void)batch_item_shape(input, "Linear::forward_batch");
+  if (input.rank() != 2) {
+    throw std::invalid_argument("Linear::forward_batch: (batch x " +
+                                std::to_string(in_) + ") input required, got " +
+                                input.describe());
+  }
+  return forward(input);  // the rank-2 path is already one fused GEMM
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   if (!cache_valid_) {
     throw std::logic_error("Linear::backward: no cached forward (grad caching disabled)");

@@ -15,6 +15,9 @@ class Linear : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// One (batch x in) x (in x out) GEMM — forward() already accepts rank-2
+  /// input, so the batch runs fused with no per-sample slicing.
+  Tensor forward_batch(const Tensor& input) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "Linear"; }
 

@@ -40,6 +40,51 @@ Tensor LogSoftmax::backward(const Tensor& grad_output) {
   return grad;
 }
 
+Tensor LogSoftmax::forward_batch(const Tensor& input) {
+  require_batch_inference("LogSoftmax::forward_batch");
+  (void)batch_item_shape(input, "LogSoftmax::forward_batch");
+  if (input.rank() != 2 || input.dim(1) == 0) {
+    throw std::invalid_argument(
+        "LogSoftmax::forward_batch: (batch x classes) input required");
+  }
+  const std::size_t rows = input.dim(0), classes = input.dim(1);
+  Tensor out({rows, classes});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* x = input.data() + r * classes;
+    double m = x[0];
+    for (std::size_t j = 1; j < classes; ++j) {
+      if (x[j] > m) m = x[j];
+    }
+    double lse = 0.0;
+    for (std::size_t j = 0; j < classes; ++j) lse += std::exp(x[j] - m);
+    lse = m + std::log(lse);
+    for (std::size_t j = 0; j < classes; ++j) out[r * classes + j] = x[j] - lse;
+  }
+  return out;
+}
+
+Tensor LogSoftmax::forward_batch_owned(Tensor&& input) {
+  require_batch_inference("LogSoftmax::forward_batch");
+  (void)batch_item_shape(input, "LogSoftmax::forward_batch");
+  if (input.rank() != 2 || input.dim(1) == 0) {
+    throw std::invalid_argument(
+        "LogSoftmax::forward_batch: (batch x classes) input required");
+  }
+  const std::size_t rows = input.dim(0), classes = input.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* x = input.data() + r * classes;
+    double m = x[0];
+    for (std::size_t j = 1; j < classes; ++j) {
+      if (x[j] > m) m = x[j];
+    }
+    double lse = 0.0;
+    for (std::size_t j = 0; j < classes; ++j) lse += std::exp(x[j] - m);
+    lse = m + std::log(lse);
+    for (std::size_t j = 0; j < classes; ++j) x[j] -= lse;
+  }
+  return std::move(input);
+}
+
 double NllLoss::forward(const Tensor& log_probs, std::size_t target) {
   MAGIC_SHAPE_CONTRACT("NllLoss::forward", log_probs, shape::at_least("classes", 1));
   if (log_probs.rank() != 1 || target >= log_probs.dim(0)) {

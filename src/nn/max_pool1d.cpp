@@ -38,6 +38,38 @@ Tensor MaxPool1D::forward(const Tensor& input) {
   return out;
 }
 
+Tensor MaxPool1D::forward_batch(const Tensor& input) {
+  require_batch_inference("MaxPool1D::forward_batch");
+  (void)batch_item_shape(input, "MaxPool1D::forward_batch");
+  if (input.rank() != 3) {
+    throw std::invalid_argument("MaxPool1D::forward_batch: rank-3 input required, got " +
+                                input.describe());
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t C = input.dim(1);
+  const std::size_t L = input.dim(2);
+  if (L < kernel_) {
+    throw std::invalid_argument("MaxPool1D::forward_batch: input shorter than kernel");
+  }
+  const std::size_t Lo = (L - kernel_) / stride_ + 1;
+  Tensor out({batch, C, Lo});
+  for (std::size_t s = 0; s < batch; ++s) {
+    const double* in = input.data() + s * C * L;
+    double* po = out.data() + s * C * Lo;
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t t = 0; t < Lo; ++t) {
+        double best = in[c * L + t * stride_];
+        for (std::size_t k = 1; k < kernel_; ++k) {
+          const double v = in[c * L + t * stride_ + k];
+          if (v > best) best = v;
+        }
+        po[c * Lo + t] = best;
+      }
+    }
+  }
+  return out;
+}
+
 Tensor MaxPool1D::backward(const Tensor& grad_output) {
   if (grad_output.size() != argmax_.size()) {
     throw std::invalid_argument("MaxPool1D::backward: grad shape mismatch");

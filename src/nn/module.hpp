@@ -46,6 +46,28 @@ class Module {
   virtual Tensor forward(const Tensor& input) = 0;
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only batched forward: the leading dimension of `input`
+  /// indexes independent samples and the remaining dimensions are exactly
+  /// one forward() input, so a module mapping shape S -> T maps
+  /// (N x S) -> (N x T). Only valid while grad caching is disabled (throws
+  /// std::logic_error otherwise — there is no backward_batch). The default
+  /// implementation slices, forwards each sample and restacks; dense layers
+  /// override it to run the whole batch as one fused op (Linear becomes a
+  /// single (N x in) GEMM). Overrides must match forward() per sample to
+  /// within floating-point associativity of the shared kernels.
+  virtual Tensor forward_batch(const Tensor& input);
+
+  /// forward_batch for a batch tensor the caller no longer needs: modules
+  /// whose batched op is a pure reshape or elementwise map override this to
+  /// reuse `input`'s storage (move it, or mutate in place) instead of
+  /// allocating a fresh output. Results are bit-identical to
+  /// forward_batch(input); the default simply delegates to it. Sequential
+  /// feeds its owned intermediates through this overload, which is where
+  /// fused inference saves most of its memory traffic.
+  virtual Tensor forward_batch_owned(Tensor&& input) {
+    return forward_batch(input);
+  }
+
   /// Learnable parameters (empty by default).
   virtual std::vector<Parameter*> parameters() { return {}; }
 
@@ -74,8 +96,16 @@ class Module {
   }
 
  protected:
+  /// Enforces the forward_batch contract (grad caching must be off).
+  void require_batch_inference(const char* who) const;
+
   bool training_ = true;
   bool grad_enabled_ = true;
 };
+
+/// Shape of one sample within a batched tensor (all dims after the first).
+/// Throws std::invalid_argument when `input` has no non-empty leading
+/// batch dimension.
+Shape batch_item_shape(const Tensor& input, const char* who);
 
 }  // namespace magic::nn

@@ -11,6 +11,19 @@ Tensor Sequential::forward(const Tensor& input) {
   return x;
 }
 
+Tensor Sequential::forward_batch(const Tensor& input) {
+  require_batch_inference("Sequential::forward_batch");
+  if (modules_.empty()) return input;
+  // The first child reads the caller's tensor; every intermediate is owned
+  // by this loop, so reshape/elementwise children recycle its storage
+  // instead of copying (see Module::forward_batch_owned).
+  Tensor x = modules_.front()->forward_batch(input);
+  for (std::size_t i = 1; i < modules_.size(); ++i) {
+    x = modules_[i]->forward_batch_owned(std::move(x));
+  }
+  return x;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {

@@ -24,6 +24,14 @@ class SortPooling : public Module {
 
   std::size_t k() const noexcept { return k_; }
 
+  /// Packed-batch pooling: `packed` is a (total_vertices x C) concatenation
+  /// of N graphs' vertex descriptors and `offsets` the (N+1) segment bounds.
+  /// Each segment is sorted with the same comparator as forward() and
+  /// truncated/zero-padded to k rows, yielding (N x k x C). Inference-only;
+  /// leaves the forward()/backward() caches untouched.
+  Tensor forward_packed(const Tensor& packed,
+                        const std::vector<std::size_t>& offsets);
+
   /// Row order chosen by the last forward: position p in the output came
   /// from input row order()[p] (only the first min(n, k) entries are used).
   const std::vector<std::size_t>& order() const noexcept { return order_; }

@@ -45,6 +45,29 @@ Tensor WeightedVertices::forward(const Tensor& input) {
   return out;
 }
 
+Tensor WeightedVertices::forward_batch(const Tensor& input) {
+  require_batch_inference("WeightedVertices::forward_batch");
+  (void)batch_item_shape(input, "WeightedVertices::forward_batch");
+  if (input.rank() != 3 || input.dim(1) != k_) {
+    throw std::invalid_argument("WeightedVertices::forward_batch: expected (batch x " +
+                                std::to_string(k_) + " x C), got " +
+                                input.describe());
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t c = input.dim(2);
+  Tensor out = Tensor::zeros({batch, c});
+  for (std::size_t s = 0; s < batch; ++s) {
+    const double* in = input.data() + s * k_ * c;
+    double* po = out.data() + s * c;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const double w = weight_.value[i];
+      for (std::size_t j = 0; j < c; ++j) po[j] += w * in[i * c + j];
+    }
+    for (std::size_t j = 0; j < c; ++j) po[j] = activate(activation_, po[j]);
+  }
+  return out;
+}
+
 Tensor WeightedVertices::backward(const Tensor& grad_output) {
   if (!cache_valid_) {
     throw std::logic_error(

@@ -97,9 +97,6 @@ ServerStats InferenceServer::stats() const {
 }
 
 void InferenceServer::worker_loop(std::size_t) {
-  // Each worker leases its replica for its whole lifetime; concurrent
-  // consumers of the same pool (predict_batch, another server) get others.
-  const core::ReplicaPool::Lease replica = replicas_->acquire();
   Queued first;
   while (queue_.pop(first)) {
     // Dynamic micro-batch: keep collecting until the batch fills or the
@@ -116,8 +113,60 @@ void InferenceServer::worker_loop(std::size_t) {
       }
     }
     stats_.on_batch(batch.size());
-    for (Queued& request : batch) process(request, *replica);
+    execute_batch(batch);
   }
+}
+
+void InferenceServer::execute_batch(std::vector<Queued>& batch) {
+  // The lease spans exactly this micro-batch. RAII guarantees the replica
+  // returns to the pool even when the packed forward (or anything else in
+  // here) throws — a leaked lease would strand a replica forever and
+  // starve concurrent consumers of the shared pool.
+  const core::ReplicaPool::Lease replica = replicas_->acquire();
+
+  // Shed expired requests first so they neither inflate the pack nor get
+  // scored (load shedding).
+  std::vector<Queued*> live;
+  live.reserve(batch.size());
+  for (Queued& request : batch) {
+    if (request.deadline != Clock::time_point::max() &&
+        Clock::now() > request.deadline) {
+      Verdict verdict;
+      verdict.status = VerdictStatus::DeadlineExpired;
+      verdict.latency_ms = elapsed_ms(request.submitted_at);
+      stats_.on_expired();
+      request.slot->fulfil(std::move(verdict));
+    } else {
+      live.push_back(&request);
+    }
+  }
+  if (live.empty()) return;
+
+  if (config_.engine == core::PredictEngine::Packed && live.size() > 1) {
+    try {
+      std::vector<const acfg::Acfg*> graphs;
+      graphs.reserve(live.size());
+      for (Queued* request : live) graphs.push_back(&request->sample);
+      const core::GraphBatch packed =
+          core::GraphBatch::pack(std::span<const acfg::Acfg* const>(graphs));
+      std::vector<core::Prediction> preds = replica->predict_packed(packed);
+      stats_.on_packed_batch();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        Verdict verdict;
+        verdict.prediction = std::move(preds[i]);
+        verdict.status = VerdictStatus::Ok;
+        verdict.latency_ms = elapsed_ms(live[i]->submitted_at);
+        stats_.on_completed(verdict.latency_ms);
+        live[i]->slot->fulfil(std::move(verdict));
+      }
+      return;
+    } catch (const std::exception&) {
+      // Per-item fallback: one malformed graph must not fail the whole
+      // micro-batch, and per-item scoring attributes the error to the
+      // request that caused it. The lease stays held.
+    }
+  }
+  for (Queued* request : live) process(*request, *replica);
 }
 
 void InferenceServer::process(Queued& request, core::MagicClassifier& replica) {

@@ -3,8 +3,8 @@
 //
 // The paper's §VII deployment story ("MAGIC would be deployed on a cloud...
 // users upload suspicious files... classified on demand") needs more than a
-// one-shot predict(): a resident service that owns a trained model, keeps a
-// replica per worker (the DGCNN forward pass is stateful, see
+// one-shot predict(): a resident service that owns a trained model, leases
+// a replica per micro-batch (the DGCNN forward pass is stateful, see
 // DgcnnModel::forward), and pushes every request through one bounded queue:
 //
 //   submit() --try_push--> BoundedQueue --pop--> worker micro-batcher
@@ -12,9 +12,11 @@
 //            full? reject                  flush on max_batch or
 //            (backpressure)                batch_window deadline
 //                                                     |
-//                                          replica.predict() per item,
-//                                          deadline-expired items skipped,
-//                                          PendingVerdict resolved
+//                                          lease replica (RAII, per batch),
+//                                          deadline-expired items shed, then
+//                                          ONE packed forward for the rest
+//                                          (per-item fallback / PerSample
+//                                          engine), PendingVerdict resolved
 //
 // Dynamic micro-batching: a worker that pops one request keeps collecting
 // until it has `max_batch` items or `batch_window` has elapsed, then scores
@@ -61,6 +63,11 @@ struct ServeConfig {
   /// passed when a worker picks it up resolves as DeadlineExpired without
   /// being scored (load shedding).
   std::chrono::milliseconds default_deadline{0};
+  /// How a flushed micro-batch is scored. Packed (default): all live
+  /// requests of the batch go through ONE fused block-diagonal forward on
+  /// the leased replica (core::GraphBatch), falling back to per-item
+  /// scoring if the packed pass throws; PerSample: one forward per item.
+  core::PredictEngine engine = core::PredictEngine::Packed;
 };
 
 /// Concurrent scoring service over a fitted MagicClassifier.
@@ -117,6 +124,10 @@ class InferenceServer {
   };
 
   void worker_loop(std::size_t worker_index);
+  /// Scores one flushed micro-batch: leases a replica for exactly this
+  /// batch (RAII — released even when scoring throws), resolves expired
+  /// requests, then runs the configured engine over the live ones.
+  void execute_batch(std::vector<Queued>& batch);
   void process(Queued& request, core::MagicClassifier& replica);
   static double elapsed_ms(Clock::time_point since);
 

@@ -22,7 +22,8 @@ std::string ServerStats::to_json() const {
      << ",\"rejected_full\":" << rejected_full
      << ",\"rejected_shutdown\":" << rejected_shutdown
      << ",\"expired\":" << expired << ",\"failed\":" << failed
-     << ",\"batches\":" << batches << ",\"queue_depth\":" << queue_depth
+     << ",\"batches\":" << batches << ",\"packed_batches\":" << packed_batches
+     << ",\"queue_depth\":" << queue_depth
      << ",\"workers\":" << workers << ",\"mean_batch_size\":" << mean_batch_size()
      << ",\"batch_size_counts\":[";
   // Full array including index 0: the JSON must describe exactly the
@@ -47,6 +48,7 @@ StatsCollector::StatsCollector(std::size_t max_batch)
   global_.expired = &registry.counter("serve.expired");
   global_.failed = &registry.counter("serve.failed");
   global_.batches = &registry.counter("serve.batches");
+  global_.packed_batches = &registry.counter("serve.packed_batches");
   global_.latency_ms = &registry.histogram("serve.latency_ms");
 }
 
@@ -75,6 +77,7 @@ ServerStats StatsCollector::snapshot(std::size_t queue_depth,
   out.expired = expired_.value();
   out.failed = failed_.value();
   out.batches = batches_.value();
+  out.packed_batches = packed_batches_.value();
   out.queue_depth = queue_depth;
   out.workers = workers;
   {

@@ -31,6 +31,7 @@ struct ServerStats {
   std::uint64_t expired = 0;          ///< per-request deadline passed
   std::uint64_t failed = 0;           ///< extraction/scoring error
   std::uint64_t batches = 0;          ///< micro-batches executed
+  std::uint64_t packed_batches = 0;   ///< micro-batches scored as ONE packed forward
   std::size_t queue_depth = 0;        ///< requests queued right now
   std::size_t workers = 0;
 
@@ -69,6 +70,7 @@ class StatsCollector {
   void on_failed() noexcept { bump(failed_, global_.failed); }
 
   void on_batch(std::size_t batch_size);
+  void on_packed_batch() noexcept { bump(packed_batches_, global_.packed_batches); }
   void on_completed(double latency_ms);
 
   ServerStats snapshot(std::size_t queue_depth, std::size_t workers) const;
@@ -84,6 +86,7 @@ class StatsCollector {
     obs::Counter* expired;
     obs::Counter* failed;
     obs::Counter* batches;
+    obs::Counter* packed_batches;
     obs::HistogramCell* latency_ms;
   };
 
@@ -99,6 +102,7 @@ class StatsCollector {
   obs::Counter expired_;
   obs::Counter failed_;
   obs::Counter batches_;
+  obs::Counter packed_batches_;
   obs::HistogramCell latency_ms_;
 
   mutable std::mutex batch_mutex_;

@@ -66,6 +66,48 @@ Tensor SparseMatrix::multiply(const Tensor& dense) const {
   return out;
 }
 
+void SparseMatrix::multiply_into(const Tensor& dense, double* out,
+                                 std::size_t out_stride) const {
+  if (dense.rank() != 2 || dense.dim(0) != cols_) {
+    throw std::invalid_argument("SparseMatrix::multiply_into: shape mismatch");
+  }
+  const std::size_t n = dense.dim(1);
+  if (out_stride < n) {
+    throw std::invalid_argument("SparseMatrix::multiply_into: stride < columns");
+  }
+  const double* pd = dense.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* orow = out + r * out_stride;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* drow = pd + col_idx_[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+}
+
+void SparseMatrix::multiply_into(
+    const Tensor& dense, double* out, std::size_t out_stride,
+    const std::function<void(std::size_t, double*)>& row_done) const {
+  if (dense.rank() != 2 || dense.dim(0) != cols_) {
+    throw std::invalid_argument("SparseMatrix::multiply_into: shape mismatch");
+  }
+  const std::size_t n = dense.dim(1);
+  if (out_stride < n) {
+    throw std::invalid_argument("SparseMatrix::multiply_into: stride < columns");
+  }
+  const double* pd = dense.data();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* orow = out + r * out_stride;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* drow = pd + col_idx_[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+    row_done(r, orow);
+  }
+}
+
 Tensor SparseMatrix::multiply_transposed(const Tensor& dense) const {
   if (dense.rank() != 2 || dense.dim(0) != rows_) {
     throw std::invalid_argument("SparseMatrix::multiply_transposed: shape mismatch");

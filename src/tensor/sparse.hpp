@@ -8,6 +8,7 @@
 // both the forward (P * X) and backward (P^T * dY) passes.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -36,6 +37,21 @@ class SparseMatrix {
 
   /// Sparse-dense product: (rows x cols) * (cols x n) -> (rows x n).
   Tensor multiply(const Tensor& dense) const;
+
+  /// As multiply(), but accumulates row r of the product into
+  /// `out + r * out_stride` (out_stride >= dense columns), letting callers
+  /// write straight into a column slice of a wider row-major matrix. The
+  /// target rows must be zero-initialized; accumulation order per element
+  /// matches multiply() exactly.
+  void multiply_into(const Tensor& dense, double* out,
+                     std::size_t out_stride) const;
+
+  /// As multiply_into(), but invokes `row_done(r, out_row)` right after row
+  /// r's accumulation completes, while the row is still cache-hot. The
+  /// callback may rewrite the row in place (fused activation epilogues).
+  void multiply_into(
+      const Tensor& dense, double* out, std::size_t out_stride,
+      const std::function<void(std::size_t, double*)>& row_done) const;
 
   /// Transposed product: A^T * dense, i.e. (cols x rows) * (rows x n).
   /// Used by backward passes without materializing the transpose.

@@ -91,11 +91,18 @@ std::size_t Tensor::dim(std::size_t d) const {
   return shape_[d];
 }
 
-Tensor Tensor::reshape(Shape new_shape) const {
+Tensor Tensor::reshape(Shape new_shape) const& {
   if (shape_size(new_shape) != data_.size()) {
     throw std::invalid_argument("Tensor::reshape: size mismatch");
   }
   return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::reshape(Shape new_shape) && {
+  if (shape_size(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: size mismatch");
+  }
+  return Tensor(std::move(new_shape), std::move(data_));
 }
 
 void Tensor::resize(Shape new_shape) {

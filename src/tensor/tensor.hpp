@@ -54,7 +54,10 @@ class Tensor {
   bool same_shape(const Tensor& other) const noexcept { return shape_ == other.shape_; }
 
   /// Returns a copy with a new shape of identical total size.
-  Tensor reshape(Shape new_shape) const;
+  Tensor reshape(Shape new_shape) const&;
+  /// Rvalue overload: steals this tensor's storage instead of copying, so
+  /// reshaping an owned temporary is O(1).
+  Tensor reshape(Shape new_shape) &&;
 
   /// Re-shapes this tensor in place, growing/shrinking storage as needed.
   /// Element values are unspecified afterwards (callers overwrite them);

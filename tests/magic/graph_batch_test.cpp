@@ -1,0 +1,204 @@
+#include "magic/graph_batch.hpp"
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "magic/core_test_util.hpp"
+#include "tensor/sparse.hpp"
+#include "tensor/tensor.hpp"
+
+namespace magic::core {
+namespace {
+
+using testing::make_graph;
+
+/// A chain graph with `channels` attribute channels whose entries are a
+/// recognizable ramp (fill, fill+1, ...), so copy bugs surface as value
+/// mismatches rather than silent zeros.
+acfg::Acfg ramp_graph(std::size_t n, std::size_t channels, double fill) {
+  acfg::Acfg g;
+  g.out_edges.assign(n, {});
+  for (std::size_t i = 0; i + 1 < n; ++i) g.out_edges[i].push_back(i + 1);
+  g.attributes = tensor::Tensor({n, channels});
+  for (std::size_t i = 0; i < g.attributes.size(); ++i) {
+    g.attributes[i] = fill + static_cast<double>(i);
+  }
+  return g;
+}
+
+TEST(GraphBatch, PackRejectsEmptyBatch) {
+  EXPECT_THROW(GraphBatch::pack(std::span<const acfg::Acfg>{}),
+               std::invalid_argument);
+  EXPECT_THROW(GraphBatch::pack(std::span<const acfg::Acfg* const>{}),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, PackRejectsEmptyGraph) {
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(ramp_graph(3, 2, 0.0));
+  graphs.emplace_back();  // zero vertices
+  EXPECT_THROW(GraphBatch::pack(std::span<const acfg::Acfg>(graphs)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, PackRejectsChannelMismatch) {
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(ramp_graph(3, 2, 0.0));
+  graphs.push_back(ramp_graph(4, 5, 0.0));
+  EXPECT_THROW(GraphBatch::pack(std::span<const acfg::Acfg>(graphs)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, PackRejectsAttributeRowMismatch) {
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(ramp_graph(3, 2, 0.0));
+  graphs.back().attributes = tensor::Tensor({2, 2});  // 3 vertices, 2 rows
+  EXPECT_THROW(GraphBatch::pack(std::span<const acfg::Acfg>(graphs)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, PackRejectsOutOfRangeEdgeTarget) {
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(ramp_graph(3, 2, 0.0));
+  graphs.back().out_edges[1].push_back(7);  // no vertex 7 in a 3-graph
+  EXPECT_THROW(GraphBatch::pack(std::span<const acfg::Acfg>(graphs)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, PackLayoutConcatenatesRowsAndShiftsEdges) {
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(ramp_graph(3, 2, 10.0));
+  graphs.push_back(ramp_graph(4, 2, 100.0));
+  const GraphBatch batch = GraphBatch::pack(std::span<const acfg::Acfg>(graphs));
+
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.total_vertices(), 7u);
+  EXPECT_EQ(batch.num_channels(), 2u);
+  ASSERT_EQ(batch.offsets(), (std::vector<std::size_t>{0, 3, 7}));
+  EXPECT_EQ(batch.offset(1), 3u);
+  EXPECT_EQ(batch.vertices(0), 3u);
+  EXPECT_EQ(batch.vertices(1), 4u);
+
+  // Attribute rows are verbatim copies, in order.
+  const tensor::Tensor& attrs = batch.attributes();
+  ASSERT_EQ(attrs.dim(0), 7u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(attrs[i], graphs[0].attributes[i]);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(attrs[6 + i], graphs[1].attributes[i]);
+  }
+
+  // Second graph's chain edges are shifted by its base offset of 3.
+  const auto& edges = batch.out_edges();
+  ASSERT_EQ(edges.size(), 7u);
+  EXPECT_EQ(edges[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(edges[2], (std::vector<std::size_t>{}));
+  EXPECT_EQ(edges[3], (std::vector<std::size_t>{4}));
+  EXPECT_EQ(edges[5], (std::vector<std::size_t>{6}));
+  EXPECT_EQ(edges[6], (std::vector<std::size_t>{}));
+}
+
+TEST(GraphBatch, PointerPackMatchesValuePack) {
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(ramp_graph(2, 3, 1.0));
+  graphs.push_back(ramp_graph(5, 3, 2.0));
+  const GraphBatch by_value = GraphBatch::pack(std::span<const acfg::Acfg>(graphs));
+  std::vector<const acfg::Acfg*> ptrs{&graphs[0], &graphs[1]};
+  const GraphBatch by_ptr =
+      GraphBatch::pack(std::span<const acfg::Acfg* const>(ptrs));
+  EXPECT_EQ(by_ptr.offsets(), by_value.offsets());
+  EXPECT_EQ(by_ptr.out_edges(), by_value.out_edges());
+  ASSERT_EQ(by_ptr.attributes().size(), by_value.attributes().size());
+  for (std::size_t i = 0; i < by_value.attributes().size(); ++i) {
+    EXPECT_EQ(by_ptr.attributes()[i], by_value.attributes()[i]);
+  }
+}
+
+// ---- Raw-parts constructor: every packing invariant is enforced. ----------
+
+GraphBatch valid_parts() {
+  tensor::Tensor attrs({5, 2});
+  std::vector<std::size_t> offsets{0, 2, 5};
+  std::vector<std::vector<std::size_t>> edges{{1}, {}, {3, 4}, {}, {2}};
+  return GraphBatch(std::move(attrs), std::move(offsets), std::move(edges));
+}
+
+TEST(GraphBatch, CtorAcceptsValidParts) {
+  const GraphBatch batch = valid_parts();
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.total_vertices(), 5u);
+}
+
+TEST(GraphBatch, CtorRejectsTooFewOffsets) {
+  EXPECT_THROW(GraphBatch(tensor::Tensor({5, 2}), {0},
+                          std::vector<std::vector<std::size_t>>(5)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, CtorRejectsOffsetsNotStartingAtZero) {
+  EXPECT_THROW(GraphBatch(tensor::Tensor({5, 2}), {1, 2, 5},
+                          std::vector<std::vector<std::size_t>>(5)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, CtorRejectsNonIncreasingOffsets) {
+  EXPECT_THROW(GraphBatch(tensor::Tensor({5, 2}), {0, 2, 2, 5},
+                          std::vector<std::vector<std::size_t>>(5)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, CtorRejectsAttributeRowMismatch) {
+  // Offsets promise 6 packed rows; attributes only carry 5.
+  EXPECT_THROW(GraphBatch(tensor::Tensor({5, 2}), {0, 2, 6},
+                          std::vector<std::vector<std::size_t>>(6)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, CtorRejectsAdjacencySizeMismatch) {
+  EXPECT_THROW(GraphBatch(tensor::Tensor({5, 2}), {0, 2, 5},
+                          std::vector<std::vector<std::size_t>>(4)),
+               std::invalid_argument);
+}
+
+TEST(GraphBatch, CtorRejectsCrossSegmentEdge) {
+  // Vertex 1 lives in segment [0, 2) but points at vertex 3 in segment [2, 5).
+  std::vector<std::vector<std::size_t>> edges{{1}, {3}, {}, {}, {}};
+  EXPECT_THROW(GraphBatch(tensor::Tensor({5, 2}), {0, 2, 5}, std::move(edges)),
+               std::invalid_argument);
+}
+
+// The packed operator must be exactly block diagonal: multiplying the packed
+// attributes equals multiplying each graph's own operator by its own rows.
+TEST(GraphBatch, PropagationOperatorIsBlockDiagonal) {
+  util::Rng rng(7);
+  std::vector<acfg::Acfg> graphs;
+  graphs.push_back(make_graph(0, 4, /*chain=*/true, rng));
+  graphs.push_back(make_graph(1, 6, /*chain=*/false, rng));
+  graphs.push_back(make_graph(0, 3, /*chain=*/true, rng));
+  const GraphBatch batch = GraphBatch::pack(std::span<const acfg::Acfg>(graphs));
+
+  for (bool normalize : {true, false}) {
+    const tensor::Tensor packed =
+        batch.propagation_operator(normalize).multiply(batch.attributes());
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const tensor::SparseMatrix own =
+          normalize
+              ? tensor::SparseMatrix::propagation_operator(graphs[gi].out_edges)
+              : tensor::SparseMatrix::augmented_adjacency(graphs[gi].out_edges);
+      const tensor::Tensor expected = own.multiply(graphs[gi].attributes);
+      const std::size_t base = batch.offset(gi) * batch.num_channels();
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_DOUBLE_EQ(packed[base + i], expected[i])
+            << "graph " << gi << " element " << i
+            << " normalize=" << normalize;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace magic::core

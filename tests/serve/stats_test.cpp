@@ -22,6 +22,7 @@ TEST(ServerStats, ToJsonGolden) {
   s.expired = 1;
   s.failed = 0;
   s.batches = 3;
+  s.packed_batches = 1;
   s.queue_depth = 2;
   s.workers = 4;
   s.batch_size_counts = {0, 2, 1};  // two 1-batches, one 2-batch
@@ -33,6 +34,7 @@ TEST(ServerStats, ToJsonGolden) {
   EXPECT_EQ(s.to_json(),
             "{\"submitted\":10,\"completed\":8,\"rejected_full\":1,"
             "\"rejected_shutdown\":0,\"expired\":1,\"failed\":0,\"batches\":3,"
+            "\"packed_batches\":1,"
             "\"queue_depth\":2,\"workers\":4,\"mean_batch_size\":1.33333,"
             "\"batch_size_counts\":[0,2,1],"
             "\"latency_ms\":{\"p50\":1.5,\"p95\":2.5,\"p99\":3.5,"
