@@ -1,25 +1,43 @@
 #!/usr/bin/env bash
-# scripts/lint.sh — clang-tidy gate over src/ (config: .clang-tidy).
+# scripts/lint.sh — the static gates: magic_lint + clang-tidy over src/.
 #
 # Usage:
 #   scripts/lint.sh             # lint every .cpp under src/
-#   scripts/lint.sh src/nn      # lint a subtree
+#   scripts/lint.sh src/nn      # lint a subtree (clang-tidy only; magic_lint
+#                               # is whole-tree by design)
 #
 # Environment knobs:
 #   JOBS=N           parallel tidy processes (default: nproc)
 #   CLANG_TIDY=...   clang-tidy binary (default: first of clang-tidy,
 #                    clang-tidy-{20..14} on PATH)
+#   BUILD_DIR=...    existing build tree with compile_commands.json to reuse
+#                    (default: configure a fresh ${ROOT}/build-tidy; CI
+#                    passes its build tree so the database is configured
+#                    exactly once)
+#   LINT_REPORT=...  also write the magic_lint findings to this file
 #
-# All warnings are promoted to errors (-warnings-as-errors='*'); the gate
-# passes only at zero findings. If no clang-tidy binary is installed the
-# script reports SKIPPED and exits 0 so environments without LLVM tooling
-# (the lint job in CI installs it) are not blocked.
+# Gate 1 — scripts/magic_lint.py: project invariants (shape contracts open
+# every forward body, util::Mutex-only locking with MAGIC_GUARDED_BY, no
+# std::endl, no naked std::thread, self-contained headers). Needs only
+# python3 + a C++ compiler, so it always runs.
+#
+# Gate 2 — clang-tidy (config: .clang-tidy). All warnings are promoted to
+# errors; the gate passes only at zero findings. If no clang-tidy binary is
+# installed this half reports SKIPPED and exits 0 so environments without
+# LLVM tooling (the lint job in CI installs it) are not blocked.
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 TARGET="${1:-${ROOT}/src}"
+
+echo "==> magic_lint (project invariants)"
+MAGIC_LINT_ARGS=(--root "${ROOT}" --cxx "${CXX:-c++}")
+if [[ -n "${LINT_REPORT:-}" ]]; then
+  MAGIC_LINT_ARGS+=(--report "${LINT_REPORT}")
+fi
+python3 "${ROOT}/scripts/magic_lint.py" "${MAGIC_LINT_ARGS[@]}"
 
 find_clang_tidy() {
   if [[ -n "${CLANG_TIDY:-}" ]]; then
@@ -38,20 +56,24 @@ find_clang_tidy() {
 }
 
 if ! TIDY="$(find_clang_tidy)"; then
-  echo "lint.sh: SKIPPED — no clang-tidy binary on PATH (install LLVM tooling to run the gate)"
+  echo "lint.sh: clang-tidy SKIPPED — no binary on PATH (install LLVM tooling to run the gate)"
   exit 0
 fi
 
-BUILD_DIR="${ROOT}/build-tidy"
-echo "==> configure compile database (${BUILD_DIR})"
-cmake -B "${BUILD_DIR}" -S "${ROOT}" \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-  -DMAGIC_CHECKED_BUILD=ON \
-  -DMAGIC_NATIVE_ARCH=OFF \
-  -DMAGIC_BUILD_TESTS=OFF \
-  -DMAGIC_BUILD_BENCHES=OFF \
-  -DMAGIC_BUILD_EXAMPLES=OFF > /dev/null
+if [[ -n "${BUILD_DIR:-}" && -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "==> reusing compile database (${BUILD_DIR})"
+else
+  BUILD_DIR="${ROOT}/build-tidy"
+  echo "==> configure compile database (${BUILD_DIR})"
+  cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DMAGIC_CHECKED_BUILD=ON \
+    -DMAGIC_NATIVE_ARCH=OFF \
+    -DMAGIC_BUILD_TESTS=OFF \
+    -DMAGIC_BUILD_BENCHES=OFF \
+    -DMAGIC_BUILD_EXAMPLES=OFF > /dev/null
+fi
 
 mapfile -t FILES < <(find "${TARGET}" -name '*.cpp' | sort)
 if [[ ${#FILES[@]} -eq 0 ]]; then

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""magic_lint: project-invariant linter for the MAGIC source tree.
+
+Enforces repo-wide invariants that clang-tidy and -Wthread-safety cannot
+express (they are project conventions, not C++ rules):
+
+  forward-contract   Every concrete nn::Module::forward body opens with a
+                     shape contract (MAGIC_SHAPE_CONTRACT* or
+                     check_shape_contract) within the first few lines.
+  mutex-annotation   No raw std::mutex member anywhere in src/ (util::Mutex
+                     is the only allowed mutex type; it carries the
+                     -Wthread-safety capability). Every util::Mutex
+                     declaration must be named by at least one
+                     MAGIC_GUARDED_BY(<name>) in the same file, or carry an
+                     explicit `magic-lint: guards(<what>)` comment for the
+                     rare mutex that guards something other than fields
+                     (e.g. the stderr stream).
+  no-endl            No std::endl in src/ (use '\\n'; flushing is explicit).
+  no-naked-thread    No raw std::thread construction outside
+                     util/join_thread.hpp: threads live in util::ThreadPool
+                     or util::JoinThread so every thread is joined by
+                     construction. (std::thread::hardware_concurrency and
+                     std::this_thread remain allowed.)
+  header-standalone  Every header under src/ compiles on its own
+                     (-fsyntax-only), i.e. includes what it uses.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+
+Usage:
+  scripts/magic_lint.py [--root DIR] [--skip-headers] [--report FILE]
+                        [--cxx COMPILER] [--rules r1,r2,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ALL_RULES = (
+    "forward-contract",
+    "mutex-annotation",
+    "no-endl",
+    "no-naked-thread",
+    "header-standalone",
+)
+
+# How many *effective* lines (code only — comments, blanks and preprocessor
+# directives don't count) after the `forward(` signature may pass before the
+# shape contract appears. Generous enough for a wrapped signature plus a
+# guard clause or two (DgcnnModel's checked-build concurrency guard,
+# nn::Linear's rank dispatch), tight enough that the contract stays part of
+# the opening of the body.
+CONTRACT_WINDOW_LINES = 10
+
+CONTRACT_TOKENS = ("MAGIC_SHAPE_CONTRACT", "check_shape_contract")
+
+# The one place raw std::thread construction is legal: the RAII wrapper.
+NAKED_THREAD_ALLOWED = {"util/join_thread.hpp"}
+
+# The one place a std::mutex member is legal: the capability wrapper itself.
+STD_MUTEX_ALLOWED = {"util/mutex.hpp"}
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def render(self, root: Path) -> str:
+        rel = self.path.relative_to(root) if self.path.is_absolute() else self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_sources(src: Path, suffixes: tuple[str, ...]):
+    for path in sorted(src.rglob("*")):
+        if path.is_file() and path.suffix in suffixes:
+            yield path
+
+
+def strip_line_comment(line: str) -> str:
+    """Removes // comments (good enough: no multiline-comment code in src/)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def effective_window(lines: list[str], start: int, count: int) -> str:
+    """The next `count` effective lines from `start`: code only, skipping
+    blank lines, //-comment-only lines and preprocessor directives."""
+    taken: list[str] = []
+    for raw in lines[start:]:
+        if len(taken) >= count:
+            break
+        code = strip_line_comment(raw).strip()
+        if not code or code.startswith("#"):
+            continue
+        taken.append(raw)
+    return "\n".join(taken)
+
+
+def check_forward_contract(src: Path) -> list[Finding]:
+    """Every `Tensor X::forward(` definition opens with a shape contract."""
+    findings = []
+    sig = re.compile(r"\bTensor\s+(\w+)::forward\s*\(")
+    for path in iter_sources(src, (".cpp",)):
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            match = sig.search(strip_line_comment(line))
+            if not match:
+                continue
+            window = effective_window(lines, i, CONTRACT_WINDOW_LINES)
+            if "magic-lint: no-contract(" in window:
+                continue
+            if not any(token in window for token in CONTRACT_TOKENS):
+                findings.append(
+                    Finding(
+                        "forward-contract",
+                        path,
+                        i + 1,
+                        f"{match.group(1)}::forward does not open with a shape "
+                        "contract (MAGIC_SHAPE_CONTRACT/check_shape_contract "
+                        f"within the first {CONTRACT_WINDOW_LINES} code lines)",
+                    )
+                )
+    return findings
+
+
+def check_mutex_annotation(src: Path) -> list[Finding]:
+    findings = []
+    std_mutex = re.compile(r"\bstd::(?:recursive_|timed_|shared_)?mutex\b")
+    # A util::Mutex declaration: optional mutable, optional util::, a name.
+    decl = re.compile(r"^\s*(?:mutable\s+)?(?:util::)?Mutex\s+(\w+)\s*;")
+    for path in iter_sources(src, (".cpp", ".hpp")):
+        rel = path.relative_to(src).as_posix()
+        lines = path.read_text().splitlines()
+        # Annotations only count in code — a MAGIC_GUARDED_BY inside a
+        # comment must not satisfy the rule.
+        code_text = "\n".join(strip_line_comment(l) for l in lines)
+        for i, raw in enumerate(lines):
+            line = strip_line_comment(raw)
+            if std_mutex.search(line) and rel not in STD_MUTEX_ALLOWED:
+                findings.append(
+                    Finding(
+                        "mutex-annotation",
+                        path,
+                        i + 1,
+                        "raw std::mutex is invisible to -Wthread-safety; "
+                        "use util::Mutex (src/util/mutex.hpp)",
+                    )
+                )
+            match = decl.match(line)
+            if not match or rel == "util/mutex.hpp":
+                continue
+            name = match.group(1)
+            context = raw + ("" if i == 0 else lines[i - 1])
+            if "magic-lint: guards(" in context:
+                continue
+            if f"MAGIC_GUARDED_BY({name})" not in code_text:
+                findings.append(
+                    Finding(
+                        "mutex-annotation",
+                        path,
+                        i + 1,
+                        f"util::Mutex '{name}' has no MAGIC_GUARDED_BY({name}) "
+                        "field in this file (annotate what it protects, or "
+                        "mark the declaration `// magic-lint: guards(<what>)`)",
+                    )
+                )
+    return findings
+
+
+def check_no_endl(src: Path) -> list[Finding]:
+    findings = []
+    for path in iter_sources(src, (".cpp", ".hpp")):
+        for i, raw in enumerate(path.read_text().splitlines()):
+            if "std::endl" in strip_line_comment(raw):
+                findings.append(
+                    Finding(
+                        "no-endl",
+                        path,
+                        i + 1,
+                        "std::endl flushes implicitly; write '\\n' and flush "
+                        "explicitly where needed",
+                    )
+                )
+    return findings
+
+
+def check_no_naked_thread(src: Path) -> list[Finding]:
+    findings = []
+    # std::thread as a type/constructor; std::thread::hardware_concurrency
+    # (static member access) and std::this_thread do not match.
+    naked = re.compile(r"\bstd::thread\b(?!\s*::)")
+    for path in iter_sources(src, (".cpp", ".hpp")):
+        rel = path.relative_to(src).as_posix()
+        if rel in NAKED_THREAD_ALLOWED:
+            continue
+        for i, raw in enumerate(path.read_text().splitlines()):
+            if naked.search(strip_line_comment(raw)):
+                findings.append(
+                    Finding(
+                        "no-naked-thread",
+                        path,
+                        i + 1,
+                        "raw std::thread has no join-by-construction guarantee;"
+                        " use util::ThreadPool or util::JoinThread",
+                    )
+                )
+    return findings
+
+
+def check_header_standalone(src: Path, cxx: str) -> list[Finding]:
+    findings = []
+    for path in iter_sources(src, (".hpp",)):
+        cmd = [
+            cxx,
+            "-std=c++20",
+            "-fsyntax-only",
+            "-x", "c++",
+            "-I", str(src),
+            str(path),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            detail = first[0] if first else "compiler error"
+            findings.append(
+                Finding(
+                    "header-standalone",
+                    path,
+                    1,
+                    f"header does not compile standalone: {detail}",
+                )
+            )
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None, help="repo root (default: script's parent's parent)")
+    parser.add_argument("--skip-headers", action="store_true",
+                        help="skip the (slower) header-standalone compile checks")
+    parser.add_argument("--report", default=None, help="also write findings to this file")
+    parser.add_argument("--cxx", default="c++", help="compiler for header-standalone (default: c++)")
+    parser.add_argument("--rules", default=",".join(ALL_RULES),
+                        help="comma-separated subset of rules to run")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"magic_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in ALL_RULES]
+    if unknown:
+        print(f"magic_lint: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    if "forward-contract" in rules:
+        findings += check_forward_contract(src)
+    if "mutex-annotation" in rules:
+        findings += check_mutex_annotation(src)
+    if "no-endl" in rules:
+        findings += check_no_endl(src)
+    if "no-naked-thread" in rules:
+        findings += check_no_naked_thread(src)
+    if "header-standalone" in rules and not args.skip_headers:
+        findings += check_header_standalone(src, args.cxx)
+
+    lines = [f.render(root) for f in findings]
+    report = "\n".join(lines)
+    if args.report:
+        Path(args.report).write_text(
+            (report + "\n") if report else "magic_lint: clean\n"
+        )
+    if findings:
+        print(report)
+        print(f"magic_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"magic_lint: clean ({len(rules)} rule(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +17,38 @@ namespace magic::core {
 MagicClassifier::MagicClassifier(DgcnnConfig config, TrainOptions train_options,
                                  std::uint64_t seed)
     : config_(config), train_options_(train_options), seed_(seed) {}
+
+MagicClassifier::~MagicClassifier() = default;
+
+MagicClassifier::MagicClassifier(MagicClassifier&& other) noexcept
+    : config_(std::move(other.config_)),
+      train_options_(std::move(other.train_options_)),
+      seed_(other.seed_),
+      model_(std::move(other.model_)),
+      family_names_(std::move(other.family_names_)),
+      is_pool_replica_(other.is_pool_replica_) {
+  util::MutexLock lock(other.pool_mutex_);
+  replica_pool_ = std::move(other.replica_pool_);
+}
+
+MagicClassifier& MagicClassifier::operator=(MagicClassifier&& other) noexcept {
+  if (this != &other) {
+    std::shared_ptr<ReplicaPool> moved_pool;
+    {
+      util::MutexLock lock(other.pool_mutex_);
+      moved_pool = std::move(other.replica_pool_);
+    }
+    config_ = std::move(other.config_);
+    train_options_ = std::move(other.train_options_);
+    seed_ = other.seed_;
+    model_ = std::move(other.model_);
+    family_names_ = std::move(other.family_names_);
+    is_pool_replica_ = other.is_pool_replica_;
+    util::MutexLock lock(pool_mutex_);
+    replica_pool_ = std::move(moved_pool);
+  }
+  return *this;
+}
 
 std::size_t MagicClassifier::derive_sort_k(const data::Dataset& dataset,
                                            const std::vector<std::size_t>& train_indices,
@@ -50,7 +81,7 @@ TrainResult MagicClassifier::fit_indices(const data::Dataset& dataset,
   config_.num_classes = dataset.num_families();
   {
     // Stale clones must not outlive a retrain.
-    std::lock_guard<std::mutex> lock(*pool_mutex_);
+    util::MutexLock lock(pool_mutex_);
     replica_pool_.reset();
   }
   util::Rng rng(seed_);
@@ -218,7 +249,7 @@ std::vector<Prediction> MagicClassifier::predict_packed(const GraphBatch& batch)
 }
 
 std::shared_ptr<ReplicaPool> MagicClassifier::ensure_replica_pool() const {
-  std::lock_guard<std::mutex> lock(*pool_mutex_);
+  util::MutexLock lock(pool_mutex_);
   if (!replica_pool_) replica_pool_ = std::make_shared<ReplicaPool>(*this);
   return replica_pool_;
 }

@@ -14,7 +14,6 @@
 
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -25,6 +24,8 @@
 #include "magic/dgcnn.hpp"
 #include "magic/graph_batch.hpp"
 #include "magic/trainer.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace magic::core {
@@ -86,6 +87,18 @@ class MagicClassifier {
   /// on the training distribution and is derived in fit()).
   MagicClassifier(DgcnnConfig config, TrainOptions train_options = {},
                   std::uint64_t seed = 42);
+
+  /// Move-only (the model is a unique resource). Hand-written because
+  /// pool_mutex_ is a real (non-movable) capability: the moved-to object
+  /// keeps its own mutex and takes over the cached replica pool. Moving a
+  /// classifier that another thread is concurrently using is — as ever —
+  /// undefined behaviour; the lock here only keeps the cached-pool handoff
+  /// well-formed.
+  MagicClassifier(MagicClassifier&& other) noexcept;
+  MagicClassifier& operator=(MagicClassifier&& other) noexcept;
+  MagicClassifier(const MagicClassifier&) = delete;
+  MagicClassifier& operator=(const MagicClassifier&) = delete;
+  ~MagicClassifier();
 
   /// Trains on the whole dataset (with an internal stratified holdout for
   /// the lr-on-plateau schedule when `holdout_fraction` > 0).
@@ -190,17 +203,16 @@ class MagicClassifier {
   /// Builds a Prediction from one row of class probabilities.
   Prediction make_prediction(const double* probs, std::size_t classes) const;
   /// The cached pool, built under pool_mutex_ on first use.
-  std::shared_ptr<ReplicaPool> ensure_replica_pool() const;
+  std::shared_ptr<ReplicaPool> ensure_replica_pool() const MAGIC_EXCLUDES(pool_mutex_);
 
   DgcnnConfig config_;
   TrainOptions train_options_;
   std::uint64_t seed_;
   std::unique_ptr<DgcnnModel> model_;
   std::vector<std::string> family_names_;
+  mutable util::Mutex pool_mutex_;
   /// Cached clones for parallel scoring; reset whenever the weights change.
-  /// Guarded by pool_mutex_ (a unique_ptr so the classifier stays movable).
-  mutable std::shared_ptr<ReplicaPool> replica_pool_;
-  mutable std::unique_ptr<std::mutex> pool_mutex_ = std::make_unique<std::mutex>();
+  mutable std::shared_ptr<ReplicaPool> replica_pool_ MAGIC_GUARDED_BY(pool_mutex_);
   /// True for replicas materialized by a ReplicaPool: they are exclusively
   /// leased already, so their predict paths drive model_ directly (routing
   /// through their own pool would recurse forever).

@@ -12,6 +12,13 @@
 // Stochastic modules (Dropout) are reseeded per (run seed, epoch, sample
 // position), so the mask a sample sees never depends on which worker
 // processed it or on how many samples that worker handled before.
+//
+// Deliberately free of -Wthread-safety annotations: this engine holds no
+// mutex. Workers write disjoint per-slot buffers (slot index = worker
+// index) and the reduction runs after the parallel_for barrier, so its
+// race freedom is a data-partitioning argument the capability analysis
+// cannot express. TSan stress coverage stands in where the static proof
+// cannot reach (tests/magic/parallel_trainer_test.cpp under check.sh tsan).
 
 #include <cstdint>
 #include <memory>

@@ -7,11 +7,15 @@
 namespace magic::core {
 
 void ReplicaPool::Lease::release() noexcept {
-  if (pool_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(pool_->mutex_);
-  pool_->busy_[index_] = false;
+  // Detach before locking so the capability expression (pool->mutex_) is
+  // stable for the whole critical section — the analysis must see the same
+  // mutex at acquire and (scoped) release.
+  ReplicaPool* const pool = pool_;
+  if (pool == nullptr) return;
   pool_ = nullptr;
   replica_ = nullptr;
+  util::MutexLock lock(pool->mutex_);
+  pool->busy_[index_] = false;
 }
 
 ReplicaPool::ReplicaPool(const MagicClassifier& source, std::size_t warm_count) {
@@ -33,7 +37,7 @@ std::unique_ptr<MagicClassifier> ReplicaPool::materialize() const {
 }
 
 ReplicaPool::Lease ReplicaPool::acquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (!busy_[i]) {
       busy_[i] = true;
@@ -46,7 +50,7 @@ ReplicaPool::Lease ReplicaPool::acquire() {
 }
 
 void ReplicaPool::warm(std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (replicas_.size() < count) {
     replicas_.push_back(materialize());
     busy_.push_back(false);
@@ -54,12 +58,12 @@ void ReplicaPool::warm(std::size_t count) {
 }
 
 std::size_t ReplicaPool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return replicas_.size();
 }
 
 std::size_t ReplicaPool::leased() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const bool busy : busy_) {
     if (busy) ++count;

@@ -20,12 +20,21 @@
 // Thread-safety: acquire()/warm()/size() may be called concurrently. The
 // classifier leased through a Lease is exclusively owned until the lease is
 // destroyed. Replica addresses are stable for the pool's lifetime.
+//
+// Locking protocol (machine-checked via -Wthread-safety): replicas_ and
+// busy_ only change under mutex_. A Lease releases from *outside* the pool
+// object — Lease::release() acquires pool_->mutex_ across objects, which is
+// exactly the kind of implicit contract the annotations pin down: the
+// returning-a-replica write to busy_ is proven to happen under the same
+// capability acquire() hands slots out under.
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::core {
 
@@ -59,7 +68,10 @@ class ReplicaPool {
     friend class ReplicaPool;
     Lease(ReplicaPool* pool, std::size_t index, MagicClassifier* replica) noexcept
         : pool_(pool), index_(index), replica_(replica) {}
-    void release() noexcept;
+    /// Returns the replica: acquires pool_->mutex_ (cross-object!) to clear
+    /// the busy bit. Must not be called with the pool mutex held — the
+    /// annotation turns that potential self-deadlock into a compile error.
+    void release() noexcept MAGIC_EXCLUDES(pool_->mutex_);
     void swap(Lease& other) noexcept {
       std::swap(pool_, other.pool_);
       std::swap(index_, other.index_);
@@ -81,24 +93,26 @@ class ReplicaPool {
 
   /// Leases an idle replica, materializing a new one when all existing
   /// replicas are busy. Never blocks on other lease holders.
-  Lease acquire();
+  Lease acquire() MAGIC_EXCLUDES(mutex_);
 
   /// Materializes replicas until at least `count` exist (eager warm-up so
   /// first requests don't pay the clone cost).
-  void warm(std::size_t count);
+  void warm(std::size_t count) MAGIC_EXCLUDES(mutex_);
 
   /// Number of replicas materialized so far.
-  std::size_t size() const;
+  std::size_t size() const MAGIC_EXCLUDES(mutex_);
   /// Number of replicas currently leased out.
-  std::size_t leased() const;
+  std::size_t leased() const MAGIC_EXCLUDES(mutex_);
 
  private:
   std::unique_ptr<MagicClassifier> materialize() const;
 
-  std::string blob_;  // serialized source model
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<MagicClassifier>> replicas_;
-  std::vector<bool> busy_;
+  std::string blob_;  // serialized source model; immutable after the ctor
+  mutable util::Mutex mutex_;
+  /// The replica objects a Lease points into are NOT guarded by mutex_ —
+  /// exclusivity comes from the busy bit; only the vectors themselves are.
+  std::vector<std::unique_ptr<MagicClassifier>> replicas_ MAGIC_GUARDED_BY(mutex_);
+  std::vector<bool> busy_ MAGIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace magic::core

@@ -45,7 +45,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.try_emplace(std::string(name)).first;
@@ -54,7 +54,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.try_emplace(std::string(name)).first;
@@ -63,7 +63,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 HistogramCell& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.try_emplace(std::string(name)).first;
@@ -75,7 +75,7 @@ std::string MetricsRegistry::snapshot_json() const {
   // The registry mutex is held across the walk; cell mutexes are leaf
   // locks (never held while acquiring the registry mutex), so recording
   // threads block at most for one cell copy.
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
@@ -121,7 +121,7 @@ std::string MetricsRegistry::snapshot_json() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, cell] : counters_) cell.reset();
   for (auto& [name, cell] : gauges_) cell.reset();
   for (auto& [name, cell] : histograms_) cell.reset();

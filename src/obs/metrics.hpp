@@ -24,11 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "util/histogram.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::obs {
 
@@ -66,25 +67,27 @@ class Gauge {
 };
 
 /// Thread-safe wrapper over util::Histogram (log-bucketed quantiles).
+/// The cell mutex is a leaf lock: record()/snapshot() never acquire any
+/// other capability while holding it.
 class HistogramCell {
  public:
-  void record(double value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void record(double value) MAGIC_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     histogram_.record(value);
   }
   /// Consistent copy of the underlying histogram.
-  util::Histogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  util::Histogram snapshot() const MAGIC_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return histogram_;
   }
-  void reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void reset() MAGIC_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     histogram_.reset();
   }
 
  private:
-  mutable std::mutex mutex_;
-  util::Histogram histogram_;
+  mutable util::Mutex mutex_;
+  util::Histogram histogram_ MAGIC_GUARDED_BY(mutex_);
 };
 
 /// Named metric registry. Lookup creates on first use; names are free-form
@@ -95,24 +98,27 @@ class MetricsRegistry {
   /// The process-wide registry every built-in instrumentation site uses.
   static MetricsRegistry& global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  HistogramCell& histogram(std::string_view name);
+  Counter& counter(std::string_view name) MAGIC_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) MAGIC_EXCLUDES(mutex_);
+  HistogramCell& histogram(std::string_view name) MAGIC_EXCLUDES(mutex_);
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
   /// {"count","sum","mean","min","max","p50","p95","p99"}}}. Keys sorted.
-  std::string snapshot_json() const;
+  std::string snapshot_json() const MAGIC_EXCLUDES(mutex_);
 
   /// Zeroes every registered metric. Handles stay valid (tests and
   /// long-lived daemons rely on this; nothing is deallocated).
-  void reset_values();
+  void reset_values() MAGIC_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // std::map: node-based, so mapped references are stable across inserts.
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, HistogramCell, std::less<>> histograms_;
+  // The registry mutex orders map mutation only; the *cells* handed out are
+  // internally synchronized, which is why returning plain references out of
+  // the locked scope is sound.
+  std::map<std::string, Counter, std::less<>> counters_ MAGIC_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge, std::less<>> gauges_ MAGIC_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramCell, std::less<>> histograms_ MAGIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace magic::obs

@@ -23,6 +23,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/wire.hpp"
+#include "util/join_thread.hpp"
 
 namespace magic::serve {
 namespace {
@@ -200,7 +201,7 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
   struct Connection {
     int fd = -1;
     std::shared_ptr<std::atomic<bool>> done;
-    std::thread thread;
+    util::JoinThread thread;
   };
   std::vector<Connection> connections;
   std::atomic<std::uint64_t> served{0};
@@ -244,7 +245,7 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
     }
     connections.push_back(Connection{conn_fd, std::make_shared<std::atomic<bool>>(false), {}});
     Connection& conn = connections.back();
-    conn.thread = std::thread([conn_fd, done = conn.done, &server, &served] {
+    conn.thread = util::JoinThread([conn_fd, done = conn.done, &server, &served] {
       wire::FdLineReader reader(conn_fd);
       auto read_line = [&reader](std::string& line) { return reader.next_line(line); };
       auto write = [conn_fd](std::string_view line) { wire::write_line(conn_fd, line); };

@@ -19,15 +19,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "data/corpus.hpp"
@@ -36,7 +33,9 @@
 #include "obs/metrics.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
+#include "util/join_thread.hpp"
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -196,15 +195,21 @@ int main(int argc, char** argv) {
     // command, logged at Info every --stats-every seconds. Stopped via a
     // condition variable so shutdown never waits out a full period.
     std::atomic<bool> stats_stop{false};
-    std::mutex stats_mutex;
-    std::condition_variable stats_cv;
-    std::thread stats_thread;
+    util::Mutex stats_mutex;  // magic-lint: guards(the stop handshake below)
+    util::CondVar stats_cv;
+    util::JoinThread stats_thread;
     if (opt.stats_every_s > 0) {
-      stats_thread = std::thread([&] {
-        std::unique_lock<std::mutex> lock(stats_mutex);
-        while (!stats_cv.wait_for(
-            lock, std::chrono::seconds(opt.stats_every_s),
-            [&] { return stats_stop.load(std::memory_order_relaxed); })) {
+      stats_thread = util::JoinThread([&] {
+        const auto period = std::chrono::seconds(opt.stats_every_s);
+        util::MutexLock lock(stats_mutex);
+        for (;;) {
+          // Deadline-based wait so a spurious wakeup never shortens (or a
+          // notify never stretches) the logging period.
+          const auto deadline = std::chrono::steady_clock::now() + period;
+          while (!stats_stop.load(std::memory_order_relaxed) &&
+                 stats_cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+          }
+          if (stats_stop.load(std::memory_order_relaxed)) return;
           MAGIC_CLOG(util::LogLevel::Info, "serve",
                      "stats {\"server\":"
                          << server.stats().to_json() << ",\"obs\":"
@@ -216,7 +221,9 @@ int main(int argc, char** argv) {
     auto stop_stats_thread = [&] {
       if (!stats_thread.joinable()) return;
       {
-        std::lock_guard<std::mutex> lock(stats_mutex);
+        // The store happens under the mutex so a waiter between its flag
+        // check and its wait cannot miss the notify.
+        util::MutexLock lock(stats_mutex);
         stats_stop.store(true, std::memory_order_relaxed);
       }
       stats_cv.notify_all();

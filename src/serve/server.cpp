@@ -197,7 +197,7 @@ void InferenceServer::process(Queued& request, core::MagicClassifier& replica) {
 
 void InferenceServer::stop(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    util::MutexLock lock(stop_mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -213,7 +213,7 @@ void InferenceServer::stop(bool drain) {
       request.slot->fulfil(std::move(verdict));
     }
   }
-  for (std::thread& worker : workers_) {
+  for (util::JoinThread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }

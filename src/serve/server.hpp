@@ -33,10 +33,8 @@
 #include <chrono>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "acfg/acfg.hpp"
@@ -45,6 +43,9 @@
 #include "serve/stats.hpp"
 #include "serve/verdict.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/join_thread.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::serve {
 
@@ -111,7 +112,7 @@ class InferenceServer {
   /// scores everything already queued; drain=false resolves queued requests
   /// as ShuttingDown. Either way admission stops first and all outstanding
   /// PendingVerdicts are resolved before return.
-  void stop(bool drain = true);
+  void stop(bool drain = true) MAGIC_EXCLUDES(stop_mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -137,9 +138,11 @@ class InferenceServer {
   util::BoundedQueue<Queued> queue_;
   StatsCollector stats_;
   std::atomic<bool> accepting_{true};
-  std::vector<std::thread> workers_;
-  std::mutex stop_mutex_;
-  bool stopped_ = false;
+  std::vector<util::JoinThread> workers_;
+  /// stop_mutex_ only arbitrates the stop() winner; the workers themselves
+  /// are stopped through queue_.close() and joined below it.
+  util::Mutex stop_mutex_;
+  bool stopped_ MAGIC_GUARDED_BY(stop_mutex_) = false;
 };
 
 }  // namespace magic::serve

@@ -54,7 +54,7 @@ StatsCollector::StatsCollector(std::size_t max_batch)
 
 void StatsCollector::on_batch(std::size_t batch_size) {
   bump(batches_, global_.batches);
-  std::lock_guard<std::mutex> lock(batch_mutex_);
+  util::MutexLock lock(batch_mutex_);
   if (batch_size >= batch_size_counts_.size()) {
     batch_size_counts_.resize(batch_size + 1, 0);
   }
@@ -81,7 +81,7 @@ ServerStats StatsCollector::snapshot(std::size_t queue_depth,
   out.queue_depth = queue_depth;
   out.workers = workers;
   {
-    std::lock_guard<std::mutex> lock(batch_mutex_);
+    util::MutexLock lock(batch_mutex_);
     out.batch_size_counts = batch_size_counts_;
   }
   const util::Histogram latency = latency_ms_.snapshot();

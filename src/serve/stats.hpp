@@ -14,11 +14,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::serve {
 
@@ -69,11 +70,12 @@ class StatsCollector {
   void on_expired() noexcept { bump(expired_, global_.expired); }
   void on_failed() noexcept { bump(failed_, global_.failed); }
 
-  void on_batch(std::size_t batch_size);
+  void on_batch(std::size_t batch_size) MAGIC_EXCLUDES(batch_mutex_);
   void on_packed_batch() noexcept { bump(packed_batches_, global_.packed_batches); }
   void on_completed(double latency_ms);
 
-  ServerStats snapshot(std::size_t queue_depth, std::size_t workers) const;
+  ServerStats snapshot(std::size_t queue_depth, std::size_t workers) const
+      MAGIC_EXCLUDES(batch_mutex_);
 
  private:
   /// Cached handles into the process-wide registry ("serve.*" names);
@@ -105,8 +107,14 @@ class StatsCollector {
   obs::Counter packed_batches_;
   obs::HistogramCell latency_ms_;
 
-  mutable std::mutex batch_mutex_;
-  std::vector<std::uint64_t> batch_size_counts_;
+  /// Guards the one piece of non-atomic state: the batch-size table (it
+  /// resizes, so it cannot be a fixed array of counters). Counters and the
+  /// latency HistogramCell synchronize themselves; snapshot() reads them
+  /// without this mutex, which is why a snapshot is "consistent per field,
+  /// not cross-field" (each counter is exact, their relative order is not
+  /// pinned).
+  mutable util::Mutex batch_mutex_;
+  std::vector<std::uint64_t> batch_size_counts_ MAGIC_GUARDED_BY(batch_mutex_);
 
   GlobalMirror global_;
 };

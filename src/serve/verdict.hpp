@@ -9,13 +9,13 @@
 // get() can never hang on a stopped server).
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "magic/classifier.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::serve {
 
@@ -47,9 +47,9 @@ class VerdictSlot {
  public:
   /// Resolves the slot (first call wins; later calls are ignored so a
   /// shutdown sweep cannot clobber a worker's result).
-  void fulfil(Verdict verdict) {
+  void fulfil(Verdict verdict) MAGIC_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (done_) return;
       verdict_ = std::move(verdict);
       done_ = true;
@@ -57,28 +57,35 @@ class VerdictSlot {
     cv_.notify_all();
   }
 
-  bool ready() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool ready() const MAGIC_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return done_;
   }
 
-  Verdict wait() const {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return done_; });
+  Verdict wait() const MAGIC_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (!done_) cv_.wait(lock);
     return verdict_;
   }
 
   template <typename Rep, typename Period>
-  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
-    std::unique_lock<std::mutex> lock(mutex_);
-    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const
+      MAGIC_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    util::MutexLock lock(mutex_);
+    while (!done_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return done_;  // final look under the lock
+      }
+    }
+    return true;
   }
 
  private:
-  mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
-  bool done_ = false;
-  Verdict verdict_;
+  mutable util::Mutex mutex_;
+  mutable util::CondVar cv_;
+  bool done_ MAGIC_GUARDED_BY(mutex_) = false;
+  Verdict verdict_ MAGIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail

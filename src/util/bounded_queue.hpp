@@ -7,13 +7,19 @@
 // traffic degrades with fast, explicit backpressure instead of unbounded
 // latency. Consumers block (with optional deadline) and drain remaining
 // items after close(), which is what makes graceful SIGTERM drain work.
+//
+// Locking protocol (machine-checked via -Wthread-safety, see
+// util/thread_annotations.hpp): items_ and closed_ are only touched under
+// mutex_; every public method acquires it internally, so callers must not
+// hold it across calls (MAGIC_EXCLUDES).
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::util {
 
@@ -30,22 +36,22 @@ class BoundedQueue {
 
   /// Non-blocking push. Returns false when the queue is full or closed;
   /// the item is left in a moved-from state only on success.
-  bool try_push(T& item) {
+  bool try_push(T& item) MAGIC_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
     return true;
   }
-  bool try_push(T&& item) { return try_push(item); }
+  bool try_push(T&& item) MAGIC_EXCLUDES(mutex_) { return try_push(item); }
 
   /// Blocking pop. Returns false only when the queue is closed and fully
   /// drained (the consumer-shutdown signal).
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  bool pop(T& out) MAGIC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) cv_.wait(lock);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -56,11 +62,15 @@ class BoundedQueue {
   /// drained; callers that need to distinguish check closed() afterwards.
   /// (The serve batcher treats both as "flush what you have".)
   template <typename Clock, typename Duration>
-  bool pop_until(T& out, const std::chrono::time_point<Clock, Duration>& deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!cv_.wait_until(lock, deadline,
-                        [&] { return closed_ || !items_.empty(); })) {
-      return false;
+  bool pop_until(T& out, const std::chrono::time_point<Clock, Duration>& deadline)
+      MAGIC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // One final look: the condition may have become true while waking.
+        if (items_.empty()) return false;
+        break;
+      }
     }
     if (items_.empty()) return false;
     out = std::move(items_.front());
@@ -70,9 +80,9 @@ class BoundedQueue {
 
   /// Closes the queue: subsequent pushes fail, queued items remain poppable
   /// (graceful drain). Idempotent.
-  void close() {
+  void close() MAGIC_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -80,10 +90,10 @@ class BoundedQueue {
 
   /// Closes the queue and removes every queued item, returning them so the
   /// caller can fail them explicitly (abort/fast-shutdown path).
-  std::deque<T> close_and_drain() {
+  std::deque<T> close_and_drain() MAGIC_EXCLUDES(mutex_) {
     std::deque<T> drained;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
       drained.swap(items_);
     }
@@ -91,22 +101,22 @@ class BoundedQueue {
     return drained;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const MAGIC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const MAGIC_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ MAGIC_GUARDED_BY(mutex_);
+  bool closed_ MAGIC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace magic::util

@@ -1,0 +1,48 @@
+#pragma once
+// JoinThread: RAII thread that joins on destruction.
+//
+// A detached or forgotten std::thread turns shutdown into a race; every
+// thread in src/ therefore runs inside either util::ThreadPool or this
+// wrapper (enforced by scripts/magic_lint.py — raw std::thread construction
+// is allowed only here and in thread_pool.cpp). Unlike std::jthread there
+// is no stop token: MAGIC's loops are stopped by closing the queue / flag
+// they block on, after which the join is prompt by construction.
+
+#include <thread>
+#include <utility>
+
+namespace magic::util {
+
+/// Move-only thread handle; joins in the destructor if still joinable.
+class JoinThread {
+ public:
+  JoinThread() noexcept = default;
+
+  template <typename F, typename... Args>
+  explicit JoinThread(F&& f, Args&&... args)
+      : thread_(std::forward<F>(f), std::forward<Args>(args)...) {}
+
+  JoinThread(JoinThread&&) noexcept = default;
+  JoinThread& operator=(JoinThread&& other) noexcept {
+    if (this != &other) {
+      if (thread_.joinable()) thread_.join();  // never abandon a running thread
+      thread_ = std::move(other.thread_);
+    }
+    return *this;
+  }
+
+  JoinThread(const JoinThread&) = delete;
+  JoinThread& operator=(const JoinThread&) = delete;
+
+  ~JoinThread() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool joinable() const noexcept { return thread_.joinable(); }
+  void join() { thread_.join(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace magic::util

@@ -5,14 +5,17 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace magic::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
 std::atomic<int> g_format{static_cast<int>(LogFormat::Text)};
-std::mutex g_mutex;
+// Serializes the final stderr write of log_line (the capability guards the
+// stream interleaving, not any data member).
+Mutex g_mutex;  // magic-lint: guards(stderr interleaving)
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -131,7 +134,7 @@ void log_line(LogLevel level, std::string_view component,
               const std::string& message) {
   const std::string line =
       render_log_line(log_format(), level, component, message, log_timestamp());
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << line << "\n";
 }
 

@@ -1,0 +1,104 @@
+#pragma once
+// Capability-annotated mutex primitives.
+//
+// util::Mutex / util::MutexLock / util::CondVar are thin wrappers over
+// std::mutex / std::unique_lock / std::condition_variable whose only job is
+// to carry the Clang Thread Safety attributes (src/util/thread_annotations
+// .hpp). libstdc++'s std::mutex has no capability annotation, so locking it
+// is invisible to -Wthread-safety; locking a util::Mutex is not. Every
+// mutex member in src/ must be a util::Mutex with at least one
+// MAGIC_GUARDED_BY field naming it (enforced by scripts/magic_lint.py).
+//
+// Idiom:
+//
+//   class Account {
+//    public:
+//     void deposit(int amount) MAGIC_EXCLUDES(mutex_) {
+//       MutexLock lock(mutex_);
+//       balance_ += amount;                  // OK: capability held
+//     }
+//    private:
+//     Mutex mutex_;
+//     int balance_ MAGIC_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Condition waits: the analysis is intra-procedural, so a wait *predicate
+// lambda* would be analyzed as a separate, lock-free function and flagged.
+// CondVar therefore exposes only predicate-free wait/wait_until and callers
+// write the standard while-loop, which keeps every guarded read lexically
+// inside the locked scope:
+//
+//   MutexLock lock(mutex_);
+//   while (!done_) cv_.wait(lock);
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace magic::util {
+
+/// Standard mutex carrying the "mutex" capability for -Wthread-safety.
+class MAGIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MAGIC_ACQUIRE() { mutex_.lock(); }
+  void unlock() MAGIC_RELEASE() { mutex_.unlock(); }
+  bool try_lock() MAGIC_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII lock over a util::Mutex (scoped capability). Non-movable: a lock's
+/// lifetime IS the critical section. Backed by std::unique_lock so CondVar
+/// can wait on it.
+class MAGIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MAGIC_ACQUIRE(mutex) : lock_(mutex.mutex_) {}
+  ~MutexLock() MAGIC_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waitable under a MutexLock. Deliberately predicate-
+/// free (see the header comment); callers loop on the guarded condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `lock`, waits, and reacquires before returning.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace magic::util

@@ -1,0 +1,75 @@
+#pragma once
+// Clang Thread Safety Analysis annotations (MAGIC_* spelling).
+//
+// These macros attach compile-time locking contracts to mutexes, guarded
+// data and lock-discipline-sensitive functions. Under Clang with
+// -Wthread-safety the compiler then proves, per translation unit, that
+// every access to a MAGIC_GUARDED_BY field happens while its capability is
+// held, that MAGIC_REQUIRES preconditions hold at every call site, and that
+// scoped locks release what they acquired on every path. The CMake option
+// MAGIC_THREAD_SAFETY turns the analysis into a hard gate
+// (-Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis);
+// see DESIGN.md "Static concurrency analysis".
+//
+// On non-Clang compilers (and on Clang builds without the attributes) every
+// macro expands to nothing, so annotations are always safe to write.
+//
+// Annotate against the util::Mutex / util::MutexLock / util::CondVar
+// wrappers (src/util/mutex.hpp): std::mutex carries no capability attribute
+// in libstdc++, so raw std::mutex members are invisible to the analysis —
+// and banned in src/ by scripts/magic_lint.py.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MAGIC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MAGIC_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable) type, e.g.
+/// `class MAGIC_CAPABILITY("mutex") Mutex`.
+#define MAGIC_CAPABILITY(x) MAGIC_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (util::MutexLock).
+#define MAGIC_SCOPED_CAPABILITY MAGIC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define MAGIC_GUARDED_BY(x) MAGIC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define MAGIC_PT_GUARDED_BY(x) MAGIC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that acquires the capability and holds it past return.
+#define MAGIC_ACQUIRE(...) \
+  MAGIC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability before returning.
+#define MAGIC_RELEASE(...) \
+  MAGIC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `ret`.
+#define MAGIC_TRY_ACQUIRE(ret, ...) \
+  MAGIC_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must hold the capability (exclusively) across the call.
+#define MAGIC_REQUIRES(...) \
+  MAGIC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability: the function acquires it itself
+/// (self-deadlock guard for public methods of self-locking classes).
+#define MAGIC_EXCLUDES(...) MAGIC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability
+/// (accessor methods exposing a mutex).
+#define MAGIC_RETURN_CAPABILITY(x) MAGIC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function intentionally breaks the declared discipline
+/// (e.g. a constructor-adjacent path the analysis cannot model). Every use
+/// must carry a comment justifying it.
+#define MAGIC_NO_THREAD_SAFETY_ANALYSIS \
+  MAGIC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Run-time assertion that the calling thread holds the capability (tells
+/// the analysis to trust it from here on).
+#define MAGIC_ASSERT_CAPABILITY(x) \
+  MAGIC_THREAD_ANNOTATION_(assert_capability(x))

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 
 namespace magic::util {
@@ -18,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -31,8 +32,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -57,14 +58,16 @@ struct ParallelForState {
   const std::function<void(std::size_t)> fn;
   std::atomic<std::size_t> next{0};
 
-  std::mutex m;
-  std::condition_variable cv;
-  std::size_t completed = 0;        // indices whose fn(i) returned or threw
-  std::exception_ptr first_error;   // first (in claim order) task exception
+  Mutex m;
+  CondVar cv;
+  // Indices whose fn(i) returned or threw / first (in claim order) task
+  // exception.
+  std::size_t completed MAGIC_GUARDED_BY(m) = 0;
+  std::exception_ptr first_error MAGIC_GUARDED_BY(m);
 
   // Claims indices until exhausted. Never lets an exception escape: a throw
   // is recorded and the loop continues, so completion is always signalled.
-  void drain() {
+  void drain() MAGIC_EXCLUDES(m) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
@@ -74,7 +77,7 @@ struct ParallelForState {
       } catch (...) {
         err = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(m);
+      MutexLock lock(m);
       if (err && !first_error) first_error = err;
       if (++completed == total) cv.notify_all();
     }
@@ -98,9 +101,14 @@ void ThreadPool::parallel_for(std::size_t n,
     }
   }
   state->drain();
-  std::unique_lock<std::mutex> lock(state->m);
-  state->cv.wait(lock, [&] { return state->completed == state->total; });
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  ParallelForState& shared = *state;
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(shared.m);
+    while (shared.completed != shared.total) shared.cv.wait(lock);
+    first_error = shared.first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace magic::util

@@ -3,15 +3,22 @@
 // in parallel using Python's multi-threading library" (§IV-C); we use this
 // pool for parallel ACFG extraction, parallel cross-validation folds, and
 // parallel hyper-parameter evaluation.
+//
+// Locking protocol (machine-checked via -Wthread-safety): queue_ and
+// stopping_ are only touched under mutex_; submit() and the worker loop
+// acquire it internally.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/join_thread.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace magic::util {
 
@@ -33,7 +40,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.emplace([task] { (*task)(); });
     }
@@ -61,11 +68,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::vector<JoinThread> workers_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ MAGIC_GUARDED_BY(mutex_);
+  bool stopping_ MAGIC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace magic::util

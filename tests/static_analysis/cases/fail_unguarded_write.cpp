@@ -1,0 +1,27 @@
+// NEGATIVE case: writing a MAGIC_GUARDED_BY field without holding its mutex
+// must be rejected by -Werror=thread-safety-analysis. Compiles fine without
+// the analysis (the companion "sanity" test asserts that), so the only
+// reason this translation unit can fail is the thread-safety finding.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // BUG under analysis: no lock around the guarded write.
+  void deposit(int amount) { balance_ += amount; }
+
+ private:
+  magic::util::Mutex mutex_;
+  int balance_ MAGIC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int case_main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// POSITIVE case: the real annotated headers of the concurrency surface
+// must compile clean under -Werror=thread-safety-analysis. This catches
+// annotation regressions in the inline code paths (BoundedQueue and
+// VerdictSlot do all their locking in the header) without needing a full
+// library build.
+
+#include "magic/replica_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/verdict.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_pool.hpp"
+
+int case_main() {
+  magic::util::BoundedQueue<int> queue(4);
+  queue.close();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// POSITIVE case: the canonical annotated-class idiom (util::Mutex +
+// MutexLock + MAGIC_GUARDED_BY/MAGIC_EXCLUDES, condition waits as explicit
+// while-loops) must compile clean under -Werror=thread-safety-analysis.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Mailbox {
+ public:
+  void put(int value) MAGIC_EXCLUDES(mutex_) {
+    {
+      magic::util::MutexLock lock(mutex_);
+      value_ = value;
+      full_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  int take() MAGIC_EXCLUDES(mutex_) {
+    magic::util::MutexLock lock(mutex_);
+    while (!full_) cv_.wait(lock);
+    full_ = false;
+    return value_;
+  }
+
+ private:
+  magic::util::Mutex mutex_;
+  magic::util::CondVar cv_;
+  int value_ MAGIC_GUARDED_BY(mutex_) = 0;
+  bool full_ MAGIC_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int case_main() {
+  Mailbox box;
+  box.put(7);
+  return box.take() == 7 ? 0 : 1;
+}

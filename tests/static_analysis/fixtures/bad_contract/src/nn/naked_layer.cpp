@@ -1,0 +1,20 @@
+// magic_lint fixture: a forward body with no shape contract. The
+// forward-contract rule must flag this file.
+
+namespace fixture {
+
+struct Tensor {
+  int rows = 0;
+};
+
+struct NakedLayer {
+  Tensor forward(const Tensor& input);
+};
+
+Tensor NakedLayer::forward(const Tensor& input) {
+  Tensor out;
+  out.rows = input.rows;
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// magic_lint fixture: std::endl use. The no-endl rule must flag it.
+
+#include <iostream>
+
+namespace fixture {
+
+void greet() { std::cout << "hello" << std::endl; }
+
+}  // namespace fixture

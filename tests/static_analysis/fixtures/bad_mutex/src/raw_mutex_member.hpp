@@ -1,0 +1,23 @@
+#pragma once
+// magic_lint fixture: a raw std::mutex member. The mutex-annotation rule
+// must flag it (std::mutex carries no -Wthread-safety capability; members
+// must be util::Mutex).
+
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void put(std::string value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = std::move(value);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::string value_;
+};
+
+}  // namespace fixture

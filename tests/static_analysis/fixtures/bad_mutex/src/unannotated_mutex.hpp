@@ -1,0 +1,19 @@
+#pragma once
+// magic_lint fixture: a util::Mutex whose protected state is not annotated.
+// The mutex-annotation rule must flag it — no MAGIC_GUARDED_BY(mutex_)
+// field exists in this file and there is no `magic-lint: guards(...)`
+// escape comment.
+
+namespace util {
+class Mutex {};
+}  // namespace util
+
+namespace fixture {
+
+class Registry {
+ private:
+  util::Mutex mutex_;
+  int entries_ = 0;  // missing the guarded-by annotation naming mutex_
+};
+
+}  // namespace fixture

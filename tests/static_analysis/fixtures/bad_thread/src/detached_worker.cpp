@@ -1,0 +1,15 @@
+// magic_lint fixture: a naked std::thread. The no-naked-thread rule must
+// flag the construction (std::this_thread and hardware_concurrency stay
+// legal and must NOT be flagged).
+
+#include <thread>
+
+namespace fixture {
+
+void spawn() {
+  const unsigned n = std::thread::hardware_concurrency();  // allowed
+  std::thread worker([n] { (void)n; });                    // flagged
+  worker.detach();
+}
+
+}  // namespace fixture
