@@ -1,0 +1,156 @@
+// corpus_pack: build, convert and inspect packed mmap corpora
+// (data/corpus_file.hpp).
+//
+// Usage:
+//   corpus_pack --generate yancfg|mskcfg --out FILE.mgc
+//               [--scale S] [--seed X] [--threads N]
+//       Generates a synthetic corpus through the full pipeline and packs it.
+//
+//   corpus_pack --pack TEXT_CORPUS --out FILE.mgc
+//       Converts a text-format corpus (acfg/serialization.hpp) to the
+//       packed format. The text format carries no family-name table, so
+//       families are named family0..familyK after the label range.
+//
+//   corpus_pack --info FILE.mgc
+//       Maps and validates the file, then prints the header summary,
+//       family table and per-sample aggregates. A tampered or truncated
+//       file fails validation here (exit 1) — this doubles as an integrity
+//       check for corpus artifacts.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "acfg/serialization.hpp"
+#include "data/corpus.hpp"
+#include "data/corpus_file.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace magic;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: corpus_pack --generate yancfg|mskcfg --out FILE.mgc\n"
+      << "                   [--scale S] [--seed X] [--threads N]\n"
+      << "       corpus_pack --pack TEXT_CORPUS --out FILE.mgc\n"
+      << "       corpus_pack --info FILE.mgc\n";
+  std::exit(2);
+}
+
+int info(const std::string& path) {
+  util::Timer timer;
+  data::PackedCorpus corpus(path);
+  const double open_ms = timer.millis();
+
+  std::cout << path << ": " << corpus.size() << " samples, "
+            << corpus.family_names().size() << " families, "
+            << corpus.channels() << " channels, " << corpus.file_bytes()
+            << " bytes (validated in " << util::format_fixed(open_ms, 1)
+            << " ms)\n\n";
+
+  std::vector<std::size_t> counts(corpus.family_names().size(), 0);
+  std::size_t vertices = 0, edges = 0, max_vertices = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const data::PackedCorpus::SampleView v = corpus.view(i);
+    if (v.label >= 0 && static_cast<std::size_t>(v.label) < counts.size()) {
+      ++counts[static_cast<std::size_t>(v.label)];
+    }
+    vertices += v.vertices;
+    edges += v.edges;
+    max_vertices = std::max(max_vertices, v.vertices);
+  }
+
+  util::Table table({"Family", "Samples"});
+  for (std::size_t f = 0; f < counts.size(); ++f) {
+    table.add_row({corpus.family_names()[f], std::to_string(counts[f])});
+  }
+  table.print(std::cout);
+  const double n = corpus.size() > 0 ? static_cast<double>(corpus.size()) : 1.0;
+  std::cout << "\nmean vertices " << util::format_fixed(
+                   static_cast<double>(vertices) / n, 1)
+            << ", mean edges " << util::format_fixed(
+                   static_cast<double>(edges) / n, 1)
+            << ", max vertices " << max_vertices << "\n";
+  if (corpus.size() > 0) {
+    std::cout << "sample 0 content hash: "
+              << corpus.view(0).content_hash.to_hex() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string generate, pack_path, info_path, out_path;
+  double scale = 0.004;
+  std::uint64_t seed = 13;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--generate") generate = next();
+    else if (arg == "--pack") pack_path = next();
+    else if (arg == "--info") info_path = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--scale") scale = std::stod(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--threads") threads = std::stoul(next());
+    else usage();
+  }
+  const int modes = (!generate.empty()) + (!pack_path.empty()) + (!info_path.empty());
+  if (modes != 1) usage();
+
+  try {
+    if (!info_path.empty()) return info(info_path);
+    if (out_path.empty()) usage();
+
+    data::Dataset corpus;
+    if (!generate.empty()) {
+      util::ThreadPool pool(threads);
+      util::Timer timer;
+      if (generate == "yancfg") {
+        corpus = data::yancfg_like_corpus(scale, seed, pool);
+      } else if (generate == "mskcfg") {
+        corpus = data::mskcfg_like_corpus(scale, seed, pool);
+      } else {
+        usage();
+      }
+      std::cout << "generated " << corpus.size() << " samples in "
+                << util::format_fixed(timer.seconds(), 1) << "s\n";
+    } else {
+      util::Timer timer;
+      corpus.samples = acfg::load_corpus(pack_path);
+      int max_label = -1;
+      for (const acfg::Acfg& sample : corpus.samples) {
+        max_label = std::max(max_label, sample.label);
+      }
+      for (int f = 0; f <= max_label; ++f) {
+        corpus.family_names.push_back("family" + std::to_string(f));
+      }
+      std::cout << "parsed " << corpus.size() << " samples from " << pack_path
+                << " in " << util::format_fixed(timer.seconds(), 1) << "s\n";
+    }
+
+    util::Timer timer;
+    data::pack_corpus(corpus, out_path);
+    const data::PackedCorpus check(out_path);  // self-verify what we wrote
+    std::cout << "packed " << check.size() << " samples ("
+              << check.file_bytes() << " bytes) to " << out_path << " in "
+              << util::format_fixed(timer.millis(), 1) << " ms\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "corpus_pack: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -15,6 +15,13 @@ express (they are project conventions, not C++ rules):
                      explicit `magic-lint: guards(<what>)` comment for the
                      rare mutex that guards something other than fields
                      (e.g. the stderr stream).
+  guard-names        Every MAGIC_GUARDED_BY(<name>) whose argument is a plain
+                     identifier must name a util::Mutex declared in the same
+                     file — a typo'd guard name silently disables the
+                     analysis for that member (guarded_by of an undeclared
+                     symbol is an error only under Clang, and only when the
+                     member is actually touched). Arguments that reach
+                     through an object (`->`, `.`, `::`) are out of scope.
   no-endl            No std::endl in src/ (use '\\n'; flushing is explicit).
   no-naked-thread    No raw std::thread construction outside
                      util/join_thread.hpp: threads live in util::ThreadPool
@@ -42,6 +49,7 @@ from pathlib import Path
 ALL_RULES = (
     "forward-contract",
     "mutex-annotation",
+    "guard-names",
     "no-endl",
     "no-naked-thread",
     "header-standalone",
@@ -173,6 +181,50 @@ def check_mutex_annotation(src: Path) -> list[Finding]:
     return findings
 
 
+def check_guard_names(src: Path) -> list[Finding]:
+    """Every plain-identifier MAGIC_GUARDED_BY(name) names a Mutex declared
+    in the same file. Complements mutex-annotation (which checks every mutex
+    is *used* by some annotation): this direction catches the annotation
+    whose argument no longer matches any mutex after a rename."""
+    findings = []
+    guard = re.compile(r"\bMAGIC_(?:PT_)?GUARDED_BY\(([^)]*)\)")
+    decl = re.compile(r"^\s*(?:mutable\s+)?(?:util::)?Mutex\s+(\w+)\s*;")
+    for path in iter_sources(src, (".cpp", ".hpp")):
+        rel = path.relative_to(src).as_posix()
+        if rel == "util/thread_annotations.hpp":  # the macro definitions
+            continue
+        lines = path.read_text().splitlines()
+        declared = {
+            m.group(1)
+            for line in lines
+            if (m := decl.match(strip_line_comment(line)))
+        }
+        for i, raw in enumerate(lines):
+            code = strip_line_comment(raw)
+            if code.lstrip().startswith("#"):
+                continue
+            for match in guard.finditer(code):
+                arg = match.group(1).strip()
+                # Guards that reach through an object are legitimate
+                # (e.g. guarded by the enclosing class's mutex via a
+                # pointer); the same-file check only applies to plain
+                # identifiers.
+                if not re.fullmatch(r"\w+", arg):
+                    continue
+                if arg not in declared:
+                    findings.append(
+                        Finding(
+                            "guard-names",
+                            path,
+                            i + 1,
+                            f"MAGIC_GUARDED_BY({arg}) names no util::Mutex "
+                            "declared in this file — the guard is inert "
+                            "(typo'd or renamed-away mutex?)",
+                        )
+                    )
+    return findings
+
+
 def check_no_endl(src: Path) -> list[Finding]:
     findings = []
     for path in iter_sources(src, (".cpp", ".hpp")):
@@ -267,6 +319,8 @@ def main() -> int:
         findings += check_forward_contract(src)
     if "mutex-annotation" in rules:
         findings += check_mutex_annotation(src)
+    if "guard-names" in rules:
+        findings += check_guard_names(src)
     if "no-endl" in rules:
         findings += check_no_endl(src)
     if "no-naked-thread" in rules:

@@ -23,8 +23,10 @@ WORK="$(mktemp -d /tmp/magicd_smoke.XXXXXX)"
 SOCKET="${WORK}/magicd.sock"
 MODEL="${WORK}/model.txt"
 DAEMON_PID=""
+STDIO_PID=""
 cleanup() {
   [[ -n "${DAEMON_PID}" ]] && kill "${DAEMON_PID}" 2>/dev/null || true
+  [[ -n "${STDIO_PID}" ]] && kill "${STDIO_PID}" 2>/dev/null || true
   rm -rf "${WORK}"
 }
 trap cleanup EXIT
@@ -43,21 +45,46 @@ while IFS= read -r f; do SAMPLES+=("$f"); done \
   < <(find "${WORK}/samples" -name '*.asm' | sort | head -3)
 [[ "${#SAMPLES[@]}" -eq 3 ]] || fail "expected 3 demo listings, got ${#SAMPLES[@]}"
 
-echo "==> stdio mode: 3 path requests + stats"
+echo "==> stdio mode: 3 path requests + 1 duplicate + stats"
 STDIO_OUT="${WORK}/stdio.out"
-{
-  for i in 0 1 2; do
-    echo "req${i} path ${SAMPLES[$i]}"
-  done
-  echo "stats"
-} | "${MAGICD}" --model "${MODEL}" --workers 2 > "${STDIO_OUT}"
-[[ "$(wc -l < "${STDIO_OUT}")" -eq 4 ]] || fail "stdio mode: expected 4 response lines"
+STDIO_IN="${WORK}/stdio.in"
+mkfifo "${STDIO_IN}"
+"${MAGICD}" --model "${MODEL}" --workers 2 < "${STDIO_IN}" > "${STDIO_OUT}" &
+STDIO_PID=$!
+exec 3>"${STDIO_IN}"
 for i in 0 1 2; do
+  echo "req${i} path ${SAMPLES[$i]}" >&3
+done
+# Wait for the first three verdicts before sending the duplicate, so the
+# duplicate is a guaranteed verdict-cache hit rather than racing its
+# original through the miss path. Responses only flush when the protocol
+# loop reads a line, so '#' comment lines (ignored by the parser) pump it.
+for _ in $(seq 1 200); do
+  [[ "$(grep -c '"id":"req' "${STDIO_OUT}" || true)" -ge 3 ]] && break
+  echo "# pump" >&3
+  sleep 0.05
+done
+[[ "$(grep -c '"id":"req' "${STDIO_OUT}")" -ge 3 ]] \
+  || fail "stdio mode: first 3 verdicts never flushed"
+# Duplicate of sample 0: its verdict is already cached, so this must hit.
+echo "req3 path ${SAMPLES[0]}" >&3
+echo "stats" >&3
+echo "quit" >&3
+exec 3>&-
+wait "${STDIO_PID}" || fail "magicd stdio exited nonzero"
+STDIO_PID=""
+[[ "$(wc -l < "${STDIO_OUT}")" -eq 5 ]] || fail "stdio mode: expected 5 response lines"
+for i in 0 1 2 3; do
   grep -q "\"id\":\"req${i}\"" "${STDIO_OUT}" || fail "stdio mode: no response for req${i}"
 done
-[[ "$(grep -c '"status":"ok"' "${STDIO_OUT}")" -eq 3 ]] \
-  || fail "stdio mode: expected 3 ok verdicts: $(cat "${STDIO_OUT}")"
-grep -q '"completed":3' "${STDIO_OUT}" || fail "stdio mode: stats line wrong: $(tail -1 "${STDIO_OUT}")"
+[[ "$(grep -c '"status":"ok"' "${STDIO_OUT}")" -eq 4 ]] \
+  || fail "stdio mode: expected 4 ok verdicts: $(cat "${STDIO_OUT}")"
+grep -q '"completed":4' "${STDIO_OUT}" || fail "stdio mode: stats line wrong: $(tail -1 "${STDIO_OUT}")"
+# The verdict cache is on by default (64 MiB); the duplicate request above
+# must show up as exactly one hit in the stats cache block.
+grep -q '"cache":{' "${STDIO_OUT}" || fail "stdio mode: stats line missing cache block: $(tail -1 "${STDIO_OUT}")"
+grep -q '"cache":{"enabled":true' "${STDIO_OUT}" || fail "stdio mode: cache not enabled: $(tail -1 "${STDIO_OUT}")"
+grep -q '"hits":1' "${STDIO_OUT}" || fail "stdio mode: expected 1 cache hit for the duplicate: $(tail -1 "${STDIO_OUT}")"
 # The stats payload carries the process-wide obs registry alongside the
 # per-server snapshot (serve latency quantiles live there).
 grep -q '"obs":{' "${STDIO_OUT}" || fail "stdio mode: stats line missing obs registry: $(tail -1 "${STDIO_OUT}")"

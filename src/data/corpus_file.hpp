@@ -1,0 +1,128 @@
+#pragma once
+// Packed corpus format: a versioned, memory-mapped, zero-copy binary layout
+// for labelled ACFG corpora.
+//
+// The text format (acfg/serialization.hpp) re-parses every float and edge
+// on every load — fine for examples, hopeless for the corpus scale the
+// paper's datasets imply (10,868 + 16,351 samples, reloaded by every
+// trainer, bench and scan-queue run). The packed format lays the corpus
+// out so that opening it is one mmap plus an integrity pass, and reading a
+// sample is pointer arithmetic into the mapping:
+//
+//   [Header 88B]  magic "MGCCORP\n", version, endian tag, file size,
+//                 counts (samples/families/channels), section offsets,
+//                 128-bit payload hash
+//   [family name table]     per family: u64 length + bytes
+//   [sample offset table]   per sample: u64 offset, u64 size
+//   [sample records...]     each 8-byte aligned:
+//       u64 n, u64 m, i64 label, u64 id_len,
+//       u64 content_hash_hi, u64 content_hash_lo,
+//       char id[id_len]  (padded to 8)
+//       u32 row_ptr[n+1] (padded to 8)   } adjacency CSR; the DGCNN
+//       u32 col_idx[m]   (padded to 8)   } propagation operator D^-1(A+I)
+//                                          derives from it in O(n+m)
+//       double attributes[n * channels]  (bit-exact Table I rows)
+//
+// Integrity mirrors the checkpoint-v2 discipline (magic/model_io.cpp): the
+// header records the exact file size (truncation detection) and a 128-bit
+// content hash over the whole payload (tamper detection); open() rejects
+// any mismatch with a descriptive error, never by reading garbage. Every
+// table offset and record extent is bounds-checked against the mapping
+// before a single sample is served.
+//
+// Each record also stores the *canonical* content hash of its graph
+// (cache/acfg_hash.hpp), precomputed at pack time, so scan queues can
+// consult the verdict cache for a mapped sample without rehashing.
+//
+// Endianness/layout are native; the endian tag makes a foreign-endian file
+// fail loudly instead of decoding garbage (corpora are build artifacts,
+// not interchange files).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "acfg/acfg.hpp"
+#include "cache/acfg_hash.hpp"
+#include "data/dataset.hpp"
+
+namespace magic::data {
+
+/// Writes `dataset` to `path` in the packed format. Overwrites. Throws
+/// std::runtime_error on I/O failure and std::invalid_argument on corpora
+/// the format cannot hold (mixed channel widths, > 4B vertices/edges).
+void pack_corpus(const Dataset& dataset, const std::string& path);
+
+/// A read-only, memory-mapped packed corpus. Opening validates the header,
+/// the size, the payload hash and every table/record extent up front;
+/// afterwards every accessor is non-throwing pointer arithmetic into the
+/// mapping. Move-only; the mapping lives exactly as long as the object
+/// (SampleView spans must not outlive it).
+class PackedCorpus {
+ public:
+  /// Zero-copy view of one sample inside the mapping.
+  struct SampleView {
+    int label = -1;
+    std::string_view id;
+    std::size_t vertices = 0;
+    std::size_t edges = 0;
+    /// Adjacency CSR: out-neighbours of u are col_idx[row_ptr[u]
+    /// .. row_ptr[u+1]).
+    std::span<const std::uint32_t> row_ptr;
+    std::span<const std::uint32_t> col_idx;
+    /// Row-major (vertices x channels) attribute matrix, bit-exact.
+    std::span<const double> attributes;
+    /// Canonical content hash (cache/acfg_hash.hpp), precomputed at pack
+    /// time — the verdict-cache key of this sample.
+    cache::CacheKey content_hash;
+  };
+
+  /// Maps and validates `path`; throws std::runtime_error on any integrity
+  /// violation (bad magic/version/endianness, size mismatch, payload hash
+  /// mismatch, out-of-bounds tables or records).
+  explicit PackedCorpus(const std::string& path);
+  ~PackedCorpus();
+
+  PackedCorpus(PackedCorpus&& other) noexcept;
+  PackedCorpus& operator=(PackedCorpus&& other) noexcept;
+  PackedCorpus(const PackedCorpus&) = delete;
+  PackedCorpus& operator=(const PackedCorpus&) = delete;
+
+  std::size_t size() const noexcept { return sample_count_; }
+  std::size_t channels() const noexcept { return channels_; }
+  const std::vector<std::string>& family_names() const noexcept {
+    return family_names_;
+  }
+  std::size_t file_bytes() const noexcept { return map_size_; }
+
+  /// Zero-copy view of sample `i` (bounds-checked; throws std::out_of_range).
+  SampleView view(std::size_t i) const;
+
+  /// Deep-copies sample `i` out of the mapping into an owning Acfg.
+  acfg::Acfg materialize(std::size_t i) const;
+
+  /// Materializes the whole corpus (samples + family table).
+  Dataset to_dataset() const;
+
+ private:
+  const unsigned char* base() const noexcept {
+    return static_cast<const unsigned char*>(map_);
+  }
+
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::size_t sample_count_ = 0;
+  std::size_t channels_ = 0;
+  std::vector<std::string> family_names_;
+  /// Validated {offset, size} per sample, copied out of the mapping at
+  /// open time so view() needs no re-validation.
+  std::vector<std::pair<std::size_t, std::size_t>> records_;
+};
+
+/// Convenience: map `path` and materialize everything into a Dataset.
+Dataset load_packed_corpus(const std::string& path);
+
+}  // namespace magic::data

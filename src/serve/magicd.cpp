@@ -9,6 +9,7 @@
 //                                           number of concurrent clients;
 //                                           graceful drain on SIGTERM/SIGINT
 // Tuning: --workers N --queue N --batch N --window-us U --deadline-ms D
+//         --cache-bytes N (verdict-cache budget; 0 disables; default 64 MiB)
 //
 // Bootstrap (demo/CI; no real corpus required):
 //   magicd --selftrain FILE [--samples-dir DIR] [--scale F] [--epochs N]
@@ -60,7 +61,8 @@ struct Options {
   std::cerr
       << "usage: " << argv0 << " --model FILE [--socket PATH]\n"
       << "           [--workers N] [--queue N] [--batch N] [--window-us U]\n"
-      << "           [--deadline-ms D] [--stats-every SECS] [--log-json]\n"
+      << "           [--deadline-ms D] [--cache-bytes N] [--stats-every SECS]\n"
+      << "           [--log-json]\n"
       << "       " << argv0 << " --selftrain FILE [--samples-dir DIR]\n"
       << "           [--scale F] [--epochs N] [--seed S]\n";
   std::exit(2);
@@ -68,6 +70,9 @@ struct Options {
 
 Options parse(int argc, char** argv) {
   Options opt;
+  // The daemon caches by default: repeated uploads of the same binary are
+  // the common case a resident scanner exists for. --cache-bytes 0 disables.
+  opt.serve.cache_bytes = 64ull << 20;
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -103,6 +108,7 @@ Options parse(int argc, char** argv) {
       opt.serve.batch_window = std::chrono::microseconds(as_l(need_value(i)));
     else if (arg == "--deadline-ms")
       opt.serve.default_deadline = std::chrono::milliseconds(as_l(need_value(i)));
+    else if (arg == "--cache-bytes") opt.serve.cache_bytes = as_ul(need_value(i));
     else if (arg == "--scale")
       opt.scale = numeric([](const std::string& s, std::size_t* pos) { return std::stod(s, pos); },
                           need_value(i));
@@ -189,7 +195,11 @@ int main(int argc, char** argv) {
               << server.config().workers << " workers, queue "
               << server.config().queue_capacity << ", batch "
               << server.config().max_batch << " @ "
-              << server.config().batch_window.count() << "us\n";
+              << server.config().batch_window.count() << "us, cache "
+              << (server.config().cache_bytes == 0
+                      ? std::string("off")
+                      : std::to_string(server.config().cache_bytes >> 20) + " MiB")
+              << "\n";
 
     // Optional periodic stats flush: the same payload as the `stats` wire
     // command, logged at Info every --stats-every seconds. Stopped via a

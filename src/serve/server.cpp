@@ -25,6 +25,10 @@ InferenceServer::InferenceServer(core::MagicClassifier& model, ServeConfig confi
       stats_(config.max_batch == 0 ? 1 : config.max_batch) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.cache_bytes > 0) {
+    cache_ = std::make_unique<cache::VerdictCache>(
+        cache::CacheConfig{config_.cache_bytes, config_.cache_shards});
+  }
   // Reuses the classifier's cached pool: a second server over the same
   // model (or a predict_batch call) shares the same replicas.
   replicas_ = model.replica_pool(config_.workers);
@@ -52,6 +56,26 @@ PendingVerdict InferenceServer::submit(acfg::Acfg sample,
   if (deadline.count() < 0) deadline = config_.default_deadline;
   if (deadline.count() > 0) request.deadline = request.submitted_at + deadline;
   request.slot = slot;
+
+  if (cache_) {
+    // Content-addressed fast path, checked *before* the queue: a hit costs
+    // one hash + one shard lock and never consumes queue capacity, a
+    // replica lease or a forward pass. The hash is kept on the request so
+    // the completion path can insert the miss without rehashing.
+    request.cache_key = cache::acfg_content_hash(request.sample);
+    request.cacheable = true;
+    if (std::optional<cache::CachedVerdict> hit = cache_->get(request.cache_key)) {
+      Verdict verdict;
+      verdict.status = VerdictStatus::Ok;
+      verdict.prediction.family_index = hit->family_index;
+      verdict.prediction.family_name = std::move(hit->family_name);
+      verdict.prediction.probabilities = std::move(hit->probabilities);
+      verdict.latency_ms = elapsed_ms(request.submitted_at);
+      stats_.on_completed(verdict.latency_ms);
+      slot->fulfil(std::move(verdict));
+      return handle;
+    }
+  }
 
   if (!accepting_.load(std::memory_order_acquire) || !queue_.try_push(request)) {
     Verdict verdict;
@@ -93,7 +117,19 @@ Verdict InferenceServer::scan_listing(std::string_view listing) {
 }
 
 ServerStats InferenceServer::stats() const {
-  return stats_.snapshot(queue_.size(), workers_.size());
+  ServerStats out = stats_.snapshot(queue_.size(), workers_.size());
+  if (cache_) out.cache = cache_->stats();
+  return out;
+}
+
+void InferenceServer::cache_store(const Queued& request,
+                                  const core::Prediction& prediction) {
+  if (!cache_ || !request.cacheable) return;
+  cache::CachedVerdict value;
+  value.family_index = prediction.family_index;
+  value.family_name = prediction.family_name;
+  value.probabilities = prediction.probabilities;
+  cache_->insert(request.cache_key, std::move(value));
 }
 
 void InferenceServer::worker_loop(std::size_t) {
@@ -152,6 +188,7 @@ void InferenceServer::execute_batch(std::vector<Queued>& batch) {
       std::vector<core::Prediction> preds = replica->predict_packed(packed);
       stats_.on_packed_batch();
       for (std::size_t i = 0; i < live.size(); ++i) {
+        cache_store(*live[i], preds[i]);
         Verdict verdict;
         verdict.prediction = std::move(preds[i]);
         verdict.status = VerdictStatus::Ok;
@@ -182,6 +219,7 @@ void InferenceServer::process(Queued& request, core::MagicClassifier& replica) {
   try {
     verdict.prediction = replica.predict(request.sample);
     verdict.status = VerdictStatus::Ok;
+    cache_store(request, verdict.prediction);
   } catch (const std::exception& e) {
     verdict.status = VerdictStatus::Error;
     verdict.error = e.what();

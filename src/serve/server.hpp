@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "acfg/acfg.hpp"
+#include "cache/verdict_cache.hpp"
 #include "magic/classifier.hpp"
 #include "magic/replica_pool.hpp"
 #include "serve/stats.hpp"
@@ -69,6 +70,14 @@ struct ServeConfig {
   /// the leased replica (core::GraphBatch), falling back to per-item
   /// scoring if the packed pass throws; PerSample: one forward per item.
   core::PredictEngine engine = core::PredictEngine::Packed;
+  /// Byte budget of the content-addressed verdict cache; 0 disables it.
+  /// The cache sits *ahead of* the micro-batcher: submit() hashes the ACFG
+  /// and a hit resolves the handle immediately, never touching the queue,
+  /// a replica lease or a forward pass. Misses are scored normally and
+  /// inserted on Ok completion.
+  std::size_t cache_bytes = 0;
+  /// LRU shard count of the verdict cache (ignored when cache_bytes == 0).
+  std::size_t cache_shards = 8;
 };
 
 /// Concurrent scoring service over a fitted MagicClassifier.
@@ -122,9 +131,16 @@ class InferenceServer {
     Clock::time_point submitted_at{};
     Clock::time_point deadline{Clock::time_point::max()};
     std::shared_ptr<detail::VerdictSlot> slot;
+    /// Content hash computed by submit() when the cache is on, so the
+    /// completion path can insert without rehashing.
+    cache::CacheKey cache_key{};
+    bool cacheable = false;
   };
 
   void worker_loop(std::size_t worker_index);
+  /// Stores an Ok prediction under the request's content hash (no-op when
+  /// the cache is off or the request was not hashed).
+  void cache_store(const Queued& request, const core::Prediction& prediction);
   /// Scores one flushed micro-batch: leases a replica for exactly this
   /// batch (RAII — released even when scoring throws), resolves expired
   /// requests, then runs the configured engine over the live ones.
@@ -134,6 +150,9 @@ class InferenceServer {
 
   ServeConfig config_;
   std::vector<std::string> family_names_;
+  /// Verdict cache (null when config_.cache_bytes == 0). Owned per server:
+  /// verdicts are per-model, and this server's replicas never change.
+  std::unique_ptr<cache::VerdictCache> cache_;
   std::shared_ptr<core::ReplicaPool> replicas_;
   util::BoundedQueue<Queued> queue_;
   StatsCollector stats_;

@@ -34,7 +34,7 @@ std::string ServerStats::to_json() const {
   }
   os << "],\"latency_ms\":{\"p50\":" << latency_p50_ms << ",\"p95\":" << latency_p95_ms
      << ",\"p99\":" << latency_p99_ms << ",\"mean\":" << latency_mean_ms
-     << ",\"max\":" << latency_max_ms << "}}";
+     << ",\"max\":" << latency_max_ms << "},\"cache\":" << cache.to_json() << "}";
   return os.str();
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/verdict_cache.hpp"
 #include "obs/metrics.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -41,6 +42,11 @@ struct ServerStats {
   /// averaged like every other slot, so to_json() and mean_batch_size()
   /// always agree on the same array.
   std::vector<std::uint64_t> batch_size_counts;
+
+  /// Verdict-cache counters (all-zero with enabled=false when the server
+  /// runs cache-less). Filled by InferenceServer::stats(), not the
+  /// collector: the cache keeps its own counters.
+  cache::CacheStats cache;
 
   /// End-to-end latency of Ok verdicts (submit -> resolution).
   double latency_p50_ms = 0.0;

@@ -1,0 +1,108 @@
+// Concurrency stress for VerdictCache, written to be meaningful under
+// ThreadSanitizer: many threads hammer overlapping key ranges with
+// get/insert/clear/stats while eviction churns (the byte budget is sized so
+// the working set does not fit). Assertions are deliberately coarse — the
+// point is data-race freedom and internal-consistency invariants, not
+// specific hit counts.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/verdict_cache.hpp"
+
+namespace magic::cache {
+namespace {
+
+CacheKey key_of(std::uint64_t i) { return CacheKey{i * 0x9E3779B97F4A7C15ull, i}; }
+
+TEST(VerdictCacheStress, ConcurrentGetInsertEvict) {
+  const std::size_t entry_bytes = [] {
+    CachedVerdict v;
+    v.family_name = "stress";
+    v.probabilities.assign(13, 0.0);
+    return v.bytes();
+  }();
+  // Working set of 128 keys, room for ~24 entries: constant eviction.
+  VerdictCache cache({entry_bytes * 24, /*shards=*/4});
+  constexpr std::uint64_t kKeys = 128;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t state = 0xABCDEF12345 + static_cast<std::uint64_t>(t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t k = (state >> 33) % kKeys;
+        const std::uint64_t action = (state >> 13) % 16;
+        if (action < 9) {
+          if (const auto hit = cache.get(key_of(k))) {
+            // Value integrity: an entry read concurrently with eviction and
+            // refresh must still be the self-consistent value some thread
+            // inserted for this key.
+            ASSERT_EQ(hit->family_index, static_cast<std::size_t>(k));
+            ASSERT_EQ(hit->probabilities.size(), 13u);
+            observed_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (action < 15) {
+          CachedVerdict v;
+          v.family_index = static_cast<std::size_t>(k);
+          v.family_name = "stress";
+          v.probabilities.assign(13, static_cast<double>(k));
+          cache.insert(key_of(k), std::move(v));
+        } else if (action == 15 && t == 0 && op % 512 == 0) {
+          cache.clear();
+        } else {
+          const CacheStats stats = cache.stats();
+          ASSERT_LE(stats.bytes, entry_bytes * 24);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_GT(stats.insertions, 0u);
+  EXPECT_GT(stats.evictions, 0u) << "budget was sized to force eviction";
+  EXPECT_LE(stats.bytes, entry_bytes * 24);
+  // Counter conservation: every lookup was either a hit or a miss.
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+TEST(VerdictCacheStress, SingleShardContention) {
+  // One shard = every thread fights over one mutex; maximizes lock-order
+  // and splice races for TSan.
+  VerdictCache cache({1 << 16, /*shards=*/1});
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int op = 0; op < 2000; ++op) {
+        const std::uint64_t k = static_cast<std::uint64_t>((op + t) % 7);
+        if (op % 3 == 0) {
+          CachedVerdict v;
+          v.family_index = static_cast<std::size_t>(k);
+          v.probabilities.assign(4, 0.25);
+          cache.insert(key_of(k), std::move(v));
+        } else {
+          if (const auto hit = cache.get(key_of(k))) {
+            ASSERT_EQ(hit->family_index, static_cast<std::size_t>(k));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(cache.stats().insertions, 0u);
+}
+
+}  // namespace
+}  // namespace magic::cache

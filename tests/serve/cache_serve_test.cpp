@@ -1,0 +1,140 @@
+// Verdict cache wired into InferenceServer: hits must be bit-identical to
+// the uncached classify() answer (the acceptance bar of the subsystem — a
+// cache that changes answers is a correctness bug, not an optimization),
+// hit/miss counters must be exact, and the cache must keep the server's
+// verdicts stable across duplicate submissions.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.hpp"
+#include "serve/serve_test_util.hpp"
+
+namespace magic::serve {
+namespace {
+
+using serve::testing::shared_classifier;
+using serve::testing::small_graph;
+
+ServeConfig cached_config(std::size_t cache_bytes = 8u << 20) {
+  ServeConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.max_batch = 4;
+  config.cache_bytes = cache_bytes;
+  return config;
+}
+
+TEST(CacheServe, HitIsBitIdenticalToUncachedPredict) {
+  core::MagicClassifier& clf = shared_classifier();
+  const acfg::Acfg sample = small_graph(1, 7);
+  const core::Prediction direct = clf.predict(sample);
+
+  InferenceServer server(clf, cached_config());
+  const Verdict miss = server.scan(sample);  // scored + inserted
+  const Verdict hit = server.scan(sample);   // served from the cache
+  server.stop();
+
+  ASSERT_TRUE(miss.ok());
+  ASSERT_TRUE(hit.ok());
+  const ServerStats stats = server.stats();
+  EXPECT_TRUE(stats.cache.enabled);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.insertions, 1u);
+
+  for (const Verdict* verdict : {&miss, &hit}) {
+    EXPECT_EQ(verdict->prediction.family_index, direct.family_index);
+    EXPECT_EQ(verdict->prediction.family_name, direct.family_name);
+    ASSERT_EQ(verdict->prediction.probabilities.size(),
+              direct.probabilities.size());
+    for (std::size_t c = 0; c < direct.probabilities.size(); ++c) {
+      // Bit-identical, not approximately equal: a hit replays the exact
+      // stored verdict.
+      EXPECT_EQ(verdict->prediction.probabilities[c], direct.probabilities[c])
+          << "class " << c;
+    }
+  }
+}
+
+TEST(CacheServe, DuplicateStreamCountsHitsExactly) {
+  core::MagicClassifier& clf = shared_classifier();
+  InferenceServer server(clf, cached_config());
+
+  const acfg::Acfg a = small_graph(0, 1);
+  const acfg::Acfg b = small_graph(1, 2);
+  // First occurrences are misses; every repeat afterwards must hit because
+  // scan() is synchronous (the insert completed before the next submit).
+  const acfg::Acfg* stream[] = {&a, &b, &a, &a, &b, &a, &b};
+  std::size_t ok = 0;
+  for (const acfg::Acfg* sample : stream) {
+    if (server.scan(*sample).ok()) ++ok;
+  }
+  server.stop();
+
+  EXPECT_EQ(ok, 7u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.hits, 5u);
+  EXPECT_EQ(stats.completed, 7u) << "hits count as completed requests";
+}
+
+TEST(CacheServe, CacheOffServerReportsDisabled) {
+  core::MagicClassifier& clf = shared_classifier();
+  ServeConfig config = cached_config(/*cache_bytes=*/0);
+  InferenceServer server(clf, config);
+  const acfg::Acfg sample = small_graph(1, 7);
+  ASSERT_TRUE(server.scan(sample).ok());
+  ASSERT_TRUE(server.scan(sample).ok());
+  server.stop();
+
+  const ServerStats stats = server.stats();
+  EXPECT_FALSE(stats.cache.enabled);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(CacheServe, DistinctSamplesNeverHit) {
+  core::MagicClassifier& clf = shared_classifier();
+  InferenceServer server(clf, cached_config());
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ASSERT_TRUE(server.scan(small_graph(static_cast<int>(seed % 2), seed)).ok());
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 6u);
+}
+
+TEST(CacheServe, PendingVerdictFromHitResolvesImmediately) {
+  core::MagicClassifier& clf = shared_classifier();
+  InferenceServer server(clf, cached_config());
+  const acfg::Acfg sample = small_graph(0, 3);
+  ASSERT_TRUE(server.scan(sample).ok());
+  // A duplicate submit must come back already resolved: the hit path never
+  // enters the queue.
+  PendingVerdict handle = server.submit(sample);
+  EXPECT_TRUE(handle.ready());
+  EXPECT_TRUE(handle.get().ok());
+  server.stop();
+  EXPECT_EQ(server.stats().cache.hits, 1u);
+}
+
+TEST(CacheServe, StatsJsonCarriesCacheBlock) {
+  core::MagicClassifier& clf = shared_classifier();
+  InferenceServer server(clf, cached_config());
+  const acfg::Acfg sample = small_graph(1, 9);
+  ASSERT_TRUE(server.scan(sample).ok());
+  ASSERT_TRUE(server.scan(sample).ok());
+  server.stop();
+  const std::string json = server.stats().to_json();
+  EXPECT_NE(json.find("\"cache\":{\"enabled\":true,\"hits\":1"),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace magic::serve

@@ -31,6 +31,13 @@ TEST(ServerStats, ToJsonGolden) {
   s.latency_p99_ms = 3.5;
   s.latency_mean_ms = 2.0;
   s.latency_max_ms = 4.0;
+  s.cache.enabled = true;
+  s.cache.hits = 3;
+  s.cache.misses = 7;
+  s.cache.insertions = 7;
+  s.cache.entries = 7;
+  s.cache.bytes = 4096;
+  s.cache.max_bytes = 1048576;
   EXPECT_EQ(s.to_json(),
             "{\"submitted\":10,\"completed\":8,\"rejected_full\":1,"
             "\"rejected_shutdown\":0,\"expired\":1,\"failed\":0,\"batches\":3,"
@@ -38,7 +45,21 @@ TEST(ServerStats, ToJsonGolden) {
             "\"queue_depth\":2,\"workers\":4,\"mean_batch_size\":1.33333,"
             "\"batch_size_counts\":[0,2,1],"
             "\"latency_ms\":{\"p50\":1.5,\"p95\":2.5,\"p99\":3.5,"
-            "\"mean\":2,\"max\":4}}");
+            "\"mean\":2,\"max\":4},"
+            "\"cache\":{\"enabled\":true,\"hits\":3,\"misses\":7,"
+            "\"hit_rate\":0.3,\"insertions\":7,\"evictions\":0,"
+            "\"oversized\":0,\"entries\":7,\"bytes\":4096,"
+            "\"max_bytes\":1048576}}");
+}
+
+TEST(ServerStats, ToJsonCacheDisabledByDefault) {
+  // A cache-less server still emits the block (consumers can always key on
+  // "cache"), with enabled=false and all-zero counters.
+  ServerStats s;
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"cache\":{\"enabled\":false,\"hits\":0"),
+            std::string::npos)
+      << json;
 }
 
 TEST(ServerStats, ToJsonEmitsIndexZero) {

@@ -1,0 +1,21 @@
+#pragma once
+// magic_lint fixture: a MAGIC_GUARDED_BY whose argument names no mutex in
+// this file. The guard-names rule must flag it — the mutex was "renamed"
+// to mutex_ but the annotation still says lock_, so the analysis silently
+// protects nothing.
+
+namespace util {
+class Mutex {};
+}  // namespace util
+
+#define MAGIC_GUARDED_BY(x)
+
+namespace fixture {
+
+class Ledger {
+ private:
+  util::Mutex mutex_;
+  int balance_ MAGIC_GUARDED_BY(lock_) = 0;  // lock_ does not exist
+};
+
+}  // namespace fixture
