@@ -30,6 +30,12 @@ express (they are project conventions, not C++ rules):
                      std::this_thread remain allowed.)
   header-standalone  Every header under src/ compiles on its own
                      (-fsyntax-only), i.e. includes what it uses.
+  simd-intrinsics    Raw vector intrinsics (_mm256_*/_mm_*, __m256/__m128
+                     types, <immintrin.h>) appear only under
+                     src/tensor/simd/ — everything else dispatches through
+                     simd::KernelTable so the scalar build stays the
+                     portable reference and ISA-specific code cannot leak
+                     into shared translation units.
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
 
@@ -53,6 +59,7 @@ ALL_RULES = (
     "no-endl",
     "no-naked-thread",
     "header-standalone",
+    "simd-intrinsics",
 )
 
 # How many *effective* lines (code only — comments, blanks and preprocessor
@@ -70,6 +77,10 @@ NAKED_THREAD_ALLOWED = {"util/join_thread.hpp"}
 
 # The one place a std::mutex member is legal: the capability wrapper itself.
 STD_MUTEX_ALLOWED = {"util/mutex.hpp"}
+
+# The one subtree where raw vector intrinsics are legal: the kernel TUs
+# behind the runtime-dispatched simd::KernelTable.
+SIMD_ALLOWED_PREFIX = "tensor/simd/"
 
 
 class Finding:
@@ -265,6 +276,34 @@ def check_no_naked_thread(src: Path) -> list[Finding]:
     return findings
 
 
+def check_simd_intrinsics(src: Path) -> list[Finding]:
+    """Raw vector intrinsics live only under src/tensor/simd/."""
+    findings = []
+    # Intrinsic calls (_mm_add_pd, _mm256_fmadd_pd, ...), vector register
+    # types (__m128, __m256d, ...), and the intrinsic headers.
+    intrinsic = re.compile(
+        r"\b(?:_mm\d*_\w+|__m\d{3}[a-z]*)\b"
+        r"|#\s*include\s*<(?:immintrin|x86intrin|[a-z]+mmintrin)\.h>"
+    )
+    for path in iter_sources(src, (".cpp", ".hpp")):
+        rel = path.relative_to(src).as_posix()
+        if rel.startswith(SIMD_ALLOWED_PREFIX):
+            continue
+        for i, raw in enumerate(path.read_text().splitlines()):
+            if intrinsic.search(strip_line_comment(raw)):
+                findings.append(
+                    Finding(
+                        "simd-intrinsics",
+                        path,
+                        i + 1,
+                        "raw vector intrinsics outside src/tensor/simd/; "
+                        "dispatch through simd::KernelTable "
+                        "(src/tensor/simd/kernels.hpp) instead",
+                    )
+                )
+    return findings
+
+
 def check_header_standalone(src: Path, cxx: str) -> list[Finding]:
     findings = []
     for path in iter_sources(src, (".hpp",)):
@@ -325,6 +364,8 @@ def main() -> int:
         findings += check_no_endl(src)
     if "no-naked-thread" in rules:
         findings += check_no_naked_thread(src)
+    if "simd-intrinsics" in rules:
+        findings += check_simd_intrinsics(src)
     if "header-standalone" in rules and not args.skip_headers:
         findings += check_header_standalone(src, args.cxx)
 

@@ -331,7 +331,7 @@ acfg::Acfg PackedCorpus::materialize(std::size_t i) const {
   out.id = std::string(v.id);
   out.attributes = tensor::Tensor(
       {v.vertices, channels_},
-      std::vector<double>(v.attributes.begin(), v.attributes.end()));
+      tensor::AlignedVector(v.attributes.begin(), v.attributes.end()));
   out.out_edges.resize(v.vertices);
   for (std::size_t u = 0; u < v.vertices; ++u) {
     const std::uint32_t begin = v.row_ptr[u];

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/shape_contract.hpp"
+#include "tensor/simd/kernels.hpp"
 
 namespace magic::nn {
 
@@ -11,7 +12,9 @@ Tensor ReLU::forward(const Tensor& input) {
   MAGIC_SHAPE_CONTRACT_ANY("ReLU::forward", input);
   cache_valid_ = grad_enabled();
   if (cache_valid_) cached_input_ = input;
-  return tensor::map(input, [](double x) { return x > 0.0 ? x : 0.0; });
+  Tensor out = input;
+  tensor::simd::kernels().relu_fwd(out.data(), out.size());
+  return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
@@ -22,9 +25,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
     throw std::invalid_argument("ReLU::backward: shape mismatch");
   }
   Tensor grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_[i] <= 0.0) grad[i] = 0.0;
-  }
+  tensor::simd::kernels().relu_bwd(grad.data(), cached_input_.data(), grad.size());
   return grad;
 }
 
@@ -37,18 +38,17 @@ Tensor ReLU::forward_batch(const Tensor& input) {
 Tensor ReLU::forward_batch_owned(Tensor&& input) {
   require_batch_inference("ReLU::forward_batch");
   (void)batch_item_shape(input, "ReLU::forward_batch");
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    input[i] = input[i] > 0.0 ? input[i] : 0.0;  // same expression as forward()
-  }
+  tensor::simd::kernels().relu_fwd(input.data(), input.size());
   return std::move(input);
 }
 
 Tensor Tanh::forward(const Tensor& input) {
   MAGIC_SHAPE_CONTRACT_ANY("Tanh::forward", input);
   cache_valid_ = grad_enabled();
-  if (!cache_valid_) return tensor::map(input, [](double x) { return std::tanh(x); });
-  cached_output_ = tensor::map(input, [](double x) { return std::tanh(x); });
-  return cached_output_;
+  Tensor out = input;
+  tensor::simd::kernels().tanh_fwd(out.data(), out.size());
+  if (cache_valid_) cached_output_ = out;
+  return out;
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
@@ -59,9 +59,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
     throw std::invalid_argument("Tanh::backward: shape mismatch");
   }
   Tensor grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    grad[i] *= 1.0 - cached_output_[i] * cached_output_[i];
-  }
+  tensor::simd::kernels().tanh_bwd(grad.data(), cached_output_.data(), grad.size());
   return grad;
 }
 
@@ -108,6 +106,27 @@ double activate_grad(Activation a, double x) noexcept {
     case Activation::Identity: return 1.0;
   }
   return 1.0;
+}
+
+void apply_activation(Activation a, double* x, std::size_t n) {
+  switch (a) {
+    case Activation::ReLU: tensor::simd::kernels().relu_fwd(x, n); return;
+    case Activation::Tanh: tensor::simd::kernels().tanh_fwd(x, n); return;
+    case Activation::Identity: return;
+  }
+}
+
+void apply_activation_grad(Activation a, double* grad, const double* preact,
+                           std::size_t n) {
+  switch (a) {
+    case Activation::ReLU:
+      tensor::simd::kernels().relu_bwd(grad, preact, n);
+      return;
+    case Activation::Tanh:
+      tensor::simd::kernels().tanh_grad_pre(grad, preact, n);
+      return;
+    case Activation::Identity: return;
+  }
 }
 
 }  // namespace magic::nn

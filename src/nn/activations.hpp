@@ -2,6 +2,8 @@
 // Elementwise activation modules: ReLU (paper's worked example, Fig. 3/5),
 // Tanh (original DGCNN's graph-conv nonlinearity) and Sigmoid.
 
+#include <cstddef>
+
 #include "nn/module.hpp"
 
 namespace magic::nn {
@@ -53,5 +55,13 @@ enum class Activation { ReLU, Tanh, Identity };
 double activate(Activation a, double x) noexcept;
 /// Derivative expressed via the *pre-activation* input x.
 double activate_grad(Activation a, double x) noexcept;
+
+/// Bulk forms dispatching through the SIMD kernel table; layers that touch
+/// whole rows/buffers use these instead of per-element activate() calls.
+/// Applies the nonlinearity to x[0..n) in place.
+void apply_activation(Activation a, double* x, std::size_t n);
+/// grad[i] *= f'(preact[i]) for i in [0, n).
+void apply_activation_grad(Activation a, double* grad, const double* preact,
+                           std::size_t n);
 
 }  // namespace magic::nn

@@ -1,5 +1,7 @@
 #include "nn/graph_conv.hpp"
 
+#include <algorithm>
+
 #include "nn/init.hpp"
 #include "nn/shape_contract.hpp"
 #include "util/check.hpp"
@@ -33,14 +35,17 @@ Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
     cached_prop_ = nullptr;  // invalidate any stale training cache
     Tensor f = tensor::matmul(z, weight_.value);
     Tensor s = prop.multiply(f);
-    return tensor::map(s, [this](double x) { return activate(activation_, x); });
+    apply_activation(activation_, s.data(), s.size());
+    return s;
   }
   cached_prop_ = &prop;
   cached_input_ = z;
   // F = Z W, then S = P F (sparse), then Y = f(S).
   Tensor f = tensor::matmul(z, weight_.value);
   cached_preact_ = prop.multiply(f);
-  return tensor::map(cached_preact_, [this](double x) { return activate(activation_, x); });
+  Tensor y = cached_preact_;
+  apply_activation(activation_, y.data(), y.size());
+  return y;
 }
 
 void GraphConvLayer::forward_inference_into(const SparseMatrix& prop,
@@ -67,11 +72,9 @@ void GraphConvLayer::forward_inference_into(const SparseMatrix& prop,
   const Activation act = activation_;
   prop.multiply_into(f_scratch, out, out_stride,
                      [mirror, width, act](std::size_t r, double* row) {
-                       double* m = mirror != nullptr ? mirror + r * width : nullptr;
-                       for (std::size_t j = 0; j < width; ++j) {
-                         const double v = activate(act, row[j]);
-                         row[j] = v;
-                         if (m != nullptr) m[j] = v;
+                       apply_activation(act, row, width);
+                       if (mirror != nullptr) {
+                         std::copy(row, row + width, mirror + r * width);
                        }
                      });
 }
@@ -88,9 +91,7 @@ Tensor GraphConvLayer::backward(const Tensor& grad_output) {
   }
   // dS = dY * f'(S)
   Tensor ds = grad_output;
-  for (std::size_t i = 0; i < ds.size(); ++i) {
-    ds[i] *= activate_grad(activation_, cached_preact_[i]);
-  }
+  apply_activation_grad(activation_, ds.data(), cached_preact_.data(), ds.size());
   // dF = P^T dS ; dW += Z^T dF ; dZ = dF W^T.
   // matmul_tn/matmul_nt consume the operands in place -- no transpose
   // temporaries; dw_scratch_ is reused across steps.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/shape_contract.hpp"
+#include "tensor/simd/kernels.hpp"
 #include "util/check.hpp"
 
 namespace magic::nn {
@@ -13,14 +14,11 @@ Tensor LogSoftmax::forward(const Tensor& input) {
   if (input.rank() != 1) {
     throw std::invalid_argument("LogSoftmax: rank-1 input required");
   }
-  const double m = tensor::max(input);
-  double lse = 0.0;
-  for (std::size_t i = 0; i < input.size(); ++i) lse += std::exp(input[i] - m);
-  lse = m + std::log(lse);
   cache_valid_ = grad_enabled();
-  if (!cache_valid_) return tensor::map(input, [lse](double x) { return x - lse; });
-  cached_output_ = tensor::map(input, [lse](double x) { return x - lse; });
-  return cached_output_;
+  Tensor out = input;
+  tensor::simd::kernels().logsoftmax_fwd(out.data(), out.size());
+  if (cache_valid_) cached_output_ = out;
+  return out;
 }
 
 Tensor LogSoftmax::backward(const Tensor& grad_output) {
@@ -31,12 +29,9 @@ Tensor LogSoftmax::backward(const Tensor& grad_output) {
     throw std::invalid_argument("LogSoftmax::backward: shape mismatch");
   }
   // d/dx_j of log_softmax_i = delta_ij - softmax_j
-  double grad_sum = 0.0;
-  for (std::size_t i = 0; i < grad_output.size(); ++i) grad_sum += grad_output[i];
   Tensor grad = grad_output;
-  for (std::size_t j = 0; j < grad.size(); ++j) {
-    grad[j] -= std::exp(cached_output_[j]) * grad_sum;
-  }
+  tensor::simd::kernels().logsoftmax_bwd(grad.data(), cached_output_.data(),
+                                         grad.size());
   return grad;
 }
 
@@ -48,17 +43,10 @@ Tensor LogSoftmax::forward_batch(const Tensor& input) {
         "LogSoftmax::forward_batch: (batch x classes) input required");
   }
   const std::size_t rows = input.dim(0), classes = input.dim(1);
-  Tensor out({rows, classes});
+  Tensor out = input;
+  const auto& kernels = tensor::simd::kernels();
   for (std::size_t r = 0; r < rows; ++r) {
-    const double* x = input.data() + r * classes;
-    double m = x[0];
-    for (std::size_t j = 1; j < classes; ++j) {
-      if (x[j] > m) m = x[j];
-    }
-    double lse = 0.0;
-    for (std::size_t j = 0; j < classes; ++j) lse += std::exp(x[j] - m);
-    lse = m + std::log(lse);
-    for (std::size_t j = 0; j < classes; ++j) out[r * classes + j] = x[j] - lse;
+    kernels.logsoftmax_fwd(out.data() + r * classes, classes);
   }
   return out;
 }
@@ -71,16 +59,9 @@ Tensor LogSoftmax::forward_batch_owned(Tensor&& input) {
         "LogSoftmax::forward_batch: (batch x classes) input required");
   }
   const std::size_t rows = input.dim(0), classes = input.dim(1);
+  const auto& kernels = tensor::simd::kernels();
   for (std::size_t r = 0; r < rows; ++r) {
-    double* x = input.data() + r * classes;
-    double m = x[0];
-    for (std::size_t j = 1; j < classes; ++j) {
-      if (x[j] > m) m = x[j];
-    }
-    double lse = 0.0;
-    for (std::size_t j = 0; j < classes; ++j) lse += std::exp(x[j] - m);
-    lse = m + std::log(lse);
-    for (std::size_t j = 0; j < classes; ++j) x[j] -= lse;
+    kernels.logsoftmax_fwd(input.data() + r * classes, classes);
   }
   return std::move(input);
 }
@@ -104,7 +85,9 @@ Tensor NllLoss::backward() const {
 }
 
 Tensor exp_probs(const Tensor& log_probs) {
-  return tensor::map(log_probs, [](double x) { return std::exp(x); });
+  Tensor out = log_probs;
+  tensor::simd::kernels().exp_fwd(out.data(), out.size());
+  return out;
 }
 
 }  // namespace magic::nn

@@ -23,16 +23,19 @@
 
 #include "obs/metrics.hpp"
 #include "serve/wire.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "util/join_thread.hpp"
 
 namespace magic::serve {
 namespace {
 
-/// The `stats` wire response: the per-server snapshot plus the process-wide
-/// metrics registry (extraction spans, serve latency quantiles, ...).
+/// The `stats` wire response: the per-server snapshot, the SIMD dispatch
+/// level the math kernels run at, plus the process-wide metrics registry
+/// (extraction spans, serve latency quantiles, ...).
 std::string stats_payload(InferenceServer& server) {
-  return "{\"server\":" + server.stats().to_json() +
-         ",\"obs\":" + obs::MetricsRegistry::global().snapshot_json() + "}";
+  return "{\"server\":" + server.stats().to_json() + ",\"simd_level\":\"" +
+         tensor::simd::level_name(tensor::simd::active_level()) +
+         "\",\"obs\":" + obs::MetricsRegistry::global().snapshot_json() + "}";
 }
 
 /// One in-order response slot: either a pending verdict or an

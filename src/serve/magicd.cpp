@@ -34,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "serve/daemon.hpp"
 #include "serve/server.hpp"
+#include "tensor/simd/dispatch.hpp"
 #include "util/join_thread.hpp"
 #include "util/logging.hpp"
 #include "util/mutex.hpp"
@@ -199,7 +200,8 @@ int main(int argc, char** argv) {
               << (server.config().cache_bytes == 0
                       ? std::string("off")
                       : std::to_string(server.config().cache_bytes >> 20) + " MiB")
-              << "\n";
+              << ", simd "
+              << tensor::simd::level_name(tensor::simd::active_level()) << "\n";
 
     // Optional periodic stats flush: the same payload as the `stats` wire
     // command, logged at Info every --stats-every seconds. Stopped via a

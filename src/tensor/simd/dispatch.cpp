@@ -1,0 +1,121 @@
+#include "tensor/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "tensor/simd/kernels.hpp"
+
+namespace magic::tensor::simd {
+namespace {
+
+// Published level + table. The table pointer is the dispatch: kernels()
+// does one acquire load and calls through. -1 level means "not resolved".
+std::atomic<int> g_level{-1};
+std::atomic<const KernelTable*> g_table{nullptr};
+std::once_flag g_init_once;
+
+const KernelTable* table_for(SimdLevel level) noexcept {
+  if (level == SimdLevel::Avx2) {
+    const KernelTable* avx2 = avx2_kernels();
+    if (avx2 != nullptr) return avx2;
+  }
+  return &scalar_kernels();
+}
+
+void publish(SimdLevel level) {
+  // Gauge first, so a snapshot taken right after a kernel call already
+  // carries the level the kernel actually ran at.
+  obs::MetricsRegistry::global()
+      .gauge("tensor.simd_level")
+      .set(static_cast<double>(static_cast<int>(level)));
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_table.store(table_for(level), std::memory_order_release);
+}
+
+bool cpu_has_avx2_fma() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+void resolve_once() {
+  std::call_once(g_init_once, [] {
+    if (g_table.load(std::memory_order_acquire) != nullptr) return;
+    const char* env = std::getenv("MAGIC_SIMD");
+    publish(parse_level(env != nullptr ? env : ""));
+  });
+}
+
+}  // namespace
+
+const char* level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Avx2: return "avx2";
+  }
+  return "scalar";
+}
+
+SimdLevel parse_level(const std::string& value) {
+  if (value.empty() || value == "native" || value == "auto") {
+    return detected_level();
+  }
+  if (value == "scalar") return SimdLevel::Scalar;
+  if (value == "avx2") {
+    if (!avx2_available()) {
+      throw std::invalid_argument(
+          "MAGIC_SIMD=avx2: AVX2+FMA kernels are not available (CPU lacks "
+          "the ISA or this build has no AVX2 translation unit)");
+    }
+    return SimdLevel::Avx2;
+  }
+  throw std::invalid_argument("MAGIC_SIMD: unknown level '" + value +
+                              "' (expected scalar, avx2, native or auto)");
+}
+
+bool avx2_available() noexcept {
+  return avx2_kernels() != nullptr && cpu_has_avx2_fma();
+}
+
+SimdLevel detected_level() noexcept {
+  return avx2_available() ? SimdLevel::Avx2 : SimdLevel::Scalar;
+}
+
+SimdLevel active_level() {
+  if (g_table.load(std::memory_order_acquire) == nullptr) resolve_once();
+  return static_cast<SimdLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(SimdLevel level) {
+  if (level == SimdLevel::Avx2 && !avx2_available()) {
+    throw std::invalid_argument(
+        "simd::set_level(Avx2): AVX2+FMA kernels are not available on this "
+        "CPU/build");
+  }
+  // Publish first, then consume the once-flag: the env resolution lambda
+  // bails out when a table is already published, so an explicit override
+  // can never be overwritten — and kernels() never observes a consumed
+  // flag with no table.
+  publish(level);
+  std::call_once(g_init_once, [] {});
+}
+
+const KernelTable& kernels() {
+  const KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    resolve_once();
+    table = g_table.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+#ifndef MAGIC_SIMD_AVX2_BUILT
+const KernelTable* avx2_kernels() noexcept { return nullptr; }
+#endif
+
+}  // namespace magic::tensor::simd

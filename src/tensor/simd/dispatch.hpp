@@ -1,0 +1,55 @@
+#pragma once
+// Runtime ISA dispatch for the math kernels in src/tensor/simd/.
+//
+// The process resolves one SimdLevel the first time any kernel (or
+// active_level()) is used: the CPU is probed once (CPUID-backed
+// __builtin_cpu_supports on x86-64; anything else is Scalar) and the result
+// can be overridden by the MAGIC_SIMD environment variable or
+// programmatically via set_level() — both exist so tests and benches can
+// pin a level and CI can exercise the fallback path on AVX2 hardware.
+//
+// Contract (see DESIGN.md "SIMD kernels & dispatch"):
+//   * Within a fixed level every kernel is run-to-run bit-deterministic —
+//     the parallel trainer's bitwise loss-trajectory guarantee holds per
+//     level, for any thread count.
+//   * Across levels results agree to the existing 1e-12 relative GEMM
+//     tolerance (AVX2 fuses multiply-adds and splits reductions across
+//     lanes, which shifts results by ULPs, never more).
+
+#include <string>
+
+namespace magic::tensor::simd {
+
+/// Instruction-set tiers the kernel table can dispatch to.
+enum class SimdLevel {
+  Scalar = 0,  ///< portable C++ loops (every platform)
+  Avx2 = 1,    ///< AVX2 + FMA double-precision kernels (x86-64)
+};
+
+/// Human-readable level name: "scalar" / "avx2".
+const char* level_name(SimdLevel level) noexcept;
+
+/// Parses a MAGIC_SIMD value: "scalar", "avx2", or "native"/"auto"/"" (probe
+/// the CPU). Throws std::invalid_argument for anything else, and for "avx2"
+/// when the CPU (or this build) cannot execute the AVX2 kernels.
+SimdLevel parse_level(const std::string& value);
+
+/// True when the AVX2 kernel translation unit was compiled in AND the
+/// running CPU reports AVX2+FMA.
+bool avx2_available() noexcept;
+
+/// The level the hardware probe alone would pick (ignores overrides).
+SimdLevel detected_level() noexcept;
+
+/// The level the kernel table currently dispatches to. First call resolves
+/// it: MAGIC_SIMD override if set, hardware probe otherwise; also publishes
+/// the obs gauge `tensor.simd_level`.
+SimdLevel active_level();
+
+/// Overrides the active level (tests/benches). Throws std::invalid_argument
+/// if `level` cannot run on this CPU/build. Not meant to be called
+/// concurrently with in-flight kernels — switch levels only at quiescent
+/// points (the dispatch itself is a single atomic pointer swap).
+void set_level(SimdLevel level);
+
+}  // namespace magic::tensor::simd

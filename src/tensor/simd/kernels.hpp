@@ -1,0 +1,82 @@
+#pragma once
+// The kernel table the tensor/nn hot loops dispatch through.
+//
+// One KernelTable per SimdLevel; kernels() returns the table for the active
+// level (resolved once, then a single relaxed atomic load per call — noise
+// next to any kernel's actual work). Raw _mm256_* intrinsics live only in
+// kernels_avx2.cpp; everything else in the tree calls these function
+// pointers (scripts/magic_lint.py rule `simd-intrinsics` enforces the
+// confinement).
+//
+// Semantics shared by both implementations:
+//   * GEMM kernels accumulate into a pre-zeroed out (the *_into wrappers in
+//     tensor_ops.cpp zero it); per output element the reduction runs in
+//     ascending-k order, so each level is bit-deterministic run to run.
+//   * SpMM kernels accumulate CSR rows into `out` with a row stride, so the
+//     inference fast path can write each layer's slice of a wider matrix;
+//     the row_done variant fires a per-row epilogue while the row is hot.
+//   * Element kernels operate in place; the *_bwd forms scale/mask an
+//     existing gradient buffer.
+
+#include <cstddef>
+#include <functional>
+
+namespace magic::tensor::simd {
+
+/// Per-row epilogue for spmm_cb: (row index, pointer to the finished row).
+using RowDoneFn = std::function<void(std::size_t, double*)>;
+
+struct KernelTable {
+  /// out(m x n) += a(m x k) * b(k x n); out pre-zeroed.
+  void (*gemm_nn)(double* out, const double* a, const double* b, std::size_t m,
+                  std::size_t k, std::size_t n);
+  /// out(m x n) += a(k x m)^T * b(k x n); out pre-zeroed.
+  void (*gemm_tn)(double* out, const double* a, const double* b, std::size_t m,
+                  std::size_t k, std::size_t n);
+  /// out(m x n) = a(m x k) * b(n x k)^T (fully overwritten).
+  void (*gemm_nt)(double* out, const double* a, const double* b, std::size_t m,
+                  std::size_t k, std::size_t n);
+
+  /// CSR * dense: row r of the product accumulates into out + r*out_stride.
+  void (*spmm)(const std::size_t* row_ptr, const std::size_t* col_idx,
+               const double* values, std::size_t rows, const double* dense,
+               std::size_t n, double* out, std::size_t out_stride);
+  /// As spmm, invoking row_done(r, row) right after each row completes.
+  void (*spmm_cb)(const std::size_t* row_ptr, const std::size_t* col_idx,
+                  const double* values, std::size_t rows, const double* dense,
+                  std::size_t n, double* out, std::size_t out_stride,
+                  const RowDoneFn& row_done);
+  /// CSR^T * dense: scatters v * dense-row r into out row col_idx[k].
+  void (*spmm_t)(const std::size_t* row_ptr, const std::size_t* col_idx,
+                 const double* values, std::size_t rows, const double* dense,
+                 std::size_t n, double* out);
+
+  /// x = max(x, 0) in place.
+  void (*relu_fwd)(double* x, std::size_t n);
+  /// grad[i] = 0 where input[i] <= 0.
+  void (*relu_bwd)(double* grad, const double* input, std::size_t n);
+  /// x = tanh(x) in place.
+  void (*tanh_fwd)(double* x, std::size_t n);
+  /// grad[i] *= 1 - output[i]^2 (output = cached tanh values).
+  void (*tanh_bwd)(double* grad, const double* output, std::size_t n);
+  /// grad[i] *= 1 - tanh(preact[i])^2 (derivative from the pre-activation).
+  void (*tanh_grad_pre)(double* grad, const double* preact, std::size_t n);
+  /// x = exp(x) in place.
+  void (*exp_fwd)(double* x, std::size_t n);
+  /// One row: x[j] -= max(x) + log(sum exp(x - max)) in place.
+  void (*logsoftmax_fwd)(double* x, std::size_t n);
+  /// grad[j] -= exp(output[j]) * sum(grad) (output = cached log-probs).
+  void (*logsoftmax_bwd)(double* grad, const double* output, std::size_t n);
+};
+
+/// Portable reference kernels (always available).
+const KernelTable& scalar_kernels() noexcept;
+
+/// AVX2+FMA kernels, or nullptr when this build has no AVX2 translation
+/// unit (non-x86 target or compiler without -mavx2).
+const KernelTable* avx2_kernels() noexcept;
+
+/// The table for the active dispatch level (resolving it on first use).
+const KernelTable& kernels();
+
+}  // namespace magic::tensor::simd

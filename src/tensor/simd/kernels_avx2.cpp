@@ -1,0 +1,536 @@
+// AVX2+FMA double-precision kernels. This translation unit is compiled with
+// -mavx2 -mfma regardless of the global architecture flags; it is only ever
+// *called* after the runtime probe (dispatch.cpp) confirms the CPU executes
+// AVX2, so the binary stays safe on older x86-64.
+//
+// This file is the ONLY place raw _mm256_* intrinsics are allowed
+// (scripts/magic_lint.py rule `simd-intrinsics`).
+//
+// Numeric contracts:
+//   * GEMM nn/tn keep the ascending-k accumulation per output element
+//     (vectorization is across output columns), so each element sees the
+//     same reduction order as the scalar kernel — results differ only by
+//     FMA rounding, well inside the 1e-12 cross-ISA tolerance.
+//   * gemm_nt splits each dot product across 4 lanes and horizontally sums,
+//     which reorders the reduction; the absolute error stays O(k * eps).
+//   * exp/tanh use a Cephes-style rational approximation (~2 ulp over
+//     [-708, 708]; saturating at the extremes), far inside the 1e-12
+//     tolerance against std::exp/std::tanh.
+//   * Every kernel is bit-deterministic run to run for fixed inputs.
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#include "tensor/simd/kernels.hpp"
+
+namespace magic::tensor::simd {
+namespace {
+
+// --- elementwise helpers ------------------------------------------------------
+
+inline double hsum_pd(__m256d v) noexcept {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d shuf = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, shuf));
+}
+
+// Cephes-style exp: argument reduction against a split ln2, a degree-2/3
+// rational on the reduced argument, then a two-step 2^n exponent scale so
+// |n| up to 1024 never overflows the intermediate.
+inline __m256d exp_pd(__m256d x0) noexcept {
+  const __m256d kLog2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d kC1 = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d kC2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d kP0 = _mm256_set1_pd(1.26177193074810590878e-4);
+  const __m256d kP1 = _mm256_set1_pd(3.02994407707441961300e-2);
+  const __m256d kP2 = _mm256_set1_pd(9.99999999999999999910e-1);
+  const __m256d kQ0 = _mm256_set1_pd(3.00198505138664455042e-6);
+  const __m256d kQ1 = _mm256_set1_pd(2.52448340349684104192e-3);
+  const __m256d kQ2 = _mm256_set1_pd(2.27265548208155028766e-1);
+  const __m256d kQ3 = _mm256_set1_pd(2.00000000000000000005e0);
+  const __m256d kOne = _mm256_set1_pd(1.0);
+
+  // Clamp to the representable range; true underflow is blended to 0 below.
+  const __m256d kMaxX = _mm256_set1_pd(709.782712893383996843);
+  const __m256d kMinX = _mm256_set1_pd(-708.396418532264106224);
+  const __m256d x = _mm256_min_pd(_mm256_max_pd(x0, kMinX), kMaxX);
+
+  __m256d n = _mm256_floor_pd(_mm256_fmadd_pd(x, kLog2e, _mm256_set1_pd(0.5)));
+  __m256d r = _mm256_fnmadd_pd(n, kC1, x);
+  r = _mm256_fnmadd_pd(n, kC2, r);
+  const __m256d rr = _mm256_mul_pd(r, r);
+  __m256d px = _mm256_fmadd_pd(kP0, rr, kP1);
+  px = _mm256_fmadd_pd(px, rr, kP2);
+  px = _mm256_mul_pd(px, r);
+  __m256d qx = _mm256_fmadd_pd(kQ0, rr, kQ1);
+  qx = _mm256_fmadd_pd(qx, rr, kQ2);
+  qx = _mm256_fmadd_pd(qx, rr, kQ3);
+  __m256d e = _mm256_div_pd(px, _mm256_sub_pd(qx, px));
+  e = _mm256_fmadd_pd(e, _mm256_set1_pd(2.0), kOne);
+
+  // Scale by 2^n = 2^a * 2^b (a = n>>1, b = n-a), built in the exponent
+  // field. n is integral and |n| <= 1075, so the int32 conversion is exact.
+  const __m128i ni = _mm256_cvtpd_epi32(n);
+  const __m128i ai = _mm_srai_epi32(ni, 1);
+  const __m128i bi = _mm_sub_epi32(ni, ai);
+  const __m256i bias = _mm256_set1_epi64x(1023);
+  const __m256i sa =
+      _mm256_slli_epi64(_mm256_add_epi64(_mm256_cvtepi32_epi64(ai), bias), 52);
+  const __m256i sb =
+      _mm256_slli_epi64(_mm256_add_epi64(_mm256_cvtepi32_epi64(bi), bias), 52);
+  e = _mm256_mul_pd(_mm256_mul_pd(e, _mm256_castsi256_pd(sa)),
+                    _mm256_castsi256_pd(sb));
+
+  // x below the subnormal cliff is exactly 0; NaN propagates.
+  const __m256d kZero = _mm256_setzero_pd();
+  e = _mm256_blendv_pd(
+      e, kZero, _mm256_cmp_pd(x0, _mm256_set1_pd(-745.2), _CMP_LT_OQ));
+  e = _mm256_blendv_pd(e, x0, _mm256_cmp_pd(x0, x0, _CMP_UNORD_Q));
+  return e;
+}
+
+// tanh via the exp identity for |x| >= 0.01 (expm1 cancellation is harmless
+// there: rel error ~1e-14), the odd Taylor polynomial below it, saturation
+// to +/-1 beyond 19 where 1 - tanh is under 1 ulp.
+inline __m256d tanh_pd(__m256d x) noexcept {
+  const __m256d kSignMask = _mm256_set1_pd(-0.0);
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  const __m256d sign = _mm256_and_pd(x, kSignMask);
+  const __m256d t = _mm256_andnot_pd(kSignMask, x);
+
+  const __m256d e =
+      exp_pd(_mm256_min_pd(_mm256_add_pd(t, t), _mm256_set1_pd(40.0)));
+  __m256d mid =
+      _mm256_div_pd(_mm256_sub_pd(e, kOne), _mm256_add_pd(e, kOne));
+  mid = _mm256_blendv_pd(
+      mid, kOne, _mm256_cmp_pd(t, _mm256_set1_pd(19.0), _CMP_GT_OQ));
+
+  // x * (1 - x^2/3 + 2x^4/15 - 17x^6/315) for |x| < 0.01.
+  const __m256d t2 = _mm256_mul_pd(t, t);
+  __m256d p = _mm256_set1_pd(-5.396825396825396825e-2);  // -17/315
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(1.333333333333333333e-1));
+  p = _mm256_fmadd_pd(p, t2, _mm256_set1_pd(-3.333333333333333333e-1));
+  p = _mm256_fmadd_pd(p, t2, kOne);
+  p = _mm256_mul_pd(p, t);
+
+  const __m256d small_mask =
+      _mm256_cmp_pd(t, _mm256_set1_pd(0.01), _CMP_LT_OQ);
+  return _mm256_or_pd(_mm256_blendv_pd(mid, p, small_mask), sign);
+}
+
+// In-place elementwise map; the tail runs the same vector op through a
+// padded buffer so a value produces identical bits wherever it sits.
+template <typename VecOp>
+inline void map_inplace(double* x, std::size_t n, VecOp op) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, op(_mm256_loadu_pd(x + i)));
+  }
+  const std::size_t tail = n - i;
+  if (tail != 0) {
+    alignas(32) double buf[4] = {0.0, 0.0, 0.0, 0.0};
+    std::memcpy(buf, x + i, tail * sizeof(double));
+    _mm256_store_pd(buf, op(_mm256_load_pd(buf)));
+    std::memcpy(x + i, buf, tail * sizeof(double));
+  }
+}
+
+// In-place map over (dst, src) pairs, same tail discipline.
+template <typename VecOp>
+inline void map2_inplace(double* dst, const double* src, std::size_t n,
+                         VecOp op) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i,
+                     op(_mm256_loadu_pd(dst + i), _mm256_loadu_pd(src + i)));
+  }
+  const std::size_t tail = n - i;
+  if (tail != 0) {
+    alignas(32) double dbuf[4] = {0.0, 0.0, 0.0, 0.0};
+    alignas(32) double sbuf[4] = {0.0, 0.0, 0.0, 0.0};
+    std::memcpy(dbuf, dst + i, tail * sizeof(double));
+    std::memcpy(sbuf, src + i, tail * sizeof(double));
+    _mm256_store_pd(dbuf, op(_mm256_load_pd(dbuf), _mm256_load_pd(sbuf)));
+    std::memcpy(dst + i, dbuf, tail * sizeof(double));
+  }
+}
+
+// --- GEMM micro-kernels -------------------------------------------------------
+//
+// nn and tn share one implementation parameterized by how A is strided:
+// element (row i+r, reduction kk) lives at a[(i+r)*row_stride + kk*k_stride]
+// (nn: row_stride=k, k_stride=1; tn reads the k x m matrix transposed:
+// row_stride=1, k_stride=m). The register tile keeps 4x8 accumulators live
+// across the whole reduction, so `out` is touched exactly twice per tile.
+
+inline void micro_4x8(double* o0, double* o1, double* o2, double* o3,
+                      std::size_t j, const double* a_base,
+                      std::size_t row_stride, std::size_t k_stride,
+                      const double* b, std::size_t n, std::size_t k) {
+  __m256d c00 = _mm256_loadu_pd(o0 + j), c01 = _mm256_loadu_pd(o0 + j + 4);
+  __m256d c10 = _mm256_loadu_pd(o1 + j), c11 = _mm256_loadu_pd(o1 + j + 4);
+  __m256d c20 = _mm256_loadu_pd(o2 + j), c21 = _mm256_loadu_pd(o2 + j + 4);
+  __m256d c30 = _mm256_loadu_pd(o3 + j), c31 = _mm256_loadu_pd(o3 + j + 4);
+  const double* pa = a_base;
+  const double* pb = b + j;
+  for (std::size_t kk = 0; kk < k; ++kk, pa += k_stride, pb += n) {
+    const __m256d b0 = _mm256_loadu_pd(pb);
+    const __m256d b1 = _mm256_loadu_pd(pb + 4);
+    __m256d av = _mm256_set1_pd(pa[0]);
+    c00 = _mm256_fmadd_pd(av, b0, c00);
+    c01 = _mm256_fmadd_pd(av, b1, c01);
+    av = _mm256_set1_pd(pa[row_stride]);
+    c10 = _mm256_fmadd_pd(av, b0, c10);
+    c11 = _mm256_fmadd_pd(av, b1, c11);
+    av = _mm256_set1_pd(pa[2 * row_stride]);
+    c20 = _mm256_fmadd_pd(av, b0, c20);
+    c21 = _mm256_fmadd_pd(av, b1, c21);
+    av = _mm256_set1_pd(pa[3 * row_stride]);
+    c30 = _mm256_fmadd_pd(av, b0, c30);
+    c31 = _mm256_fmadd_pd(av, b1, c31);
+  }
+  _mm256_storeu_pd(o0 + j, c00);
+  _mm256_storeu_pd(o0 + j + 4, c01);
+  _mm256_storeu_pd(o1 + j, c10);
+  _mm256_storeu_pd(o1 + j + 4, c11);
+  _mm256_storeu_pd(o2 + j, c20);
+  _mm256_storeu_pd(o2 + j + 4, c21);
+  _mm256_storeu_pd(o3 + j, c30);
+  _mm256_storeu_pd(o3 + j + 4, c31);
+}
+
+inline void micro_4x4(double* o0, double* o1, double* o2, double* o3,
+                      std::size_t j, const double* a_base,
+                      std::size_t row_stride, std::size_t k_stride,
+                      const double* b, std::size_t n, std::size_t k) {
+  __m256d c0 = _mm256_loadu_pd(o0 + j);
+  __m256d c1 = _mm256_loadu_pd(o1 + j);
+  __m256d c2 = _mm256_loadu_pd(o2 + j);
+  __m256d c3 = _mm256_loadu_pd(o3 + j);
+  const double* pa = a_base;
+  const double* pb = b + j;
+  for (std::size_t kk = 0; kk < k; ++kk, pa += k_stride, pb += n) {
+    const __m256d b0 = _mm256_loadu_pd(pb);
+    c0 = _mm256_fmadd_pd(_mm256_set1_pd(pa[0]), b0, c0);
+    c1 = _mm256_fmadd_pd(_mm256_set1_pd(pa[row_stride]), b0, c1);
+    c2 = _mm256_fmadd_pd(_mm256_set1_pd(pa[2 * row_stride]), b0, c2);
+    c3 = _mm256_fmadd_pd(_mm256_set1_pd(pa[3 * row_stride]), b0, c3);
+  }
+  _mm256_storeu_pd(o0 + j, c0);
+  _mm256_storeu_pd(o1 + j, c1);
+  _mm256_storeu_pd(o2 + j, c2);
+  _mm256_storeu_pd(o3 + j, c3);
+}
+
+inline void micro_1xw(double* orow, std::size_t j, std::size_t width,
+                      const double* a_base, std::size_t k_stride,
+                      const double* b, std::size_t n, std::size_t k) {
+  if (width == 8) {
+    __m256d c0 = _mm256_loadu_pd(orow + j), c1 = _mm256_loadu_pd(orow + j + 4);
+    const double* pa = a_base;
+    const double* pb = b + j;
+    for (std::size_t kk = 0; kk < k; ++kk, pa += k_stride, pb += n) {
+      const __m256d av = _mm256_set1_pd(pa[0]);
+      c0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(pb), c0);
+      c1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(pb + 4), c1);
+    }
+    _mm256_storeu_pd(orow + j, c0);
+    _mm256_storeu_pd(orow + j + 4, c1);
+  } else {  // width == 4
+    __m256d c0 = _mm256_loadu_pd(orow + j);
+    const double* pa = a_base;
+    const double* pb = b + j;
+    for (std::size_t kk = 0; kk < k; ++kk, pa += k_stride, pb += n) {
+      c0 = _mm256_fmadd_pd(_mm256_set1_pd(pa[0]), _mm256_loadu_pd(pb), c0);
+    }
+    _mm256_storeu_pd(orow + j, c0);
+  }
+}
+
+void gemm_nnt_avx2(double* out, const double* a, const double* b,
+                   std::size_t m, std::size_t k, std::size_t n,
+                   std::size_t row_stride, std::size_t k_stride) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* a_base = a + i * row_stride;
+    double* o0 = out + i * n;
+    double* o1 = o0 + n;
+    double* o2 = o1 + n;
+    double* o3 = o2 + n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      micro_4x8(o0, o1, o2, o3, j, a_base, row_stride, k_stride, b, n, k);
+    }
+    for (; j + 4 <= n; j += 4) {
+      micro_4x4(o0, o1, o2, o3, j, a_base, row_stride, k_stride, b, n, k);
+    }
+    for (; j < n; ++j) {
+      double s0 = o0[j], s1 = o1[j], s2 = o2[j], s3 = o3[j];
+      const double* pa = a_base;
+      const double* pb = b + j;
+      for (std::size_t kk = 0; kk < k; ++kk, pa += k_stride, pb += n) {
+        const double bj = pb[0];
+        s0 += pa[0] * bj;
+        s1 += pa[row_stride] * bj;
+        s2 += pa[2 * row_stride] * bj;
+        s3 += pa[3 * row_stride] * bj;
+      }
+      o0[j] = s0;
+      o1[j] = s1;
+      o2[j] = s2;
+      o3[j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const double* a_base = a + i * row_stride;
+    double* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      micro_1xw(orow, j, 8, a_base, k_stride, b, n, k);
+    }
+    for (; j + 4 <= n; j += 4) {
+      micro_1xw(orow, j, 4, a_base, k_stride, b, n, k);
+    }
+    for (; j < n; ++j) {
+      double s = orow[j];
+      const double* pa = a_base;
+      const double* pb = b + j;
+      for (std::size_t kk = 0; kk < k; ++kk, pa += k_stride, pb += n) {
+        s += pa[0] * pb[0];
+      }
+      orow[j] = s;
+    }
+  }
+}
+
+void gemm_nn_avx2(double* out, const double* a, const double* b, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  gemm_nnt_avx2(out, a, b, m, k, n, k, 1);
+}
+
+void gemm_tn_avx2(double* out, const double* a, const double* b, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  gemm_nnt_avx2(out, a, b, m, k, n, 1, m);
+}
+
+// Four dot products at a time (4 rows of B share each streamed A vector);
+// the lane sums of the 4 accumulators collapse into one vector via hadd.
+void gemm_nt_avx2(double* out, const double* a, const double* b, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  const std::size_t k4 = k & ~std::size_t{3};
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = b + j * k;
+      const double* b1 = b0 + k;
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k4; kk += 4) {
+        const __m256d av = _mm256_loadu_pd(arow + kk);
+        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b0 + kk), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b1 + kk), acc1);
+        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b2 + kk), acc2);
+        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b3 + kk), acc3);
+      }
+      const __m256d t0 = _mm256_hadd_pd(acc0, acc1);
+      const __m256d t1 = _mm256_hadd_pd(acc2, acc3);
+      __m256d sums = _mm256_add_pd(_mm256_permute2f128_pd(t0, t1, 0x20),
+                                   _mm256_permute2f128_pd(t0, t1, 0x31));
+      if (k4 != k) {
+        alignas(32) double tail[4] = {0.0, 0.0, 0.0, 0.0};
+        for (std::size_t kk = k4; kk < k; ++kk) {
+          const double av = arow[kk];
+          tail[0] += av * b0[kk];
+          tail[1] += av * b1[kk];
+          tail[2] += av * b2[kk];
+          tail[3] += av * b3[kk];
+        }
+        sums = _mm256_add_pd(sums, _mm256_load_pd(tail));
+      }
+      _mm256_storeu_pd(orow + j, sums);
+    }
+    for (; j < n; ++j) {
+      const double* bj = b + j * k;
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t kk = 0; kk < k4; kk += 4) {
+        acc = _mm256_fmadd_pd(_mm256_loadu_pd(arow + kk),
+                              _mm256_loadu_pd(bj + kk), acc);
+      }
+      double s = hsum_pd(acc);
+      for (std::size_t kk = k4; kk < k; ++kk) s += arow[kk] * bj[kk];
+      orow[j] = s;
+    }
+  }
+}
+
+// --- SpMM ---------------------------------------------------------------------
+
+inline void axpy_avx2(double* y, const double* x, double v, std::size_t n) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(vv, _mm256_loadu_pd(x + j), _mm256_loadu_pd(y + j)));
+    _mm256_storeu_pd(y + j + 4,
+                     _mm256_fmadd_pd(vv, _mm256_loadu_pd(x + j + 4),
+                                     _mm256_loadu_pd(y + j + 4)));
+  }
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(
+        y + j, _mm256_fmadd_pd(vv, _mm256_loadu_pd(x + j), _mm256_loadu_pd(y + j)));
+  }
+  for (; j < n; ++j) y[j] += v * x[j];
+}
+
+void spmm_avx2(const std::size_t* row_ptr, const std::size_t* col_idx,
+               const double* values, std::size_t rows, const double* dense,
+               std::size_t n, double* out, std::size_t out_stride) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* orow = out + r * out_stride;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      axpy_avx2(orow, dense + col_idx[k] * n, values[k], n);
+    }
+  }
+}
+
+void spmm_cb_avx2(const std::size_t* row_ptr, const std::size_t* col_idx,
+                  const double* values, std::size_t rows, const double* dense,
+                  std::size_t n, double* out, std::size_t out_stride,
+                  const RowDoneFn& row_done) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* orow = out + r * out_stride;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      axpy_avx2(orow, dense + col_idx[k] * n, values[k], n);
+    }
+    row_done(r, orow);
+  }
+}
+
+void spmm_t_avx2(const std::size_t* row_ptr, const std::size_t* col_idx,
+                 const double* values, std::size_t rows, const double* dense,
+                 std::size_t n, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* drow = dense + r * n;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      axpy_avx2(out + col_idx[k] * n, drow, values[k], n);
+    }
+  }
+}
+
+// --- activations --------------------------------------------------------------
+
+void relu_fwd_avx2(double* x, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  map_inplace(x, n, [zero](__m256d v) { return _mm256_max_pd(v, zero); });
+}
+
+void relu_bwd_avx2(double* grad, const double* input, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  // Keep the gradient where !(input <= 0) — NLE_UQ matches the scalar
+  // kernel's behaviour including NaN inputs.
+  map2_inplace(grad, input, n, [zero](__m256d g, __m256d in) {
+    return _mm256_and_pd(g, _mm256_cmp_pd(in, zero, _CMP_NLE_UQ));
+  });
+}
+
+void tanh_fwd_avx2(double* x, std::size_t n) {
+  map_inplace(x, n, [](__m256d v) { return tanh_pd(v); });
+}
+
+void tanh_bwd_avx2(double* grad, const double* output, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  map2_inplace(grad, output, n, [one](__m256d g, __m256d y) {
+    return _mm256_mul_pd(g, _mm256_fnmadd_pd(y, y, one));
+  });
+}
+
+void tanh_grad_pre_avx2(double* grad, const double* preact, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  map2_inplace(grad, preact, n, [one](__m256d g, __m256d p) {
+    const __m256d t = tanh_pd(p);
+    return _mm256_mul_pd(g, _mm256_fnmadd_pd(t, t, one));
+  });
+}
+
+void exp_fwd_avx2(double* x, std::size_t n) {
+  map_inplace(x, n, [](__m256d v) { return exp_pd(v); });
+}
+
+void logsoftmax_fwd_avx2(double* x, std::size_t n) {
+  if (n < 8) {  // a handful of classes: vector setup would dominate
+    if (n == 0) return;
+    double m = x[0];
+    for (std::size_t j = 1; j < n; ++j) {
+      if (x[j] > m) m = x[j];
+    }
+    double lse = 0.0;
+    for (std::size_t j = 0; j < n; ++j) lse += std::exp(x[j] - m);
+    lse = m + std::log(lse);
+    for (std::size_t j = 0; j < n; ++j) x[j] -= lse;
+    return;
+  }
+  const std::size_t n4 = n & ~std::size_t{3};
+  __m256d vmax = _mm256_loadu_pd(x);
+  std::size_t j = 4;
+  for (; j + 4 <= n; j += 4) vmax = _mm256_max_pd(vmax, _mm256_loadu_pd(x + j));
+  __m128d lo = _mm_max_pd(_mm256_castpd256_pd128(vmax),
+                          _mm256_extractf128_pd(vmax, 1));
+  lo = _mm_max_sd(lo, _mm_unpackhi_pd(lo, lo));
+  double m = _mm_cvtsd_f64(lo);
+  for (j = n4; j < n; ++j) {
+    if (x[j] > m) m = x[j];
+  }
+
+  const __m256d vm = _mm256_set1_pd(m);
+  __m256d vsum = _mm256_setzero_pd();
+  for (j = 0; j + 4 <= n; j += 4) {
+    vsum = _mm256_add_pd(vsum, exp_pd(_mm256_sub_pd(_mm256_loadu_pd(x + j), vm)));
+  }
+  double lse = hsum_pd(vsum);
+  for (j = n4; j < n; ++j) lse += std::exp(x[j] - m);
+  lse = m + std::log(lse);
+
+  const __m256d vl = _mm256_set1_pd(lse);
+  map_inplace(x, n, [vl](__m256d v) { return _mm256_sub_pd(v, vl); });
+}
+
+void logsoftmax_bwd_avx2(double* grad, const double* output, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  __m256d vsum = _mm256_setzero_pd();
+  for (std::size_t j = 0; j + 4 <= n; j += 4) {
+    vsum = _mm256_add_pd(vsum, _mm256_loadu_pd(grad + j));
+  }
+  double gsum = hsum_pd(vsum);
+  for (std::size_t j = n4; j < n; ++j) gsum += grad[j];
+  const __m256d vg = _mm256_set1_pd(gsum);
+  map2_inplace(grad, output, n, [vg](__m256d g, __m256d out) {
+    return _mm256_fnmadd_pd(exp_pd(out), vg, g);
+  });
+}
+
+}  // namespace
+
+const KernelTable* avx2_kernels() noexcept {
+  static const KernelTable table = {
+      gemm_nn_avx2,       gemm_tn_avx2,    gemm_nt_avx2,
+      spmm_avx2,          spmm_cb_avx2,    spmm_t_avx2,
+      relu_fwd_avx2,      relu_bwd_avx2,   tanh_fwd_avx2,
+      tanh_bwd_avx2,      tanh_grad_pre_avx2,
+      exp_fwd_avx2,       logsoftmax_fwd_avx2,
+      logsoftmax_bwd_avx2,
+  };
+  return &table;
+}
+
+}  // namespace magic::tensor::simd

@@ -1,0 +1,240 @@
+// Portable reference kernels: the dispatch level every platform has, and
+// the semantics baseline the AVX2 table must match to 1e-12 relative.
+//
+// The GEMM kernels are register-blocked (4 output rows share each streamed
+// row of B) and cache-blocked over the reduction dimension. Accumulation
+// into each output element is strictly in ascending k order, which keeps
+// every product bit-deterministic for fixed inputs — the property the
+// parallel trainer's fixed-order gradient reduction builds on. The zero-skip
+// mirrors the old naive kernel: post-ReLU activation matrices are ~half
+// zeros.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/simd/kernels.hpp"
+
+namespace magic::tensor::simd {
+namespace {
+
+constexpr std::size_t kTileK = 64;  // reduction-tile: B rows kept hot per pass
+
+void gemm_nn_scalar(double* out, const double* a, const double* b,
+                    std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
+    const std::size_t k1 = std::min(k, k0 + kTileK);
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      double* o0 = out + i * n;
+      double* o1 = o0 + n;
+      double* o2 = o1 + n;
+      double* o3 = o2 + n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double a0 = a[i * k + kk];
+        const double a1 = a[(i + 1) * k + kk];
+        const double a2 = a[(i + 2) * k + kk];
+        const double a3 = a[(i + 3) * k + kk];
+        if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+        const double* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          const double bj = brow[j];
+          o0[j] += a0 * bj;
+          o1[j] += a1 * bj;
+          o2[j] += a2 * bj;
+          o3[j] += a3 * bj;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      double* orow = out + i * n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double aval = a[i * k + kk];
+        if (aval == 0.0) continue;
+        const double* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+      }
+    }
+  }
+}
+
+// A is (k x m) read as its transpose. Output-row blocks are the OUTER loop
+// (the pre-PR8 kernel iterated kk outermost, sweeping the whole of `out`
+// once per reduction step — that cache-thrashing is what regressed
+// square_tn to 0.83x vs transpose-then-multiply). With i outermost the
+// 4-row out panel stays hot across the whole reduction; A's column reads
+// (arow[i..i+3], 32 contiguous bytes per kk) stream it once per row block.
+void gemm_tn_scalar(double* out, const double* a, const double* b,
+                    std::size_t m, std::size_t k, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    double* o0 = out + i * n;
+    double* o1 = o0 + n;
+    double* o2 = o1 + n;
+    double* o3 = o2 + n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double* arow = a + kk * m;
+      const double a0 = arow[i];
+      const double a1 = arow[i + 1];
+      const double a2 = arow[i + 2];
+      const double a3 = arow[i + 3];
+      if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
+      const double* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double bj = brow[j];
+        o0[j] += a0 * bj;
+        o1[j] += a1 * bj;
+        o2[j] += a2 * bj;
+        o3[j] += a3 * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    double* orow = out + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aval = a[kk * m + i];
+      if (aval == 0.0) continue;
+      const double* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+}
+
+// Every output element is a contiguous dot product of two rows; 4 B rows
+// share each streamed A row.
+void gemm_nt_scalar(double* out, const double* a, const double* b,
+                    std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = b + j * k;
+      const double* b1 = b0 + k;
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+      }
+      orow[j] = s0;
+      orow[j + 1] = s1;
+      orow[j + 2] = s2;
+      orow[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const double* bj = b + j * k;
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * bj[kk];
+      orow[j] = s;
+    }
+  }
+}
+
+void spmm_scalar(const std::size_t* row_ptr, const std::size_t* col_idx,
+                 const double* values, std::size_t rows, const double* dense,
+                 std::size_t n, double* out, std::size_t out_stride) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* orow = out + r * out_stride;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double v = values[k];
+      const double* drow = dense + col_idx[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+}
+
+void spmm_cb_scalar(const std::size_t* row_ptr, const std::size_t* col_idx,
+                    const double* values, std::size_t rows,
+                    const double* dense, std::size_t n, double* out,
+                    std::size_t out_stride, const RowDoneFn& row_done) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* orow = out + r * out_stride;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double v = values[k];
+      const double* drow = dense + col_idx[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+    row_done(r, orow);
+  }
+}
+
+void spmm_t_scalar(const std::size_t* row_ptr, const std::size_t* col_idx,
+                   const double* values, std::size_t rows, const double* dense,
+                   std::size_t n, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* drow = dense + r * n;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double v = values[k];
+      double* orow = out + col_idx[k] * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+    }
+  }
+}
+
+void relu_fwd_scalar(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void relu_bwd_scalar(double* grad, const double* input, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (input[i] <= 0.0) grad[i] = 0.0;
+  }
+}
+
+void tanh_fwd_scalar(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+void tanh_bwd_scalar(double* grad, const double* output, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) grad[i] *= 1.0 - output[i] * output[i];
+}
+
+void tanh_grad_pre_scalar(double* grad, const double* preact, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::tanh(preact[i]);
+    grad[i] *= 1.0 - t * t;
+  }
+}
+
+void exp_fwd_scalar(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
+}
+
+void logsoftmax_fwd_scalar(double* x, std::size_t n) {
+  if (n == 0) return;
+  double m = x[0];
+  for (std::size_t j = 1; j < n; ++j) {
+    if (x[j] > m) m = x[j];
+  }
+  double lse = 0.0;
+  for (std::size_t j = 0; j < n; ++j) lse += std::exp(x[j] - m);
+  lse = m + std::log(lse);
+  for (std::size_t j = 0; j < n; ++j) x[j] -= lse;
+}
+
+void logsoftmax_bwd_scalar(double* grad, const double* output, std::size_t n) {
+  double grad_sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) grad_sum += grad[j];
+  for (std::size_t j = 0; j < n; ++j) grad[j] -= std::exp(output[j]) * grad_sum;
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() noexcept {
+  static const KernelTable table = {
+      gemm_nn_scalar,       gemm_tn_scalar,    gemm_nt_scalar,
+      spmm_scalar,          spmm_cb_scalar,    spmm_t_scalar,
+      relu_fwd_scalar,      relu_bwd_scalar,   tanh_fwd_scalar,
+      tanh_bwd_scalar,      tanh_grad_pre_scalar,
+      exp_fwd_scalar,       logsoftmax_fwd_scalar,
+      logsoftmax_bwd_scalar,
+  };
+  return table;
+}
+
+}  // namespace magic::tensor::simd

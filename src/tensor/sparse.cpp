@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "tensor/simd/kernels.hpp"
+
 namespace magic::tensor {
 
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
@@ -53,16 +55,8 @@ Tensor SparseMatrix::multiply(const Tensor& dense) const {
   }
   const std::size_t n = dense.dim(1);
   Tensor out(Shape{rows_, n});
-  const double* pd = dense.data();
-  double* po = out.data();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* orow = po + r * n;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* drow = pd + col_idx_[k] * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
-    }
-  }
+  simd::kernels().spmm(row_ptr_.data(), col_idx_.data(), values_.data(), rows_,
+                       dense.data(), n, out.data(), n);
   return out;
 }
 
@@ -75,15 +69,8 @@ void SparseMatrix::multiply_into(const Tensor& dense, double* out,
   if (out_stride < n) {
     throw std::invalid_argument("SparseMatrix::multiply_into: stride < columns");
   }
-  const double* pd = dense.data();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* orow = out + r * out_stride;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* drow = pd + col_idx_[k] * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
-    }
-  }
+  simd::kernels().spmm(row_ptr_.data(), col_idx_.data(), values_.data(), rows_,
+                       dense.data(), n, out, out_stride);
 }
 
 void SparseMatrix::multiply_into(
@@ -96,16 +83,8 @@ void SparseMatrix::multiply_into(
   if (out_stride < n) {
     throw std::invalid_argument("SparseMatrix::multiply_into: stride < columns");
   }
-  const double* pd = dense.data();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* orow = out + r * out_stride;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* drow = pd + col_idx_[k] * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
-    }
-    row_done(r, orow);
-  }
+  simd::kernels().spmm_cb(row_ptr_.data(), col_idx_.data(), values_.data(),
+                          rows_, dense.data(), n, out, out_stride, row_done);
 }
 
 Tensor SparseMatrix::multiply_transposed(const Tensor& dense) const {
@@ -114,16 +93,8 @@ Tensor SparseMatrix::multiply_transposed(const Tensor& dense) const {
   }
   const std::size_t n = dense.dim(1);
   Tensor out(Shape{cols_, n});
-  const double* pd = dense.data();
-  double* po = out.data();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* drow = pd + r * n;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      double* orow = po + col_idx_[k] * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
-    }
-  }
+  simd::kernels().spmm_t(row_ptr_.data(), col_idx_.data(), values_.data(),
+                         rows_, dense.data(), n, out.data());
   return out;
 }
 

@@ -44,13 +44,19 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_size(shape_)
   if (shape_.size() > 4) throw std::invalid_argument("Tensor: rank > 4 unsupported");
 }
 
-Tensor::Tensor(Shape shape, std::vector<double> data)
+Tensor::Tensor(Shape shape, AlignedVector data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   if (shape_.size() > 4) throw std::invalid_argument("Tensor: rank > 4 unsupported");
   if (data_.size() != shape_size(shape_)) {
     throw std::invalid_argument("Tensor: data size does not match shape");
   }
 }
+
+Tensor::Tensor(Shape shape, const std::vector<double>& data)
+    : Tensor(std::move(shape), AlignedVector(data.begin(), data.end())) {}
+
+Tensor::Tensor(Shape shape, std::initializer_list<double> data)
+    : Tensor(std::move(shape), AlignedVector(data.begin(), data.end())) {}
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
 

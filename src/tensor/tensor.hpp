@@ -2,11 +2,11 @@
 // Dense row-major tensor of doubles, rank 0..4.
 //
 // This is the numeric substrate under magic::nn. It favours clarity and
-// testability over raw speed: all shapes are dynamic, storage is a
-// std::vector<double>, and operations validate shapes with exceptions.
-// DGCNN workloads here are small (graphs of tens-to-hundreds of vertices,
-// channel widths <= 128), so a straightforward implementation with good
-// locality is fast enough to run the paper's experiments on one CPU.
+// testability over raw speed: all shapes are dynamic, storage is a 64-byte
+// aligned std::vector<double>, and operations validate shapes with
+// exceptions. The heavy loops (matmul family, SpMM, activations) dispatch
+// through src/tensor/simd/ to the best kernel table the running CPU
+// supports.
 
 #include <cstddef>
 #include <initializer_list>
@@ -14,12 +14,17 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned_alloc.hpp"
 #include "util/rng.hpp"
 
 namespace magic::tensor {
 
 /// Shape of a tensor; empty shape denotes a scalar.
 using Shape = std::vector<std::size_t>;
+
+/// Tensor storage: 64-byte aligned so SIMD kernels never straddle a cache
+/// line at the buffer base (see util/aligned_alloc.hpp).
+using AlignedVector = std::vector<double, util::AlignedAllocator<double, 64>>;
 
 /// Dense row-major double tensor with value semantics.
 class Tensor {
@@ -30,8 +35,15 @@ class Tensor {
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape);
 
+  /// Tensor of the given shape taking ownership of aligned storage
+  /// (size must match).
+  Tensor(Shape shape, AlignedVector data);
+
+  /// Tensor of the given shape copying from unaligned storage.
+  Tensor(Shape shape, const std::vector<double>& data);
+
   /// Tensor of the given shape with explicit contents (size must match).
-  Tensor(Shape shape, std::vector<double> data);
+  Tensor(Shape shape, std::initializer_list<double> data);
 
   // --- factories -----------------------------------------------------------
   static Tensor zeros(Shape shape);
@@ -68,8 +80,8 @@ class Tensor {
   // --- element access -------------------------------------------------------
   double* data() noexcept { return data_.data(); }
   const double* data() const noexcept { return data_.data(); }
-  std::vector<double>& storage() noexcept { return data_; }
-  const std::vector<double>& storage() const noexcept { return data_; }
+  AlignedVector& storage() noexcept { return data_; }
+  const AlignedVector& storage() const noexcept { return data_; }
 
   double& operator[](std::size_t flat) { return data_[flat]; }
   double operator[](std::size_t flat) const { return data_[flat]; }
@@ -104,7 +116,7 @@ class Tensor {
   void check_same_shape(const Tensor& other, const char* op) const;
 
   Shape shape_;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 // --- free-function ops (implemented in tensor_ops.cpp) ------------------------

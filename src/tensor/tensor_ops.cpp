@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace magic::tensor {
@@ -33,126 +34,9 @@ Tensor hadamard(const Tensor& a, const Tensor& b) {
 
 namespace {
 
-// --- GEMM kernels -----------------------------------------------------------
-//
-// All three kernels are register-blocked (4 output rows share each streamed
-// row of B) and cache-blocked over the reduction dimension, so a tile of B
-// stays hot while the A/out panel sweeps past. Accumulation into each output
-// element is strictly in ascending k order, which keeps every product
-// bit-deterministic for fixed inputs — the property the parallel trainer's
-// fixed-order gradient reduction builds on. The zero-skip mirrors the old
-// naive kernel: post-ReLU activation matrices are ~half zeros.
-
-constexpr std::size_t kTileK = 64;  // reduction-tile: B rows kept hot per pass
-
-// out(m x n) += a(m x k) * b(k x n); out must be pre-zeroed by the caller.
-void gemm_nn(double* out, const double* a, const double* b, std::size_t m,
-             std::size_t k, std::size_t n) {
-  for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
-    const std::size_t k1 = std::min(k, k0 + kTileK);
-    std::size_t i = 0;
-    for (; i + 4 <= m; i += 4) {
-      double* o0 = out + i * n;
-      double* o1 = o0 + n;
-      double* o2 = o1 + n;
-      double* o3 = o2 + n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const double a0 = a[i * k + kk];
-        const double a1 = a[(i + 1) * k + kk];
-        const double a2 = a[(i + 2) * k + kk];
-        const double a3 = a[(i + 3) * k + kk];
-        if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
-        const double* brow = b + kk * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          const double bj = brow[j];
-          o0[j] += a0 * bj;
-          o1[j] += a1 * bj;
-          o2[j] += a2 * bj;
-          o3[j] += a3 * bj;
-        }
-      }
-    }
-    for (; i < m; ++i) {
-      double* orow = out + i * n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const double aval = a[i * k + kk];
-        if (aval == 0.0) continue;
-        const double* brow = b + kk * n;
-        for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
-      }
-    }
-  }
-}
-
-// out(m x n) += a(k x m)^T * b(k x n); out must be pre-zeroed. Reads A rows
-// contiguously (no transpose temporary); 4 output rows per streamed B row.
-void gemm_tn(double* out, const double* a, const double* b, std::size_t m,
-             std::size_t k, std::size_t n) {
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const double* arow = a + kk * m;
-    const double* brow = b + kk * n;
-    std::size_t i = 0;
-    for (; i + 4 <= m; i += 4) {
-      const double a0 = arow[i];
-      const double a1 = arow[i + 1];
-      const double a2 = arow[i + 2];
-      const double a3 = arow[i + 3];
-      if (a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0) continue;
-      double* o0 = out + i * n;
-      double* o1 = o0 + n;
-      double* o2 = o1 + n;
-      double* o3 = o2 + n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double bj = brow[j];
-        o0[j] += a0 * bj;
-        o1[j] += a1 * bj;
-        o2[j] += a2 * bj;
-        o3[j] += a3 * bj;
-      }
-    }
-    for (; i < m; ++i) {
-      const double aval = arow[i];
-      if (aval == 0.0) continue;
-      double* orow = out + i * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += aval * brow[j];
-    }
-  }
-}
-
-// out(m x n) = a(m x k) * b(n x k)^T: every output element is a contiguous
-// dot product of two rows; 4 B rows share each streamed A row.
-void gemm_nt(double* out, const double* a, const double* b, std::size_t m,
-             std::size_t k, std::size_t n) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a + i * k;
-    double* orow = out + i * n;
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const double* b0 = b + j * k;
-      const double* b1 = b0 + k;
-      const double* b2 = b1 + k;
-      const double* b3 = b2 + k;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double av = arow[kk];
-        s0 += av * b0[kk];
-        s1 += av * b1[kk];
-        s2 += av * b2[kk];
-        s3 += av * b3[kk];
-      }
-      orow[j] = s0;
-      orow[j + 1] = s1;
-      orow[j + 2] = s2;
-      orow[j + 3] = s3;
-    }
-    for (; j < n; ++j) {
-      const double* bj = b + j * k;
-      double s = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * bj[kk];
-      orow[j] = s;
-    }
-  }
-}
+// The GEMM kernels themselves live in src/tensor/simd/ (scalar reference +
+// AVX2, selected once per process by the runtime dispatch); the wrappers
+// below validate shapes, size the output and call through the active table.
 
 void require_rank2(const Tensor& a, const Tensor& b, const char* op) {
   if (a.rank() != 2 || b.rank() != 2) {
@@ -194,7 +78,7 @@ void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   out.resize(Shape{m, n});
   out.fill(0.0);
-  gemm_nn(out.data(), a.data(), b.data(), m, k, n);
+  simd::kernels().gemm_nn(out.data(), a.data(), b.data(), m, k, n);
 }
 
 void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
@@ -203,7 +87,7 @@ void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(1), k = a.dim(0), n = b.dim(1);
   out.resize(Shape{m, n});
   out.fill(0.0);
-  gemm_tn(out.data(), a.data(), b.data(), m, k, n);
+  simd::kernels().gemm_tn(out.data(), a.data(), b.data(), m, k, n);
 }
 
 void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
@@ -211,8 +95,8 @@ void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
   require_inner(a.dim(1), b.dim(1), a, b, "matmul_nt");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   out.resize(Shape{m, n});
-  out.fill(0.0);
-  gemm_nt(out.data(), a.data(), b.data(), m, k, n);
+  // gemm_nt fully overwrites every output element — no pre-zero needed.
+  simd::kernels().gemm_nt(out.data(), a.data(), b.data(), m, k, n);
 }
 
 Tensor transpose(const Tensor& a) {

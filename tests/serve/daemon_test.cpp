@@ -16,6 +16,7 @@
 
 #include "serve/serve_test_util.hpp"
 #include "serve/wire.hpp"
+#include "tensor/simd/dispatch.hpp"
 
 namespace magic::serve {
 namespace {
@@ -123,6 +124,11 @@ TEST(ServeStream, StatsLineReflectsEarlierRequests) {
   ASSERT_EQ(lines.size(), 2u);
   // The stats snapshot is rendered after its ordered predecessors resolve.
   EXPECT_NE(lines[1].find("\"completed\":1"), std::string::npos) << lines[1];
+  // The wire reply names the SIMD dispatch level the kernels ran at.
+  const std::string level =
+      magic::tensor::simd::level_name(magic::tensor::simd::active_level());
+  EXPECT_NE(lines[1].find("\"simd_level\":\"" + level + "\""), std::string::npos)
+      << lines[1];
 }
 
 TEST(ServeStream, QuitStopsReadingFurtherRequests) {

@@ -1,0 +1,16 @@
+// magic_lint fixture: raw AVX2 intrinsics outside src/tensor/simd/. The
+// simd-intrinsics rule must flag the include, the register type and the
+// intrinsic call (the comment mentions of _mm256_* must NOT count).
+
+#include <immintrin.h>
+
+namespace fixture {
+
+double sum4(const double* p) {
+  const __m256d v = _mm256_loadu_pd(p);
+  alignas(32) double lanes[4];
+  _mm256_storeu_pd(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace fixture

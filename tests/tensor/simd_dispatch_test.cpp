@@ -1,0 +1,102 @@
+// Dispatch-layer tests: level naming/parsing, hardware-probe consistency,
+// explicit overrides (including the published obs gauge), and the MAGIC_SIMD
+// environment override. The env test only asserts when MAGIC_SIMD is set; a
+// dedicated ctest entry (tests/CMakeLists.txt) runs it with
+// MAGIC_SIMD=scalar so the forced-fallback path is exercised on every run.
+
+#include "tensor/simd/dispatch.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "tensor/simd/kernels.hpp"
+
+namespace magic::tensor::simd {
+namespace {
+
+double simd_gauge() {
+  return obs::MetricsRegistry::global().gauge("tensor.simd_level").value();
+}
+
+TEST(SimdDispatch, LevelNamesRoundTripThroughParse) {
+  EXPECT_STREQ(level_name(SimdLevel::Scalar), "scalar");
+  EXPECT_STREQ(level_name(SimdLevel::Avx2), "avx2");
+  EXPECT_EQ(parse_level("scalar"), SimdLevel::Scalar);
+  if (avx2_available()) {
+    EXPECT_EQ(parse_level("avx2"), SimdLevel::Avx2);
+  } else {
+    EXPECT_THROW(parse_level("avx2"), std::invalid_argument);
+  }
+}
+
+TEST(SimdDispatch, EmptyNativeAndAutoResolveToTheProbe) {
+  EXPECT_EQ(parse_level(""), detected_level());
+  EXPECT_EQ(parse_level("native"), detected_level());
+  EXPECT_EQ(parse_level("auto"), detected_level());
+}
+
+TEST(SimdDispatch, UnknownLevelIsRejected) {
+  EXPECT_THROW(parse_level("avx512"), std::invalid_argument);
+  EXPECT_THROW(parse_level("SCALAR"), std::invalid_argument);
+  EXPECT_THROW(parse_level("fastest"), std::invalid_argument);
+}
+
+TEST(SimdDispatch, ProbeAndAvailabilityAgree) {
+  // detected_level() is Avx2 exactly when the AVX2 table exists AND the CPU
+  // reports the ISA; the table pointer must be consistent with that.
+  EXPECT_EQ(detected_level() == SimdLevel::Avx2, avx2_available());
+  if (avx2_available()) {
+    EXPECT_NE(avx2_kernels(), nullptr);
+  }
+}
+
+TEST(SimdDispatch, SetLevelSwitchesTableAndPublishesGauge) {
+  const SimdLevel original = active_level();
+
+  set_level(SimdLevel::Scalar);
+  EXPECT_EQ(active_level(), SimdLevel::Scalar);
+  EXPECT_EQ(&kernels(), &scalar_kernels());
+  EXPECT_EQ(simd_gauge(), 0.0);
+
+  if (avx2_available()) {
+    set_level(SimdLevel::Avx2);
+    EXPECT_EQ(active_level(), SimdLevel::Avx2);
+    EXPECT_EQ(&kernels(), avx2_kernels());
+    EXPECT_EQ(simd_gauge(), 1.0);
+  }
+
+  set_level(original);
+  EXPECT_EQ(active_level(), original);
+}
+
+TEST(SimdDispatch, SetLevelRejectsAvx2WhenUnavailable) {
+  if (avx2_available()) {
+    GTEST_SKIP() << "AVX2 is available here; rejection path not reachable";
+  }
+  EXPECT_THROW(set_level(SimdLevel::Avx2), std::invalid_argument);
+  EXPECT_EQ(&kernels(), &scalar_kernels());
+}
+
+TEST(SimdDispatch, EnvOverridePinsTheLevel) {
+  // Asserts only when MAGIC_SIMD is set in the environment (the dedicated
+  // simd_forced_scalar ctest entry sets MAGIC_SIMD=scalar and filters to
+  // this test, so active_level()'s first resolution sees the override).
+  const char* env = std::getenv("MAGIC_SIMD");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "MAGIC_SIMD not set; run via the simd_forced_scalar "
+                    "ctest entry to exercise the override";
+  }
+  const SimdLevel want = parse_level(env);
+  EXPECT_EQ(active_level(), want);
+  if (want == SimdLevel::Scalar) {
+    EXPECT_EQ(&kernels(), &scalar_kernels());
+    EXPECT_EQ(simd_gauge(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace magic::tensor::simd

@@ -1,0 +1,348 @@
+// Cross-ISA kernel equivalence: every entry of the AVX2+FMA kernel table
+// must agree with the portable scalar table to the repo's 1e-12 relative
+// GEMM tolerance (AVX2 fuses multiply-adds and splits reductions across
+// lanes, which shifts results by ULPs, never more). Shapes are deliberately
+// ragged/odd so every vector-tail path runs. All AVX2 legs GTEST_SKIP on
+// hardware (or builds) without the AVX2 table.
+//
+// The tests call scalar_kernels() / avx2_kernels() directly instead of
+// flipping set_level(), so they cannot perturb the process-wide dispatch.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/simd/dispatch.hpp"
+#include "tensor/simd/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace magic::tensor::simd {
+namespace {
+
+// 64-byte-aligned buffers, same guarantee Tensor storage gives the kernels.
+using Buffer = magic::tensor::AlignedVector;
+
+Buffer random_buffer(std::size_t n, std::uint64_t seed, double lo = -2.0,
+                     double hi = 2.0) {
+  util::Rng rng(seed);
+  Buffer b(n);
+  for (double& v : b) v = rng.uniform(lo, hi);
+  return b;
+}
+
+// Same relative tolerance as tests/tensor/gemm_test.cpp.
+void expect_close(const Buffer& got, const Buffer& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isnan(want[i])) {
+      EXPECT_TRUE(std::isnan(got[i])) << what << " at flat index " << i;
+      continue;
+    }
+    const double tol = 1e-12 * std::max(1.0, std::abs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol) << what << " at flat index " << i;
+  }
+}
+
+void expect_bitwise(const Buffer& got, const Buffer& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isnan(want[i])) {
+      EXPECT_TRUE(std::isnan(got[i])) << what << " at flat index " << i;
+      continue;
+    }
+    EXPECT_EQ(got[i], want[i]) << what << " at flat index " << i;
+  }
+}
+
+bool require_avx2() {
+  if (!avx2_available()) return false;
+  return true;
+}
+
+#define SKIP_WITHOUT_AVX2()                                             \
+  do {                                                                  \
+    if (!require_avx2()) {                                              \
+      GTEST_SKIP() << "AVX2 kernels unavailable on this CPU/build";     \
+    }                                                                   \
+  } while (false)
+
+// Ragged/odd shapes: 1-wide edges, widths straddling the 8-, 4- and 1-lane
+// tails, dims off every block multiple.
+struct Dims {
+  std::size_t m, k, n;
+};
+const Dims kGemmShapes[] = {{1, 1, 1},   {2, 3, 1},    {1, 7, 5},
+                            {3, 5, 7},   {5, 9, 13},   {4, 8, 8},
+                            {7, 1, 9},   {13, 21, 17}, {8, 64, 12},
+                            {33, 17, 29}, {16, 16, 16}, {9, 130, 31}};
+
+// Element-kernel lengths hitting the 4-lane tail (1..3), exactly one vector,
+// vector+tail, and a long run.
+const std::size_t kElementSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 31, 64, 257};
+
+TEST(SimdKernels, GemmNnMatchesScalarWithin1e12) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const auto& d : kGemmShapes) {
+    const Buffer a = random_buffer(d.m * d.k, 11 * d.m + d.k);
+    const Buffer b = random_buffer(d.k * d.n, 13 * d.k + d.n);
+    Buffer want(d.m * d.n, 0.0), got(d.m * d.n, 0.0);
+    scalar.gemm_nn(want.data(), a.data(), b.data(), d.m, d.k, d.n);
+    avx2.gemm_nn(got.data(), a.data(), b.data(), d.m, d.k, d.n);
+    expect_close(got, want, "gemm_nn");
+  }
+}
+
+TEST(SimdKernels, GemmTnMatchesScalarWithin1e12) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const auto& d : kGemmShapes) {
+    // a is (k x m): the kernel reads it column-major as a^T.
+    const Buffer a = random_buffer(d.k * d.m, 5 * d.m + d.k);
+    const Buffer b = random_buffer(d.k * d.n, 7 * d.k + d.n);
+    Buffer want(d.m * d.n, 0.0), got(d.m * d.n, 0.0);
+    scalar.gemm_tn(want.data(), a.data(), b.data(), d.m, d.k, d.n);
+    avx2.gemm_tn(got.data(), a.data(), b.data(), d.m, d.k, d.n);
+    expect_close(got, want, "gemm_tn");
+  }
+}
+
+TEST(SimdKernels, GemmNtMatchesScalarAndFullyOverwrites) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const auto& d : kGemmShapes) {
+    const Buffer a = random_buffer(d.m * d.k, 23 * d.m + d.k);
+    // b is (n x k): the kernel multiplies by b^T.
+    const Buffer b = random_buffer(d.n * d.k, 29 * d.k + d.n);
+    // Sentinel prefill: gemm_nt promises a full overwrite, so any surviving
+    // sentinel is a bug in either implementation.
+    Buffer want(d.m * d.n, 777.0), got(d.m * d.n, -777.0);
+    scalar.gemm_nt(want.data(), a.data(), b.data(), d.m, d.k, d.n);
+    avx2.gemm_nt(got.data(), a.data(), b.data(), d.m, d.k, d.n);
+    for (double v : want) ASSERT_NE(v, 777.0);
+    expect_close(got, want, "gemm_nt");
+  }
+}
+
+// Random CSR over (rows x cols) with ~40% density and some all-zero rows.
+struct Csr {
+  std::vector<std::size_t> row_ptr, col_idx;
+  Buffer values;
+  std::size_t rows, cols;
+};
+
+Csr random_csr(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Csr m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const bool empty_row = rng.uniform() < 0.15;  // exercises nnz == 0 rows
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!empty_row && rng.uniform() < 0.4) {
+        m.col_idx.push_back(c);
+        m.values.push_back(rng.uniform(-2.0, 2.0));
+      }
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+const Dims kSpmmShapes[] = {  // m = CSR rows, k = CSR cols, n = dense width
+    {1, 1, 1}, {3, 5, 7}, {5, 9, 4}, {7, 13, 1}, {9, 6, 19}, {16, 16, 12}};
+
+TEST(SimdKernels, SpmmMatchesScalarIncludingOutStride) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const auto& d : kSpmmShapes) {
+    const Csr m = random_csr(d.m, d.k, 31 * d.m + d.n);
+    const Buffer dense = random_buffer(d.k * d.n, 37 * d.k + d.n);
+    // stride > n: the inference fast path writes a slice of a wider matrix.
+    const std::size_t stride = d.n + 3;
+    Buffer want(d.m * stride, 0.0), got(d.m * stride, 0.0);
+    // Mark the inter-row gap; accumulation must never touch it.
+    for (std::size_t r = 0; r < d.m; ++r) {
+      for (std::size_t j = d.n; j < stride; ++j) {
+        want[r * stride + j] = 555.0;
+        got[r * stride + j] = 555.0;
+      }
+    }
+    scalar.spmm(m.row_ptr.data(), m.col_idx.data(), m.values.data(), d.m,
+                dense.data(), d.n, want.data(), stride);
+    avx2.spmm(m.row_ptr.data(), m.col_idx.data(), m.values.data(), d.m,
+              dense.data(), d.n, got.data(), stride);
+    for (std::size_t r = 0; r < d.m; ++r) {
+      for (std::size_t j = d.n; j < stride; ++j) {
+        ASSERT_EQ(got[r * stride + j], 555.0) << "stride gap clobbered";
+      }
+    }
+    expect_close(got, want, "spmm");
+  }
+}
+
+TEST(SimdKernels, SpmmCallbackFiresPerRowInOrderAndMatchesSpmm) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const auto& d : kSpmmShapes) {
+    const Csr m = random_csr(d.m, d.k, 41 * d.m + d.n);
+    const Buffer dense = random_buffer(d.k * d.n, 43 * d.k + d.n);
+    Buffer plain(d.m * d.n, 0.0);
+    scalar.spmm(m.row_ptr.data(), m.col_idx.data(), m.values.data(), d.m,
+                dense.data(), d.n, plain.data(), d.n);
+    for (const KernelTable* table : {&scalar, &avx2}) {
+      Buffer out(d.m * d.n, 0.0);
+      std::vector<std::size_t> seen;
+      table->spmm_cb(m.row_ptr.data(), m.col_idx.data(), m.values.data(), d.m,
+                     dense.data(), d.n, out.data(), d.n,
+                     [&](std::size_t row, double* row_data) {
+                       EXPECT_EQ(row_data, out.data() + row * d.n);
+                       seen.push_back(row);
+                     });
+      ASSERT_EQ(seen.size(), d.m);
+      for (std::size_t r = 0; r < d.m; ++r) EXPECT_EQ(seen[r], r);
+      expect_close(out, plain, "spmm_cb");
+    }
+  }
+}
+
+TEST(SimdKernels, SpmmTransposeMatchesScalar) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const auto& d : kSpmmShapes) {
+    const Csr m = random_csr(d.m, d.k, 47 * d.m + d.n);
+    // dense has one row per CSR row; out has one row per CSR column.
+    const Buffer dense = random_buffer(d.m * d.n, 53 * d.k + d.n);
+    Buffer want(d.k * d.n, 0.0), got(d.k * d.n, 0.0);
+    scalar.spmm_t(m.row_ptr.data(), m.col_idx.data(), m.values.data(), d.m,
+                  dense.data(), d.n, want.data());
+    avx2.spmm_t(m.row_ptr.data(), m.col_idx.data(), m.values.data(), d.m,
+                dense.data(), d.n, got.data());
+    expect_close(got, want, "spmm_t");
+  }
+}
+
+TEST(SimdKernels, ReluForwardAndBackwardAreBitwiseIdentical) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const std::size_t n : kElementSizes) {
+    Buffer input = random_buffer(n, 61 * n, -3.0, 3.0);
+    input[0] = 0.0;                       // boundary: relu(0) == 0
+    if (n > 2) input[1] = -0.0;           // signed zero
+    if (n > 4) input[3] = std::numeric_limits<double>::quiet_NaN();
+
+    Buffer want = input, got = input;
+    scalar.relu_fwd(want.data(), n);
+    avx2.relu_fwd(got.data(), n);
+    expect_bitwise(got, want, "relu_fwd");
+
+    // Backward: masking is by sign of the ORIGINAL input; grad through a NaN
+    // input must behave identically in both implementations.
+    Buffer grad_want = random_buffer(n, 67 * n), grad_got = grad_want;
+    scalar.relu_bwd(grad_want.data(), input.data(), n);
+    avx2.relu_bwd(grad_got.data(), input.data(), n);
+    expect_bitwise(grad_got, grad_want, "relu_bwd");
+  }
+}
+
+TEST(SimdKernels, TanhFamilyMatchesScalarWithin1e12) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const std::size_t n : kElementSizes) {
+    // Mix of the three ranges: tiny (odd-polynomial path), mid (exp
+    // identity), saturated (|x| > 19 clamps to +/-1), plus exact zero.
+    Buffer input = random_buffer(n, 71 * n, -4.0, 4.0);
+    util::Rng rng(73 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pick = rng.uniform();
+      if (pick < 0.25) input[i] = rng.uniform(-0.009, 0.009);
+      else if (pick < 0.4) input[i] = rng.uniform(19.5, 25.0) * (rng.uniform() < 0.5 ? -1.0 : 1.0);
+    }
+    input[0] = 0.0;
+
+    Buffer want = input, got = input;
+    scalar.tanh_fwd(want.data(), n);
+    avx2.tanh_fwd(got.data(), n);
+    expect_close(got, want, "tanh_fwd");
+
+    // tanh_bwd scales grad by 1 - y^2 from the cached outputs.
+    Buffer grad_want = random_buffer(n, 79 * n), grad_got = grad_want;
+    scalar.tanh_bwd(grad_want.data(), want.data(), n);
+    avx2.tanh_bwd(grad_got.data(), want.data(), n);
+    expect_close(grad_got, grad_want, "tanh_bwd");
+
+    // tanh_grad_pre recomputes tanh from the pre-activation.
+    Buffer pre_want = random_buffer(n, 83 * n), pre_got = pre_want;
+    scalar.tanh_grad_pre(pre_want.data(), input.data(), n);
+    avx2.tanh_grad_pre(pre_got.data(), input.data(), n);
+    expect_close(pre_got, pre_want, "tanh_grad_pre");
+  }
+}
+
+TEST(SimdKernels, ExpMatchesScalarWithin1e12) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  for (const std::size_t n : kElementSizes) {
+    // exp_fwd's production input is log-probabilities (<= 0); cover those
+    // plus moderate positives. (Extreme magnitudes beyond +-700 are
+    // implementation-defined at the subnormal edge and never occur here.)
+    Buffer input = random_buffer(n, 89 * n, -30.0, 3.0);
+    input[0] = 0.0;  // exp(0) == 1 exactly in both
+    Buffer want = input, got = input;
+    scalar.exp_fwd(want.data(), n);
+    avx2.exp_fwd(got.data(), n);
+    expect_close(got, want, "exp_fwd");
+  }
+}
+
+TEST(SimdKernels, LogSoftmaxMatchesScalarWithin1e12) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& scalar = scalar_kernels();
+  const KernelTable& avx2 = *avx2_kernels();
+  // Class counts below one vector (scalar fallback inside the AVX2 table)
+  // and above, with odd tails.
+  for (const std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9}, std::size_t{13},
+                              std::size_t{23}, std::size_t{64}}) {
+    Buffer logits = random_buffer(n, 97 * n, -6.0, 6.0);
+    Buffer want = logits, got = logits;
+    scalar.logsoftmax_fwd(want.data(), n);
+    avx2.logsoftmax_fwd(got.data(), n);
+    expect_close(got, want, "logsoftmax_fwd");
+
+    Buffer grad_want = random_buffer(n, 101 * n), grad_got = grad_want;
+    scalar.logsoftmax_bwd(grad_want.data(), want.data(), n);
+    avx2.logsoftmax_bwd(grad_got.data(), got.data(), n);
+    expect_close(grad_got, grad_want, "logsoftmax_bwd");
+  }
+}
+
+TEST(SimdKernels, Avx2GemmIsRunToRunBitwiseDeterministic) {
+  SKIP_WITHOUT_AVX2();
+  const KernelTable& avx2 = *avx2_kernels();
+  const Dims d{13, 21, 17};
+  const Buffer a = random_buffer(d.m * d.k, 103);
+  const Buffer b = random_buffer(d.k * d.n, 107);
+  Buffer first(d.m * d.n, 0.0), second(d.m * d.n, 0.0);
+  avx2.gemm_nn(first.data(), a.data(), b.data(), d.m, d.k, d.n);
+  avx2.gemm_nn(second.data(), a.data(), b.data(), d.m, d.k, d.n);
+  expect_bitwise(second, first, "gemm_nn repeat");
+}
+
+}  // namespace
+}  // namespace magic::tensor::simd
