@@ -10,7 +10,14 @@
 // JSON records hardware_concurrency alongside the measurements (CI runs
 // this on a multi-core runner; a 1-core container will honestly report ~1x).
 //
-// A second section compares the two classify() engines on one replica —
+// A second section measures connection scaling of the epoll socket daemon:
+// 64 / 256 / 1024 concurrent Unix-socket clients, one scan request each,
+// through a single event loop (RLIMIT_NOFILE is raised to the hard limit
+// first). The section goes into BENCH_serve.json as "connections" and the
+// process exits nonzero if any client fails to connect or any verdict is
+// not ok — CI doubles as the >=1024-concurrent-connections gate.
+//
+// A third section compares the two classify() engines on one replica —
 // packed block-diagonal batching vs the per-item loop — both directly
 // (threads=1, same replica count) and at the serving layer, and writes the
 // comparison to BENCH_batch.json. The process exits nonzero if the engines
@@ -29,10 +36,15 @@
 //                  snapshot (serve.* counters + latency histogram,
 //                  extraction spans, trainer phases) as JSON
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <iostream>
 #include <sstream>
@@ -45,7 +57,9 @@
 #include "data/program_generator.hpp"
 #include "magic/classifier.hpp"
 #include "obs/metrics.hpp"
+#include "serve/daemon.hpp"
 #include "serve/server.hpp"
+#include "serve/wire.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -108,11 +122,8 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-/// Fresh polymorphic scan workload: listings from a few YANCFG family
-/// specs, extracted to ACFGs up front so the sweep measures serving, not
-/// the frontend.
-std::vector<acfg::Acfg> make_workload(std::size_t count, std::uint64_t seed,
-                                      util::ThreadPool& pool) {
+/// Fresh polymorphic scan listings from a few YANCFG family specs.
+std::vector<std::string> make_listings(std::size_t count, std::uint64_t seed) {
   const auto specs = data::yancfg_family_specs();
   const std::size_t families[] = {1, 3, 9};  // Benign, Hupigon, Swizzor
   std::vector<data::ProgramGenerator> generators;
@@ -125,7 +136,14 @@ std::vector<acfg::Acfg> make_workload(std::size_t count, std::uint64_t seed,
   for (std::size_t i = 0; i < count; ++i) {
     listings.push_back(generators[i % generators.size()].generate_listing());
   }
-  return acfg::extract_batch(listings, pool);
+  return listings;
+}
+
+/// Scan workload extracted to ACFGs up front so the sweep measures serving,
+/// not the frontend.
+std::vector<acfg::Acfg> make_workload(std::size_t count, std::uint64_t seed,
+                                      util::ThreadPool& pool) {
+  return acfg::extract_batch(make_listings(count, seed), pool);
 }
 
 SweepPoint run_point(core::MagicClassifier& clf,
@@ -176,6 +194,103 @@ std::string json_point(const SweepPoint& p) {
      << ",\"latency_p50_ms\":" << p.stats.latency_p50_ms
      << ",\"latency_p95_ms\":" << p.stats.latency_p95_ms
      << ",\"latency_p99_ms\":" << p.stats.latency_p99_ms << "}";
+  return os.str();
+}
+
+// ---- Connection scaling over the epoll socket daemon ----------------------
+
+struct ConnectionPoint {
+  std::size_t connections = 0;  ///< target
+  std::size_t connected = 0;    ///< actually established
+  std::size_t ok = 0;           ///< ok verdicts received
+  double connect_seconds = 0.0;
+  double serve_seconds = 0.0;
+  double throughput = 0.0;  ///< ok verdicts / serve_seconds
+};
+
+/// Lifts RLIMIT_NOFILE toward the hard limit: each benched connection costs
+/// two fds (client end + daemon end), so the 1024-connection point needs
+/// more than the common 1024 soft default.
+bool raise_nofile_limit(rlim_t need) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  if (lim.rlim_cur >= need) return true;
+  lim.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                     ? need
+                     : std::min<rlim_t>(lim.rlim_max, need);
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+  return ::getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur >= need;
+}
+
+/// One connection-scaling point: a real magicd event loop on a Unix socket,
+/// `connections` concurrent clients, one base64 scan request per client
+/// (all pipelined before any response is read, so every connection is
+/// simultaneously active).
+ConnectionPoint run_connection_point(core::MagicClassifier& clf,
+                                     std::size_t connections,
+                                     const std::vector<std::string>& requests) {
+  serve::ServeConfig config;
+  config.workers = 4;
+  config.queue_capacity = connections + 16;
+  config.max_batch = 8;
+  config.batch_window = std::chrono::microseconds(2000);
+  serve::InferenceServer server(clf, config);
+  std::atomic<bool> stop{false};
+  serve::DaemonOptions options;
+  options.socket_path = "/tmp/bench_magicd_" + std::to_string(::getpid()) +
+                        "_" + std::to_string(connections) + ".sock";
+  options.handle_signals = false;
+  options.external_stop = &stop;
+  std::thread daemon([&] { serve::run_unix_daemon(server, options); });
+
+  ConnectionPoint point;
+  point.connections = connections;
+  std::vector<std::unique_ptr<serve::wire::UnixClient>> clients;
+  clients.reserve(connections);
+  util::Timer connect_timer;
+  for (std::size_t i = 0; i < connections; ++i) {
+    bool connected = false;
+    for (int attempt = 0; attempt < 200 && !connected; ++attempt) {
+      try {
+        clients.push_back(
+            std::make_unique<serve::wire::UnixClient>(options.socket_path));
+        connected = true;
+      } catch (const std::runtime_error&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    if (!connected) break;
+  }
+  point.connected = clients.size();
+  point.connect_seconds = connect_timer.seconds();
+
+  util::Timer serve_timer;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    clients[i]->send_line(requests[i % requests.size()]);
+  }
+  std::string line;
+  for (auto& client : clients) {
+    if (client->recv_line(line) &&
+        line.find("\"status\":\"ok\"") != std::string::npos) {
+      ++point.ok;
+    }
+  }
+  point.serve_seconds = serve_timer.seconds();
+  point.throughput = point.serve_seconds > 0.0
+                         ? static_cast<double>(point.ok) / point.serve_seconds
+                         : 0.0;
+  clients.clear();
+  stop.store(true);
+  daemon.join();
+  return point;
+}
+
+std::string json_connection_point(const ConnectionPoint& p) {
+  std::ostringstream os;
+  os << "{\"connections\":" << p.connections << ",\"connected\":" << p.connected
+     << ",\"ok\":" << p.ok << ",\"connect_s\":" << p.connect_seconds
+     << ",\"serve_s\":" << p.serve_seconds
+     << ",\"throughput_rps\":" << p.throughput << "}";
   return os.str();
 }
 
@@ -292,6 +407,47 @@ int main(int argc, char** argv) {
   std::cout << "\nspeedup (8 workers, batched vs 1 worker, unbatched): "
             << util::format_fixed(speedup, 2) << "x\n";
 
+  // ---- Connection scaling (epoll daemon over a Unix socket) --------------
+  const std::size_t conn_counts[] = {64, 256, 1024};
+  const std::size_t max_conns =
+      *std::max_element(std::begin(conn_counts), std::end(conn_counts));
+  std::vector<ConnectionPoint> conn_points;
+  bool conn_failed = false;
+  if (!raise_nofile_limit(static_cast<rlim_t>(2 * max_conns + 64))) {
+    std::cerr << "FAIL: cannot raise RLIMIT_NOFILE for the "
+              << max_conns << "-connection point\n";
+    conn_failed = true;
+  } else {
+    std::cout << "\nconnection scaling (epoll daemon, 1 request per "
+                 "connection, all pipelined):\n";
+    std::vector<std::string> requests;
+    requests.reserve(max_conns);
+    const std::vector<std::string> listings =
+        make_listings(max_conns, opt.seed ^ 0xC0117);
+    for (std::size_t i = 0; i < listings.size(); ++i) {
+      requests.push_back("q" + std::to_string(i) + " b64 " +
+                         serve::wire::base64_encode(listings[i]));
+    }
+    util::Table conn_table({"Connections", "Connect (s)", "Serve (s)",
+                            "Throughput (req/s)", "OK"});
+    for (std::size_t n : conn_counts) {
+      const ConnectionPoint p = run_connection_point(clf, n, requests);
+      conn_table.add_row(
+          {std::to_string(p.connections),
+           util::format_fixed(p.connect_seconds, 2),
+           util::format_fixed(p.serve_seconds, 2),
+           util::format_fixed(p.throughput, 1),
+           std::to_string(p.ok) + "/" + std::to_string(p.connections)});
+      if (p.connected != p.connections || p.ok != p.connections) {
+        std::cerr << "FAIL: " << p.connected << "/" << p.connections
+                  << " connected, " << p.ok << " ok verdicts\n";
+        conn_failed = true;
+      }
+      conn_points.push_back(p);
+    }
+    conn_table.print(std::cout);
+  }
+
   std::ofstream out(opt.out);
   out << "{\"bench\":\"serve_throughput\",\"samples\":" << opt.samples
       << ",\"hardware_concurrency\":" << hardware
@@ -300,6 +456,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (i != 0) out << ",";
     out << json_point(points[i]);
+  }
+  out << "],\"connections\":[";
+  for (std::size_t i = 0; i < conn_points.size(); ++i) {
+    if (i != 0) out << ",";
+    out << json_connection_point(conn_points[i]);
   }
   out << "]}\n";
   std::cout << "wrote " << opt.out << "\n";
@@ -360,7 +521,7 @@ int main(int argc, char** argv) {
             << ",\"packed\":" << json_point(serve_packed) << "}}\n";
   std::cout << "wrote " << opt.batch_out << "\n";
 
-  bool failed = false;
+  bool failed = conn_failed;
   if (!cmp.agree) {
     std::cerr << "FAIL: packed and per-sample predictions disagree beyond "
                  "1e-9 relative tolerance\n";

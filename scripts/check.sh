@@ -25,8 +25,11 @@
 # configuration exercises the data-parallel trainer tests
 # (ParallelTrainer.* in test_core), which fan per-sample forward/backward
 # across the thread pool and are the main concurrency surface besides
-# magic::serve, and the magic::obs registry tests (Metrics.Concurrent* in
-# test_obs), which hammer one counter/histogram from many threads while
+# magic::serve, the epoll daemon and model-registry suites (Reactor.* and
+# ModelRegistry.* in test_serve: worker pool + completion hooks waking the
+# event loop, hot-swap under load, shadow-pair scoring from verdict hooks),
+# and the magic::obs registry tests (Metrics.Concurrent* in test_obs),
+# which hammer one counter/histogram from many threads while
 # snapshot_json() runs.
 
 set -euo pipefail

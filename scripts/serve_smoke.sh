@@ -4,8 +4,12 @@
 # Exercises the full serving path with real binaries (no gtest):
 #   1. magicd --selftrain: trains a tiny model and writes demo listings;
 #   2. stdio mode: pipes scan requests through magicd, asserts JSON verdicts;
-#   3. socket mode: starts the daemon, scans via malware_scanner --serve,
-#      then SIGTERMs the exact daemon PID and asserts a graceful exit.
+#   3. model registry over stdio: `reload` hot-swap, a per-request
+#      `<id>@<version>` override, `shadow` mirroring, and the registry
+#      counters in the stats payload;
+#   4. socket mode: epoll daemon preloaded with a second version and shadow
+#      mode on (--load/--shadow), scans via malware_scanner --serve, then
+#      SIGTERMs the exact daemon PID and asserts a graceful exit.
 #
 # Usage:
 #   scripts/serve_smoke.sh [BUILD_DIR]      # default: build
@@ -95,8 +99,41 @@ grep -q '"serve.latency_ms"' "${STDIO_OUT}" || fail "stdio mode: stats line miss
 grep -q '"packed_batches":' "${STDIO_OUT}" || fail "stdio mode: stats line missing packed_batches: $(tail -1 "${STDIO_OUT}")"
 echo "    3/3 verdicts ok"
 
-echo "==> socket mode: daemon + malware_scanner --serve client"
-"${MAGICD}" --model "${MODEL}" --socket "${SOCKET}" --workers 2 &
+echo "==> model registry: reload hot-swap + version override + shadow (stdio)"
+REG_OUT="${WORK}/registry.out"
+{
+  echo "r0 path ${SAMPLES[0]}"
+  echo "reload v2 ${MODEL}"
+  echo "rv@v1 path ${SAMPLES[1]}"
+  echo "shadow v1 1.0"
+  echo "r2 path ${SAMPLES[2]}"
+  echo "stats"
+  echo "quit"
+} | "${MAGICD}" --model "${MODEL}" --workers 2 > "${REG_OUT}" \
+  || fail "registry stdio: magicd exited nonzero"
+[[ "$(wc -l < "${REG_OUT}")" -eq 6 ]] \
+  || fail "registry stdio: expected 6 response lines: $(cat "${REG_OUT}")"
+grep -q '"op":"reload"' "${REG_OUT}" || fail "registry stdio: no reload reply"
+grep -q '"default":"v2"' "${REG_OUT}" \
+  || fail "registry stdio: reload did not swap the default: $(cat "${REG_OUT}")"
+# The @v1 override routes to the pre-reload version; the suffix is stripped
+# from the echoed id.
+grep -q '"id":"rv"' "${REG_OUT}" || fail "registry stdio: no override response"
+grep -q '"op":"shadow"' "${REG_OUT}" || fail "registry stdio: no shadow reply"
+[[ "$(grep -c '"status":"ok"' "${REG_OUT}")" -eq 5 ]] \
+  || fail "registry stdio: expected 5 ok lines (3 scans + 2 control): $(cat "${REG_OUT}")"
+# Registry counters in the stats payload: one reload, shadow v1 at 1.0, and
+# exactly the one default-routed scan after `shadow` was mirrored.
+grep -q '"registry":{' "${REG_OUT}" || fail "registry stdio: stats missing registry block: $(tail -1 "${REG_OUT}")"
+grep -q '"reloads":1' "${REG_OUT}" || fail "registry stdio: stats missing reloads=1: $(tail -1 "${REG_OUT}")"
+grep -q '"shadow":{"version":"v1","fraction":1' "${REG_OUT}" \
+  || fail "registry stdio: stats missing shadow config: $(tail -1 "${REG_OUT}")"
+grep -q '"mirrored":1' "${REG_OUT}" || fail "registry stdio: stats missing mirrored=1: $(tail -1 "${REG_OUT}")"
+echo "    reload + override + shadow ok, registry counters present"
+
+echo "==> socket mode: epoll daemon (+preloaded v2, shadow 0.5) + malware_scanner --serve client"
+"${MAGICD}" --model "${MODEL}" --socket "${SOCKET}" --workers 2 \
+  --load v2="${MODEL}" --shadow v2:0.5 &
 DAEMON_PID=$!
 for _ in $(seq 1 100); do
   [[ -S "${SOCKET}" ]] && break
@@ -110,7 +147,15 @@ CLIENT_OUT="${WORK}/client.out"
 [[ "$(grep -c '"status":"ok"' "${CLIENT_OUT}")" -eq 3 ]] \
   || fail "socket mode: expected 3 ok verdicts: $(cat "${CLIENT_OUT}")"
 grep -q 'server-stats' "${CLIENT_OUT}" || fail "socket mode: no stats line"
-echo "    3/3 verdicts ok over the socket"
+# The socket stats payload carries the registry block (preloaded v2, shadow
+# at 0.5: of 3 default-routed scans exactly one crosses the floor((n+1)*f)
+# threshold) and the reactor's event-loop counters.
+grep -q '"registry":{' "${CLIENT_OUT}" || fail "socket mode: stats missing registry block: $(cat "${CLIENT_OUT}")"
+grep -q '"shadow":{"version":"v2"' "${CLIENT_OUT}" \
+  || fail "socket mode: stats missing shadow config: $(cat "${CLIENT_OUT}")"
+grep -q '"mirrored":1' "${CLIENT_OUT}" || fail "socket mode: expected exactly 1 mirrored scan: $(cat "${CLIENT_OUT}")"
+grep -q '"reactor":{' "${CLIENT_OUT}" || fail "socket mode: stats missing reactor block: $(cat "${CLIENT_OUT}")"
+echo "    3/3 verdicts ok over the socket, registry + reactor stats present"
 
 echo "==> SIGTERM graceful drain"
 kill -TERM "${DAEMON_PID}"

@@ -1,61 +1,46 @@
 #include "serve/daemon.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <csignal>
-#include <cstring>
 #include <deque>
-#include <fstream>
 #include <functional>
 #include <istream>
-#include <memory>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
-#include <thread>
+#include <string>
+#include <string_view>
 #include <utility>
-#include <vector>
 
-#include "obs/metrics.hpp"
+#include "serve/reactor.hpp"
+#include "serve/scan_service.hpp"
 #include "serve/wire.hpp"
-#include "tensor/simd/dispatch.hpp"
-#include "util/join_thread.hpp"
 
 namespace magic::serve {
 namespace {
 
-/// The `stats` wire response: the per-server snapshot, the SIMD dispatch
-/// level the math kernels run at, plus the process-wide metrics registry
-/// (extraction spans, serve latency quantiles, ...).
-std::string stats_payload(InferenceServer& server) {
-  return "{\"server\":" + server.stats().to_json() + ",\"simd_level\":\"" +
-         tensor::simd::level_name(tensor::simd::active_level()) +
-         "\",\"obs\":" + obs::MetricsRegistry::global().snapshot_json() + "}";
-}
-
 /// One in-order response slot: either a pending verdict or an
-/// already-rendered line (parse errors, stats).
+/// already-rendered line (parse errors, control replies, stats).
 struct ResponseEntry {
   std::string id;
-  PendingVerdict pending;     // invalid when ready_line / is_stats is used
+  PendingVerdict pending;  // invalid when ready_line / is_stats is used
   std::string ready_line;
-  bool is_stats = false;      // render the snapshot at flush time, so it
-                              // reflects the requests ordered before it
+  bool is_stats = false;   // render the snapshot at flush time, so it
+                           // reflects the requests ordered before it
 };
 
-/// Core protocol loop shared by the stdio and socket paths. `read_line`
-/// returns false at end of stream; `write_line_fn` emits one response line.
+/// True for the documented no-response lines: blank or '#' comment.
+bool ignorable_line(std::string_view line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  return first == std::string_view::npos || line[first] == '#';
+}
+
+/// Blocking protocol loop of the stdio mode. `read_line` returns false at
+/// end of stream; `write_line_fn` emits one response line. (The socket
+/// daemon runs the same protocol event-driven — serve/reactor.cpp.)
 std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
                           const std::function<void(std::string_view)>& write_line_fn,
-                          InferenceServer& server) {
+                          ScanService& service) {
   // Bounds the number of outstanding responses per stream; beyond it the
-  // reader blocks on the oldest verdict (per-connection flow control on
-  // top of the server's global admission control).
+  // reader blocks on the oldest verdict (per-stream flow control on top of
+  // the server's global admission control).
   constexpr std::size_t kMaxPending = 512;
 
   std::uint64_t served = 0;
@@ -66,7 +51,7 @@ std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
     if (front.pending.valid()) {
       write_line_fn(wire::verdict_to_json(front.id, front.pending.get()));
     } else if (front.is_stats) {
-      write_line_fn(stats_payload(server));
+      write_line_fn(service.stats_json());
     } else {
       write_line_fn(front.ready_line);
     }
@@ -86,6 +71,15 @@ std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
     try {
       const auto request = wire::parse_request_line(line);
       if (!request) {
+        // The parser returns nullopt only for ignorable lines; anything
+        // else would be a silently dropped request, so answer it.
+        if (!ignorable_line(line)) {
+          Verdict verdict;
+          verdict.status = VerdictStatus::Error;
+          verdict.error = "unparseable request line";
+          entry.ready_line = wire::verdict_to_json("", verdict);
+          pending.push_back(std::move(entry));
+        }
         flush_ready();
         continue;
       }
@@ -97,18 +91,23 @@ std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
           entry.is_stats = true;
           pending.push_back(std::move(entry));
           break;
+        case wire::Request::Kind::Reload:
+        case wire::Request::Kind::Shadow:
+          // Inline on the stream thread: control is rare and may block
+          // anyway (a reload materializes a model). Never throws.
+          entry.ready_line = service.control(*request);
+          pending.push_back(std::move(entry));
+          break;
         case wire::Request::Kind::Path: {
           entry.id = request->id;
-          std::ifstream file(request->payload);
-          if (!file) {
+          std::string listing;
+          if (!read_file_to_string(request->payload, listing)) {
             Verdict verdict;
             verdict.status = VerdictStatus::Error;
             verdict.error = "cannot open " + request->payload;
             entry.ready_line = wire::verdict_to_json(entry.id, verdict);
           } else {
-            std::ostringstream buffer;
-            buffer << file.rdbuf();
-            entry.pending = server.submit_listing(buffer.str());
+            entry.pending = service.submit_listing(listing, request->version);
             ++served;
           }
           pending.push_back(std::move(entry));
@@ -116,7 +115,7 @@ std::uint64_t serve_lines(const std::function<bool(std::string&)>& read_line,
         }
         case wire::Request::Kind::Base64:
           entry.id = request->id;
-          entry.pending = server.submit_listing(request->payload);
+          entry.pending = service.submit_listing(request->payload, request->version);
           ++served;
           pending.push_back(std::move(entry));
           break;
@@ -142,36 +141,10 @@ std::atomic<bool> g_signal_stop{false};
 
 void stop_signal_handler(int) { g_signal_stop.store(true, std::memory_order_relaxed); }
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": errno " + std::to_string(errno));
-}
-
-int bind_unix_listener(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("magicd: bad socket path '" + socket_path + "'");
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("magicd: socket");
-  ::unlink(socket_path.c_str());  // replace a stale socket file
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    throw std::runtime_error("magicd: cannot bind " + socket_path + " (errno " +
-                             std::to_string(errno) + ")");
-  }
-  if (::listen(fd, 64) != 0) {
-    ::close(fd);
-    throw_errno("magicd: listen");
-  }
-  return fd;
-}
-
 }  // namespace
 
 std::uint64_t serve_stream(std::istream& in, std::ostream& out,
-                           InferenceServer& server) {
+                           ScanService& service) {
   auto read_line = [&in](std::string& line) {
     return static_cast<bool>(std::getline(in, line));
   };
@@ -179,10 +152,16 @@ std::uint64_t serve_stream(std::istream& in, std::ostream& out,
     out << line << '\n';
     out.flush();
   };
-  return serve_lines(read_line, write, server);
+  return serve_lines(read_line, write, service);
 }
 
-std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& options) {
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           InferenceServer& server) {
+  ServerScanService service(server);
+  return serve_stream(in, out, service);
+}
+
+std::uint64_t run_unix_daemon(ScanService& service, const DaemonOptions& options) {
   if (options.handle_signals) {
     g_signal_stop.store(false, std::memory_order_relaxed);
     struct sigaction action {};
@@ -190,107 +169,25 @@ std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& opti
     sigemptyset(&action.sa_mask);
     ::sigaction(SIGTERM, &action, nullptr);
     ::sigaction(SIGINT, &action, nullptr);
-    // Belt and braces on top of MSG_NOSIGNAL in wire::write_line: a client
-    // that disconnects mid-response must never SIGPIPE-kill the daemon.
+    // Belt and braces on top of MSG_NOSIGNAL in the reactor's writes: a
+    // client that disconnects mid-response must never SIGPIPE-kill the
+    // daemon.
     ::signal(SIGPIPE, SIG_IGN);
   }
 
-  const int listen_fd = bind_unix_listener(options.socket_path);
-
-  // One entry per live connection. Only the accept/drain thread touches
-  // this vector; connection threads touch just their own fd and done flag,
-  // and the fd stays open until after the join, so a recycled fd number can
-  // never be shut down by mistake.
-  struct Connection {
-    int fd = -1;
-    std::shared_ptr<std::atomic<bool>> done;
-    util::JoinThread thread;
-  };
-  std::vector<Connection> connections;
-  std::atomic<std::uint64_t> served{0};
-
-  auto reap_finished = [&connections] {
-    for (auto it = connections.begin(); it != connections.end();) {
-      if (it->done->load(std::memory_order_acquire)) {
-        it->thread.join();
-        ::close(it->fd);
-        it = connections.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
-  auto should_stop = [&] {
+  auto should_stop = [&options] {
     if (options.handle_signals && g_signal_stop.load(std::memory_order_relaxed)) {
       return true;
     }
     return options.external_stop != nullptr &&
            options.external_stop->load(std::memory_order_acquire);
   };
+  return run_reactor(service, options, should_stop);
+}
 
-  while (!should_stop()) {
-    reap_finished();  // join finished connection threads as we go
-    pollfd poller{};
-    poller.fd = listen_fd;
-    poller.events = POLLIN;
-    const int ready = ::poll(&poller, 1, 200);
-    if (ready < 0) {
-      if (errno == EINTR) continue;  // signal: loop re-checks should_stop
-      ::close(listen_fd);
-      throw_errno("magicd: poll");
-    }
-    if (ready == 0) continue;
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener torn down
-    }
-    connections.push_back(Connection{conn_fd, std::make_shared<std::atomic<bool>>(false), {}});
-    Connection& conn = connections.back();
-    conn.thread = util::JoinThread([conn_fd, done = conn.done, &server, &served] {
-      wire::FdLineReader reader(conn_fd);
-      auto read_line = [&reader](std::string& line) { return reader.next_line(line); };
-      auto write = [conn_fd](std::string_view line) { wire::write_line(conn_fd, line); };
-      try {
-        served.fetch_add(serve_lines(read_line, write, server),
-                         std::memory_order_relaxed);
-      } catch (const std::exception&) {
-        // Client went away mid-response; drop the connection silently.
-      }
-      done->store(true, std::memory_order_release);
-    });
-  }
-
-  // Graceful drain: stop accepting, half-close connection read sides so
-  // blocked reads see EOF and the protocol loops flush pending verdicts.
-  ::close(listen_fd);
-  for (const Connection& conn : connections) ::shutdown(conn.fd, SHUT_RD);
-
-  // Give well-behaved connections a grace period to finish flushing, then
-  // hard-close stragglers (peers that stopped reading): their blocked
-  // writes fail fast and the per-connection catch drops the connection,
-  // so the joins below cannot hang.
-  const auto grace_deadline = std::chrono::steady_clock::now() + options.drain_grace;
-  auto all_done = [&connections] {
-    for (const Connection& conn : connections) {
-      if (!conn.done->load(std::memory_order_acquire)) return false;
-    }
-    return true;
-  };
-  while (!all_done() && std::chrono::steady_clock::now() < grace_deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  for (const Connection& conn : connections) {
-    if (!conn.done->load(std::memory_order_acquire)) ::shutdown(conn.fd, SHUT_RDWR);
-  }
-  for (Connection& conn : connections) {
-    if (conn.thread.joinable()) conn.thread.join();
-    ::close(conn.fd);
-  }
-  server.stop(/*drain=*/true);
-  ::unlink(options.socket_path.c_str());
-  return served.load(std::memory_order_relaxed);
+std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& options) {
+  ServerScanService service(server);
+  return run_unix_daemon(service, options);
 }
 
 }  // namespace magic::serve

@@ -2,22 +2,30 @@
 // magicd daemon loops: serve the wire protocol over stdio or a Unix domain
 // socket.
 //
-// Both modes pipeline: requests are submitted to the InferenceServer as
+// Both modes pipeline: requests are submitted to the backend ScanService as
 // they are read (so micro-batching sees real concurrency) while responses
 // are flushed in request order as they resolve. A stream ends at EOF or a
 // `quit` line, after which every outstanding verdict is flushed.
 //
-// The socket daemon accepts any number of concurrent connections (each one
-// is an independent producer into the shared server) and drains gracefully
-// on SIGTERM/SIGINT: stop accepting, half-close active connections, flush
-// their in-flight verdicts, then drain the server queue.
+// The socket daemon is a single epoll event loop (serve/reactor.hpp): one
+// thread owns every connection fd, extraction runs on a small worker pool,
+// and verdict completions wake the loop through an eventfd. It accepts any
+// number of concurrent connections and drains gracefully on SIGTERM/SIGINT:
+// stop accepting, flush in-flight verdicts, then drain the service.
+//
+// Both loops are written against ScanService, so they serve a bare
+// InferenceServer and a versioned ModelRegistry identically; the
+// InferenceServer overloads below are the registry-less convenience
+// surface.
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "serve/scan_service.hpp"
 #include "serve/server.hpp"
 
 namespace magic::serve {
@@ -25,6 +33,8 @@ namespace magic::serve {
 /// Serves one request stream (the stdio mode of magicd). Returns the
 /// number of scan requests submitted. Malformed lines produce an
 /// {"id":"","status":"error",...} response instead of killing the stream.
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           ScanService& service);
 std::uint64_t serve_stream(std::istream& in, std::ostream& out,
                            InferenceServer& server);
 
@@ -40,12 +50,27 @@ struct DaemonOptions {
   /// verdicts before hard-closing them (bounds shutdown latency even when
   /// a client stops reading).
   std::chrono::milliseconds drain_grace{5000};
+  /// Worker threads for extraction and control commands (the event loop
+  /// itself never extracts or scores). 0 = a small default.
+  std::size_t io_workers = 0;
+  /// Per-connection flow control: past this many outstanding responses the
+  /// reactor stops reading the connection and resumes at half the limit.
+  std::size_t max_pending_per_connection = 512;
+  /// A connection whose output buffer makes no write progress for this
+  /// long is dropped (the peer stopped reading).
+  std::chrono::milliseconds write_stall_timeout{30000};
+  /// Test hook: when set and true, the event loop treats its next wakeup
+  /// as a fatal poll failure — exercising the teardown path that must
+  /// close every connection fd before the error propagates.
+  const std::atomic<bool>* inject_loop_fault = nullptr;
 };
 
-/// Binds `options.socket_path` (replacing a stale socket file), accepts
-/// connections until a stop signal, then drains and returns the total
-/// number of scan requests served. Throws std::runtime_error on socket
-/// setup failure.
+/// Binds `options.socket_path` (replacing a *stale socket file* only — a
+/// path occupied by any other kind of file is refused), accepts connections
+/// until a stop signal, then drains and returns the total number of scan
+/// requests served. Throws std::runtime_error on socket setup failure or a
+/// fatal event-loop error.
+std::uint64_t run_unix_daemon(ScanService& service, const DaemonOptions& options);
 std::uint64_t run_unix_daemon(InferenceServer& server, const DaemonOptions& options);
 
 }  // namespace magic::serve

@@ -5,11 +5,19 @@
 //   magicd --model FILE                     stdio mode: newline-delimited
 //                                           requests on stdin, JSON verdicts
 //                                           on stdout (see serve/wire.hpp)
-//   magicd --model FILE --socket PATH      Unix-domain-socket daemon; any
-//                                           number of concurrent clients;
-//                                           graceful drain on SIGTERM/SIGINT
+//   magicd --model FILE --socket PATH      Unix-domain-socket daemon (one
+//                                           epoll event loop; any number of
+//                                           concurrent clients); graceful
+//                                           drain on SIGTERM/SIGINT
+// The daemon serves a versioned model registry: the --model checkpoint is
+// version --model-version (default "v1"); more versions load at startup
+// (--load NAME=FILE) or live (`reload NAME FILE` on the wire, which also
+// hot-swaps the default without dropping in-flight requests). Shadow mode
+// (--shadow NAME:FRACTION, or `shadow NAME FRACTION` on the wire) mirrors a
+// fraction of traffic to a candidate version and counts family agreement.
 // Tuning: --workers N --queue N --batch N --window-us U --deadline-ms D
 //         --cache-bytes N (verdict-cache budget; 0 disables; default 64 MiB)
+//         --io-workers N (socket daemon's extraction workers)
 //
 // Bootstrap (demo/CI; no real corpus required):
 //   magicd --selftrain FILE [--samples-dir DIR] [--scale F] [--epochs N]
@@ -25,7 +33,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/corpus.hpp"
@@ -33,6 +43,7 @@
 #include "magic/classifier.hpp"
 #include "obs/metrics.hpp"
 #include "serve/daemon.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "tensor/simd/dispatch.hpp"
 #include "util/join_thread.hpp"
@@ -49,6 +60,13 @@ struct Options {
   std::string selftrain_path;
   std::string samples_dir;
   std::string socket_path;
+  std::string model_version = "v1";
+  /// Extra versions to load at startup: (name, checkpoint path).
+  std::vector<std::pair<std::string, std::string>> preload;
+  /// Startup shadow spec: (version, fraction); empty version = off.
+  std::string shadow_version;
+  double shadow_fraction = 0.0;
+  std::size_t io_workers = 0;
   serve::ServeConfig serve;
   double scale = 0.004;
   std::size_t epochs = 12;
@@ -61,6 +79,8 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " --model FILE [--socket PATH]\n"
+      << "           [--model-version NAME] [--load NAME=FILE ...]\n"
+      << "           [--shadow NAME:FRACTION] [--io-workers N]\n"
       << "           [--workers N] [--queue N] [--batch N] [--window-us U]\n"
       << "           [--deadline-ms D] [--cache-bytes N] [--stats-every SECS]\n"
       << "           [--log-json]\n"
@@ -110,6 +130,24 @@ Options parse(int argc, char** argv) {
     else if (arg == "--deadline-ms")
       opt.serve.default_deadline = std::chrono::milliseconds(as_l(need_value(i)));
     else if (arg == "--cache-bytes") opt.serve.cache_bytes = as_ul(need_value(i));
+    else if (arg == "--io-workers") opt.io_workers = as_ul(need_value(i));
+    else if (arg == "--model-version") opt.model_version = need_value(i);
+    else if (arg == "--load") {
+      const std::string spec = need_value(i);
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) usage(argv[0]);
+      opt.preload.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    }
+    else if (arg == "--shadow") {
+      const std::string spec = need_value(i);
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) usage(argv[0]);
+      opt.shadow_version = spec.substr(0, colon);
+      opt.shadow_fraction = numeric(
+          [](const std::string& s, std::size_t* pos) { return std::stod(s, pos); },
+          spec.substr(colon + 1));
+      if (opt.shadow_fraction < 0.0 || opt.shadow_fraction > 1.0) usage(argv[0]);
+    }
     else if (arg == "--scale")
       opt.scale = numeric([](const std::string& s, std::size_t* pos) { return std::stod(s, pos); },
                           need_value(i));
@@ -189,17 +227,28 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
     if (!opt.selftrain_path.empty()) return selftrain(opt);
 
-    core::MagicClassifier clf = core::MagicClassifier::load_file(opt.model_path);
-    serve::InferenceServer server(clf, opt.serve);
-    std::cerr << "magicd: model " << opt.model_path << " ("
-              << clf.family_names().size() << " families), "
-              << server.config().workers << " workers, queue "
-              << server.config().queue_capacity << ", batch "
-              << server.config().max_batch << " @ "
-              << server.config().batch_window.count() << "us, cache "
-              << (server.config().cache_bytes == 0
+    auto clf = std::make_unique<core::MagicClassifier>(
+        core::MagicClassifier::load_file(opt.model_path));
+    const std::size_t families = clf->family_names().size();
+    serve::ModelRegistry registry(opt.model_version, std::move(clf), opt.serve);
+    for (const auto& [name, path] : opt.preload) {
+      registry.load_version(name, path, /*make_default=*/false);
+      std::cerr << "magicd: loaded version " << name << " from " << path << "\n";
+    }
+    if (!opt.shadow_version.empty()) {
+      registry.set_shadow(opt.shadow_version, opt.shadow_fraction);
+      std::cerr << "magicd: shadowing " << opt.shadow_fraction
+                << " of traffic to version " << opt.shadow_version << "\n";
+    }
+    std::cerr << "magicd: model " << opt.model_path << " (version "
+              << opt.model_version << ", " << families << " families), "
+              << opt.serve.workers << " workers, queue "
+              << opt.serve.queue_capacity << ", batch "
+              << opt.serve.max_batch << " @ "
+              << opt.serve.batch_window.count() << "us, cache "
+              << (opt.serve.cache_bytes == 0
                       ? std::string("off")
-                      : std::to_string(server.config().cache_bytes >> 20) + " MiB")
+                      : std::to_string(opt.serve.cache_bytes >> 20) + " MiB")
               << ", simd "
               << tensor::simd::level_name(tensor::simd::active_level()) << "\n";
 
@@ -223,10 +272,7 @@ int main(int argc, char** argv) {
           }
           if (stats_stop.load(std::memory_order_relaxed)) return;
           MAGIC_CLOG(util::LogLevel::Info, "serve",
-                     "stats {\"server\":"
-                         << server.stats().to_json() << ",\"obs\":"
-                         << obs::MetricsRegistry::global().snapshot_json()
-                         << "}");
+                     "stats " << registry.stats_json());
         }
       });
     }
@@ -245,16 +291,17 @@ int main(int argc, char** argv) {
     std::uint64_t served = 0;
     if (opt.socket_path.empty()) {
       std::cerr << "magicd: serving stdio (one request per line; 'quit' ends)\n";
-      served = serve::serve_stream(std::cin, std::cout, server);
-      server.stop(/*drain=*/true);
+      served = serve::serve_stream(std::cin, std::cout, registry);
+      registry.drain();
     } else {
       std::cerr << "magicd: listening on " << opt.socket_path << "\n";
       serve::DaemonOptions daemon;
       daemon.socket_path = opt.socket_path;
-      served = serve::run_unix_daemon(server, daemon);
+      daemon.io_workers = opt.io_workers;
+      served = serve::run_unix_daemon(registry, daemon);
     }
     stop_stats_thread();
-    const serve::ServerStats stats = server.stats();
+    const serve::ServerStats stats = registry.default_server_stats();
     std::cerr << "magicd: drained; served " << served << " requests ("
               << stats.completed << " ok, " << stats.rejected_full
               << " rejected, " << stats.expired << " expired, " << stats.failed

@@ -1,0 +1,47 @@
+#pragma once
+// Epoll-based event loop for the magicd socket daemon.
+//
+// One reactor thread owns the listener and every connection fd. Reads are
+// non-blocking and feed per-connection line buffers; each parsed request
+// becomes an in-order response entry on that connection's pending deque.
+// Extraction and scoring never run on the loop: scan and control requests
+// are dispatched to a small worker pool, and verdict completion hooks
+// (PendingVerdict::on_ready) wake the loop through an eventfd when a
+// response at the front of a deque becomes flushable.
+//
+// Flow control, per connection:
+//  - responses flush strictly in request order (protocol invariant);
+//  - past `max_pending_per_connection` outstanding responses the loop
+//    stops reading that connection (EPOLLIN deregistered) and resumes at
+//    half the limit — backpressure lands on the one slow client;
+//  - a client that stops reading accumulates an output buffer; if no write
+//    progress happens for `write_stall_timeout` the connection is dropped,
+//    so one stuck peer can never wedge the daemon.
+//
+// Shutdown replicates the thread-per-connection daemon's semantics: on a
+// stop signal the listener closes, already-buffered request lines are still
+// parsed, in-flight verdicts get `drain_grace` to flush, stragglers are
+// hard-closed, and finally the ScanService drains (resolving everything
+// still queued). If the event loop itself dies (epoll failure, injected
+// fault), every connection fd is torn down *before* the error propagates —
+// a dying loop must never leave peers attached to a daemon that will not
+// serve them again.
+
+#include <cstdint>
+#include <functional>
+
+#include "serve/daemon.hpp"
+
+namespace magic::serve {
+
+class ScanService;
+
+/// Runs the reactor until `should_stop` returns true (checked at least
+/// every ~200ms), then drains gracefully. Returns the number of scan
+/// requests submitted to the service. Throws std::runtime_error on socket
+/// setup failure or a fatal event-loop error — after tearing down every
+/// connection fd.
+std::uint64_t run_reactor(ScanService& service, const DaemonOptions& options,
+                          const std::function<bool()>& should_stop);
+
+}  // namespace magic::serve

@@ -38,6 +38,16 @@ std::string ServerStats::to_json() const {
   return os.str();
 }
 
+std::string ReactorStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"accepted\":" << accepted << ",\"closed\":" << closed
+     << ",\"active\":" << active << ",\"requests\":" << requests
+     << ",\"read_pauses\":" << read_pauses
+     << ",\"write_stalls\":" << write_stalls << ",\"wakeups\":" << wakeups
+     << "}";
+  return os.str();
+}
+
 StatsCollector::StatsCollector(std::size_t max_batch)
     : batch_size_counts_(max_batch + 1, 0) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();

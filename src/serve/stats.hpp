@@ -61,6 +61,22 @@ struct ServerStats {
   std::string to_json() const;
 };
 
+/// Event-loop counters of the socket daemon's reactor (serve/reactor.hpp).
+/// Owned and mutated by the loop thread only; spliced into the `stats`
+/// wire payload as the "reactor" block.
+struct ReactorStats {
+  std::uint64_t accepted = 0;      ///< connections accepted
+  std::uint64_t closed = 0;        ///< connections closed (any reason)
+  std::uint64_t active = 0;        ///< open connections at snapshot time
+  std::uint64_t requests = 0;      ///< scan requests dispatched to workers
+  std::uint64_t read_pauses = 0;   ///< backpressure EPOLLIN pauses
+  std::uint64_t write_stalls = 0;  ///< connections dropped for write stall
+  std::uint64_t wakeups = 0;       ///< eventfd wakeups delivered
+
+  /// Single-line JSON rendering.
+  std::string to_json() const;
+};
+
 /// Thread-safe collector behind ServerStats. Counter bumps are lock-free;
 /// the latency histogram and the batch-size table each take one mutex per
 /// batch/verdict (amortized across the whole micro-batch).

@@ -9,9 +9,11 @@
 // get() can never hang on a stopped server).
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "magic/classifier.hpp"
 #include "util/mutex.hpp"
@@ -46,15 +48,38 @@ namespace detail {
 class VerdictSlot {
  public:
   /// Resolves the slot (first call wins; later calls are ignored so a
-  /// shutdown sweep cannot clobber a worker's result).
+  /// shutdown sweep cannot clobber a worker's result). Registered
+  /// completion callbacks run exactly once each, in registration order,
+  /// outside the slot mutex.
   void fulfil(Verdict verdict) MAGIC_EXCLUDES(mutex_) {
+    std::vector<std::function<void()>> callbacks;
     {
       util::MutexLock lock(mutex_);
       if (done_) return;
       verdict_ = std::move(verdict);
       done_ = true;
+      callbacks.swap(callbacks_);
     }
     cv_.notify_all();
+    for (auto& callback : callbacks) callback();
+  }
+
+  /// Registers a completion hook: `fn` runs when the slot resolves (on the
+  /// resolving thread), or immediately on the calling thread when the slot
+  /// is already resolved. Multiple hooks may be registered — the event
+  /// loop's wake hook and the registry's shadow-agreement joiner subscribe
+  /// to the same verdict. Hooks captured in the slot are dropped when they
+  /// run, so a hook capturing the PendingVerdict itself does not leak: the
+  /// server resolves every slot, which breaks the cycle.
+  void on_ready(std::function<void()> fn) MAGIC_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      if (!done_) {
+        callbacks_.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
   }
 
   bool ready() const MAGIC_EXCLUDES(mutex_) {
@@ -86,6 +111,7 @@ class VerdictSlot {
   mutable util::CondVar cv_;
   bool done_ MAGIC_GUARDED_BY(mutex_) = false;
   Verdict verdict_ MAGIC_GUARDED_BY(mutex_);
+  std::vector<std::function<void()>> callbacks_ MAGIC_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail
@@ -95,6 +121,15 @@ class VerdictSlot {
 class PendingVerdict {
  public:
   PendingVerdict() = default;
+
+  /// An already-resolved handle. The serving layer uses this for requests
+  /// that terminate before reaching any server (unknown model version,
+  /// registry-less daemon asked for a versioned scan, ...).
+  static PendingVerdict resolved(Verdict verdict) {
+    auto slot = std::make_shared<detail::VerdictSlot>();
+    slot->fulfil(std::move(verdict));
+    return PendingVerdict{std::move(slot)};
+  }
 
   bool valid() const noexcept { return slot_ != nullptr; }
 
@@ -113,6 +148,14 @@ class PendingVerdict {
   bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
     if (!slot_) throw std::logic_error("PendingVerdict::wait_for: invalid handle");
     return slot_->wait_for(timeout);
+  }
+
+  /// Registers a completion hook (see VerdictSlot::on_ready): `fn` runs
+  /// once, on the resolving thread — or immediately when already resolved.
+  /// Throws std::logic_error on an invalid handle.
+  void on_ready(std::function<void()> fn) const {
+    if (!slot_) throw std::logic_error("PendingVerdict::on_ready: invalid handle");
+    slot_->on_ready(std::move(fn));
   }
 
  private:

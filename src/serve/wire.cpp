@@ -139,9 +139,55 @@ std::optional<Request> parse_request_line(std::string_view line) {
     request.kind = Request::Kind::Quit;
     return request;
   }
+  if (first == "reload") {
+    Request request;
+    request.kind = Request::Kind::Reload;
+    request.version = std::string(take_token(rest));
+    request.payload = std::string(trim(rest));  // checkpoint path (may contain spaces)
+    if (request.version.empty() || request.payload.empty()) {
+      throw std::runtime_error("wire: reload needs '<name> <path>'");
+    }
+    return request;
+  }
+  if (first == "shadow") {
+    Request request;
+    request.kind = Request::Kind::Shadow;
+    const std::string_view name = take_token(rest);
+    if (name == "off") {
+      if (!trim(rest).empty()) {
+        throw std::runtime_error("wire: 'shadow off' takes no further fields");
+      }
+      return request;  // version stays empty = disable
+    }
+    request.version = std::string(name);
+    const std::string_view frac = trim(rest);
+    if (request.version.empty() || frac.empty()) {
+      throw std::runtime_error("wire: shadow needs '<name> <fraction>' or 'off'");
+    }
+    try {
+      std::size_t consumed = 0;
+      request.fraction = std::stod(std::string(frac), &consumed);
+      if (consumed != frac.size()) throw std::runtime_error("trailing junk");
+    } catch (const std::exception&) {
+      throw std::runtime_error("wire: bad shadow fraction '" + std::string(frac) + "'");
+    }
+    if (!(request.fraction >= 0.0 && request.fraction <= 1.0)) {
+      throw std::runtime_error("wire: shadow fraction must be in [0, 1]");
+    }
+    return request;
+  }
 
   Request request;
   request.id = std::string(first);
+  // Per-request model-version override rides on the id token: `<id>@<v>`.
+  if (const std::size_t at = request.id.find('@'); at != std::string::npos) {
+    request.version = request.id.substr(at + 1);
+    request.id.resize(at);
+    if (request.version.empty()) {
+      throw std::runtime_error("wire: empty version override on id '" +
+                               request.id + "@'");
+    }
+  }
   const std::string_view kind = take_token(rest);
   const std::string_view payload = trim(rest);
   if (payload.empty()) {

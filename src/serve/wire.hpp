@@ -5,8 +5,15 @@
 //   <id> path <file>      classify the assembly listing stored at <file>
 //   <id> b64 <base64>     classify the base64-encoded listing inline
 //   stats                 emit a ServerStats JSON line
+//   reload <name> <path>  load the checkpoint at <path> as model version
+//                         <name> and atomically make it the default
+//                         (model-registry daemons only)
+//   shadow <name> <frac>  mirror `frac` of scan traffic to version <name>
+//                         and count agreement; `shadow off` disables
 //   quit                  drain and close this stream
-// Blank lines and lines starting with '#' are ignored.
+// Blank lines and lines starting with '#' are ignored. A scan id may carry
+// a per-request model-version override as `<id>@<version>` — the suffix is
+// stripped from the id echoed back in the response.
 //
 // Response lines (one JSON object per request, in request order):
 //   {"id":"a1","status":"ok","family":"Swizzor","family_index":9,
@@ -29,15 +36,23 @@ namespace magic::serve::wire {
 
 /// One parsed request line.
 struct Request {
-  enum class Kind { Path, Base64, Stats, Quit };
+  enum class Kind { Path, Base64, Stats, Reload, Shadow, Quit };
   Kind kind = Kind::Quit;
   std::string id;
   std::string payload;  ///< file path or decoded listing text
+  /// Scan requests: per-request model-version override from `<id>@<version>`
+  /// (empty = default version). Reload/Shadow: the target version name
+  /// (empty for `shadow off`).
+  std::string version;
+  /// Shadow only: fraction of traffic to mirror, in [0, 1].
+  double fraction = 0.0;
 };
 
-/// Parses one request line. Returns nullopt for blank/comment lines;
-/// throws std::runtime_error on malformed input (unknown kind, missing
-/// fields, bad base64).
+/// Parses one request line. Returns nullopt ONLY for ignorable lines
+/// (blank / '#' comments — the documented no-response cases); every other
+/// malformed input throws std::runtime_error (unknown kind, missing fields,
+/// bad base64, bad shadow fraction) so the caller can emit exactly one
+/// error response per request line.
 std::optional<Request> parse_request_line(std::string_view line);
 
 std::string base64_encode(std::string_view data);
