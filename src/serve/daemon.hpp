@@ -59,10 +59,21 @@ struct DaemonOptions {
   /// A connection whose output buffer makes no write progress for this
   /// long is dropped (the peer stopped reading).
   std::chrono::milliseconds write_stall_timeout{30000};
+  /// Max bytes consumed from one connection per readable pass (0 = no
+  /// cap). Bounds how much raw input a fast pipelining writer can buffer
+  /// ahead of parsing — max_pending_per_connection only limits *parsed*
+  /// responses — and keeps one connection from monopolizing the loop;
+  /// level-triggered epoll re-delivers the event for the remainder.
+  std::size_t read_chunk_bytes = 256 * 1024;
   /// Test hook: when set and true, the event loop treats its next wakeup
   /// as a fatal poll failure — exercising the teardown path that must
   /// close every connection fd before the error propagates.
   const std::atomic<bool>* inject_loop_fault = nullptr;
+  /// Test hook: when set to a nonzero errno, the next accept attempt fails
+  /// with it (the value is consumed) — exercising the fd-exhaustion path
+  /// that parks the listener instead of spinning on a level-triggered
+  /// event.
+  std::atomic<int>* inject_accept_errno = nullptr;
 };
 
 /// Binds `options.socket_path` (replacing a *stale socket file* only — a

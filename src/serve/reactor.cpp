@@ -7,11 +7,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -194,6 +196,7 @@ class Reactor {
       }
       dispatch(n);
       expire_stalled();
+      maybe_rearm_listener();
     }
     if (!fault.empty()) {
       // The PR 2 daemon closed only the listener on a poll failure and
@@ -209,6 +212,8 @@ class Reactor {
 
  private:
   static constexpr int kTickMs = 200;
+  static constexpr std::size_t kUnboundedRead =
+      std::numeric_limits<std::size_t>::max();
 
   bool fault_injected() const {
     return options_.inject_loop_fault != nullptr &&
@@ -283,10 +288,28 @@ class Reactor {
 
   void accept_ready() {
     while (true) {
-      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      int fd = -1;
+      const int injected =
+          options_.inject_accept_errno != nullptr
+              ? options_.inject_accept_errno->exchange(0,
+                                                       std::memory_order_acq_rel)
+              : 0;
+      if (injected != 0) {
+        errno = injected;
+      } else {
+        fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+      }
       if (fd < 0) {
         if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Resource exhaustion: the connection stays in the backlog, so a
+          // level-triggered listener event re-fires instantly and the loop
+          // would spin at 100% CPU until fds free up. Park the listener
+          // (drop it from the epoll set) and re-arm after a tick.
+          park_listener();
+        }
         break;  // EAGAIN: drained; anything else: try again next tick
       }
       const std::uint64_t serial = next_serial_++;
@@ -305,14 +328,40 @@ class Reactor {
     }
   }
 
-  /// Consumes everything the kernel has buffered for this connection (up
-  /// to EAGAIN or EOF) into conn.in.
-  void read_available(Conn& conn) {
+  void park_listener() {
+    if (listener_parked_ || listen_fd_ < 0) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    listener_parked_ = true;
+    listener_resume_ = Clock::now() + std::chrono::milliseconds(kTickMs);
+    ++stats_.accept_parks;
+  }
+
+  /// Re-arms a parked listener once its backoff elapsed. Called every loop
+  /// iteration; epoll_wait's kTickMs timeout guarantees the loop gets here
+  /// even when no fd is active.
+  void maybe_rearm_listener() {
+    if (!listener_parked_ || listen_fd_ < 0) return;
+    if (Clock::now() < listener_resume_) return;
+    listener_parked_ = false;
+    add_fd(listen_fd_, kListenerTag, EPOLLIN);
+  }
+
+  /// Consumes what the kernel has buffered for this connection (up to
+  /// EAGAIN, EOF, or `budget` bytes) into conn.in. The budget matters: the
+  /// max_pending backpressure only bounds *parsed* response entries, so an
+  /// uncapped recv loop would let a fast pipelining writer grow conn.in
+  /// arbitrarily (and hold the loop hostage) before the pause ever kicks
+  /// in. Stopping early is safe — the listener set is level-triggered, so
+  /// EPOLLIN re-fires and the remainder is read on a later pass, with
+  /// other connections serviced in between.
+  void read_available(Conn& conn, std::size_t budget) {
     char buf[65536];
-    while (!conn.saw_eof) {
-      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    while (!conn.saw_eof && budget > 0) {
+      const std::size_t want = std::min(budget, sizeof(buf));
+      const ssize_t n = ::recv(conn.fd, buf, want, 0);
       if (n > 0) {
         conn.in.append(buf, static_cast<std::size_t>(n));
+        budget -= static_cast<std::size_t>(n);
         continue;
       }
       if (n == 0) {
@@ -327,7 +376,9 @@ class Reactor {
   }
 
   void readable(Conn& conn) {
-    read_available(conn);
+    read_available(conn, options_.read_chunk_bytes > 0
+                             ? options_.read_chunk_bytes
+                             : kUnboundedRead);
     if (!conn.dead) process_input(conn);
   }
 
@@ -548,7 +599,15 @@ class Reactor {
         close_conn(serial);  // stream fully served
         return;
       }
+      // Resume only once any control barrier has resolved (checking ready,
+      // not presence — the barrier pointer is cleared inside process_input):
+      // re-enabling reads under an unresolved barrier would pause again
+      // immediately and spin this loop, with two epoll_ctl calls per lap,
+      // for the whole duration of a blocking reload. The barrier's
+      // completion hook wakes the loop, which re-enters here.
       if (!conn.want_read && !conn.read_closed &&
+          (!conn.barrier ||
+           conn.barrier->ready.load(std::memory_order_acquire)) &&
           conn.pending.size() <= options_.max_pending_per_connection / 2) {
         conn.want_read = true;
         update_interest(conn);
@@ -615,7 +674,9 @@ class Reactor {
         // if the stop signal beat their EPOLLIN dispatch; consume them —
         // closing an fd with unread data resets the peer mid-read, and the
         // old daemon's reader threads always drained what was buffered.
-        read_available(conn);
+        // Unbudgeted: after this pass reads are off for good, so anything
+        // left unread here would be lost.
+        read_available(conn, kUnboundedRead);
         if (!conn.dead) {
           conn.saw_eof = true;  // treat the drain as end-of-stream
           process_input(conn);
@@ -685,6 +746,8 @@ class Reactor {
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int event_fd_ = -1;
+  bool listener_parked_ = false;  ///< deregistered after fd exhaustion
+  Clock::time_point listener_resume_{};
   std::shared_ptr<WakeHub> hub_;
   std::vector<epoll_event> events_;
   std::unordered_map<std::uint64_t, Conn> conns_;

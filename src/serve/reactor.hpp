@@ -14,9 +14,18 @@
 //  - past `max_pending_per_connection` outstanding responses the loop
 //    stops reading that connection (EPOLLIN deregistered) and resumes at
 //    half the limit — backpressure lands on the one slow client;
+//  - each readable pass consumes at most `read_chunk_bytes` of raw input,
+//    so a fast pipelining writer can neither balloon the input buffer
+//    ahead of parsing nor monopolize the loop (level-triggered epoll
+//    re-delivers the remainder);
+//  - a connection paused behind an in-flight `reload`/`shadow` barrier
+//    stays paused until the control's completion hook wakes the loop — a
+//    blocking reload never spins it;
 //  - a client that stops reading accumulates an output buffer; if no write
 //    progress happens for `write_stall_timeout` the connection is dropped,
-//    so one stuck peer can never wedge the daemon.
+//    so one stuck peer can never wedge the daemon;
+//  - fd exhaustion (EMFILE/ENFILE on accept) parks the listener for a tick
+//    instead of letting the level-triggered event spin the loop.
 //
 // Shutdown replicates the thread-per-connection daemon's semantics: on a
 // stop signal the listener closes, already-buffered request lines are still

@@ -107,6 +107,11 @@ void ModelRegistry::clear_shadow() {
   shadow_fraction_ = 0.0;
 }
 
+bool verdicts_agree(const Verdict& primary, const Verdict& shadow) noexcept {
+  return primary.ok() && shadow.ok() &&
+         primary.prediction.family_name == shadow.prediction.family_name;
+}
+
 void ModelRegistry::score_shadow_pair(const Verdict& primary,
                                       const Verdict& shadow) {
   if (!primary.ok() || !shadow.ok()) {
@@ -114,9 +119,7 @@ void ModelRegistry::score_shadow_pair(const Verdict& primary,
     if (obs::enabled()) global_failed_->add();
     return;
   }
-  const bool agree = primary.prediction.family_index ==
-                     shadow.prediction.family_index;
-  if (agree) {
+  if (verdicts_agree(primary, shadow)) {
     shadow_agreed_.add();
     if (obs::enabled()) global_agreed_->add();
   } else {

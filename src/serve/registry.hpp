@@ -51,6 +51,14 @@ struct RegistryStats {
   std::string to_json() const;
 };
 
+/// Shadow-pair agreement predicate: true when two Ok verdicts name the
+/// same family. Compares family *names*, not indices — the primary and
+/// shadow verdicts come from different model versions whose family
+/// orderings (or sets) can differ, so equal indices do not imply the same
+/// family. Either verdict not Ok makes the pair incomparable (false; the
+/// caller counts it as `shadow_failed`, not disagreement).
+bool verdicts_agree(const Verdict& primary, const Verdict& shadow) noexcept;
+
 /// ScanService over a set of named model versions.
 class ModelRegistry final : public ScanService {
  public:

@@ -44,7 +44,7 @@ std::string ReactorStats::to_json() const {
      << ",\"active\":" << active << ",\"requests\":" << requests
      << ",\"read_pauses\":" << read_pauses
      << ",\"write_stalls\":" << write_stalls << ",\"wakeups\":" << wakeups
-     << "}";
+     << ",\"accept_parks\":" << accept_parks << "}";
   return os.str();
 }
 

@@ -72,6 +72,7 @@ struct ReactorStats {
   std::uint64_t read_pauses = 0;   ///< backpressure EPOLLIN pauses
   std::uint64_t write_stalls = 0;  ///< connections dropped for write stall
   std::uint64_t wakeups = 0;       ///< eventfd wakeups delivered
+  std::uint64_t accept_parks = 0;  ///< listener parked on fd exhaustion
 
   /// Single-line JSON rendering.
   std::string to_json() const;

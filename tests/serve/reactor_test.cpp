@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -22,7 +23,9 @@
 #include <gtest/gtest.h>
 
 #include "serve/daemon.hpp"
+#include "serve/scan_service.hpp"
 #include "serve/serve_test_util.hpp"
+#include "serve/verdict.hpp"
 #include "serve/wire.hpp"
 
 namespace magic::serve {
@@ -60,6 +63,30 @@ std::unique_ptr<wire::UnixClient> connect_retry(const std::string& path) {
   }
   return nullptr;
 }
+
+/// ScanService stub whose control() blocks until released — stands in for
+/// a reload that takes real time to materialize a checkpoint. Scans
+/// resolve instantly so the test only measures event-loop liveness.
+class BlockingControlService final : public ScanService {
+ public:
+  PendingVerdict submit_listing(std::string_view,
+                                const std::string&) override {
+    Verdict verdict;
+    verdict.status = VerdictStatus::Ok;
+    verdict.prediction.family_name = "stub";
+    return PendingVerdict::resolved(std::move(verdict));
+  }
+  std::string stats_json() override { return "{\"stub\":true}"; }
+  std::string control(const wire::Request&) override {
+    control_started.store(true);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return "{\"status\":\"ok\",\"op\":\"reload\"}";
+  }
+  void drain() override {}
+
+  std::atomic<bool> control_started{false};
+  std::atomic<bool> release{false};
+};
 
 TEST(Reactor, ManyConcurrentClientsEachSeeOrderedResponses) {
   InferenceServer server(shared_classifier(), reactor_config());
@@ -199,6 +226,126 @@ TEST(Reactor, TinyPendingWindowBackpressureKeepsOrder) {
   for (int r = 0; r < kRequests; ++r) {
     EXPECT_NE(lines[static_cast<std::size_t>(r)].find(
                   "\"id\":\"b" + std::to_string(r) + "\""),
+              std::string::npos)
+        << lines[static_cast<std::size_t>(r)];
+  }
+}
+
+TEST(Reactor, BlockedControlBarrierDoesNotStallOtherConnections) {
+  BlockingControlService service;
+  const std::string socket_path = unique_socket_path("barrier");
+  std::atomic<bool> stop{false};
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;
+  options.external_stop = &stop;
+  std::thread daemon([&] { run_unix_daemon(service, options); });
+
+  const std::string b64 = wire::base64_encode(kListing);
+  auto blocked = connect_retry(socket_path);
+  ASSERT_NE(blocked, nullptr);
+  blocked->send_line("reload v2 /any/path");
+  blocked->send_line("after b64 " + b64);  // parked behind the barrier
+  for (int i = 0; i < 1000 && !service.control_started.load(); ++i) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(service.control_started.load());
+
+  // Watchdog: unblock the control after a while, so a loop that stalls on
+  // the unresolved barrier makes the test fail on timing instead of
+  // hanging forever.
+  std::thread watchdog([&] {
+    std::this_thread::sleep_for(3s);
+    service.release.store(true);
+  });
+
+  // While the reload is still blocked, the loop must keep serving other
+  // connections — the regression was a busy-spin in pump() that never
+  // returned to epoll_wait until the control resolved.
+  const auto started = std::chrono::steady_clock::now();
+  auto other = connect_retry(socket_path);
+  ASSERT_NE(other, nullptr);
+  other->send_line("o1 b64 " + b64);
+  other->finish_sending();
+  std::string line;
+  ASSERT_TRUE(other->recv_line(line));
+  EXPECT_NE(line.find("\"id\":\"o1\""), std::string::npos) << line;
+  EXPECT_LT(std::chrono::steady_clock::now() - started, 2s);
+
+  service.release.store(true);
+  watchdog.join();
+  blocked->finish_sending();
+  std::vector<std::string> lines;
+  while (blocked->recv_line(line)) lines.push_back(line);
+  stop.store(true);
+  daemon.join();
+  // Barrier semantics held: the reload reply first, then the scan that was
+  // parked behind it.
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"op\":\"reload\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"id\":\"after\""), std::string::npos) << lines[1];
+}
+
+TEST(Reactor, FdExhaustionParksListenerAndRecovers) {
+  InferenceServer server(shared_classifier(), reactor_config());
+  const std::string socket_path = unique_socket_path("emfile");
+  std::atomic<bool> stop{false};
+  std::atomic<int> accept_errno{EMFILE};
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;
+  options.external_stop = &stop;
+  options.inject_accept_errno = &accept_errno;
+  std::thread daemon([&] { run_unix_daemon(server, options); });
+
+  // connect() completes against the listener backlog even while accepts
+  // fail; the injected EMFILE parks the listener, the backoff re-arms it,
+  // and the still-queued connection is then accepted and served.
+  auto client = connect_retry(socket_path);
+  ASSERT_NE(client, nullptr);
+  client->send_line("e1 b64 " + wire::base64_encode(kListing));
+  client->send_line("stats");
+  client->finish_sending();
+  std::string verdict;
+  std::string stats;
+  ASSERT_TRUE(client->recv_line(verdict));
+  ASSERT_TRUE(client->recv_line(stats));
+  stop.store(true);
+  daemon.join();
+  EXPECT_EQ(accept_errno.load(), 0);  // the injected failure was consumed
+  EXPECT_NE(verdict.find("\"id\":\"e1\""), std::string::npos) << verdict;
+  EXPECT_NE(verdict.find("\"status\":\"ok\""), std::string::npos) << verdict;
+  EXPECT_NE(stats.find("\"accept_parks\":1"), std::string::npos) << stats;
+}
+
+TEST(Reactor, TinyReadChunkBudgetStillServesPipelinedBurst) {
+  InferenceServer server(shared_classifier(), reactor_config());
+  const std::string socket_path = unique_socket_path("readchunk");
+  std::atomic<bool> stop{false};
+  DaemonOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;
+  options.external_stop = &stop;
+  options.read_chunk_bytes = 128;  // far below the burst: many read passes
+  std::thread daemon([&] { run_unix_daemon(server, options); });
+
+  auto client = connect_retry(socket_path);
+  ASSERT_NE(client, nullptr);
+  constexpr int kRequests = 48;
+  const std::string b64 = wire::base64_encode(kListing);
+  for (int r = 0; r < kRequests; ++r) {
+    client->send_line("t" + std::to_string(r) + " b64 " + b64);
+  }
+  client->finish_sending();
+  std::vector<std::string> lines;
+  std::string line;
+  while (client->recv_line(line)) lines.push_back(line);
+  stop.store(true);
+  daemon.join();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kRequests));
+  for (int r = 0; r < kRequests; ++r) {
+    EXPECT_NE(lines[static_cast<std::size_t>(r)].find(
+                  "\"id\":\"t" + std::to_string(r) + "\""),
               std::string::npos)
         << lines[static_cast<std::size_t>(r)];
   }

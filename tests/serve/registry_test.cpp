@@ -131,6 +131,27 @@ TEST(ModelRegistry, HotSwapUnderLoadDropsNoInFlightRequests) {
   registry->drain();
 }
 
+TEST(ModelRegistry, AgreementComparesFamilyNamesNotIndices) {
+  // Primary and shadow come from different model versions whose family
+  // orderings can differ: the same family may sit at different indices,
+  // and the same index may hold different families.
+  Verdict primary;
+  primary.status = VerdictStatus::Ok;
+  primary.prediction.family_index = 0;
+  primary.prediction.family_name = "swizzor";
+  Verdict shadow;
+  shadow.status = VerdictStatus::Ok;
+  shadow.prediction.family_index = 3;  // same family, different slot
+  shadow.prediction.family_name = "swizzor";
+  EXPECT_TRUE(verdicts_agree(primary, shadow));
+  shadow.prediction.family_index = 0;  // same slot, different family
+  shadow.prediction.family_name = "allaple";
+  EXPECT_FALSE(verdicts_agree(primary, shadow));
+  shadow.prediction.family_name = "swizzor";
+  shadow.status = VerdictStatus::Error;  // incomparable pair never agrees
+  EXPECT_FALSE(verdicts_agree(primary, shadow));
+}
+
 TEST(ModelRegistry, ShadowFullFractionMirrorsEveryScanAndAgrees) {
   auto registry = make_registry();
   registry->load_version("v2", shared_checkpoint(), /*make_default=*/false);
