@@ -3,10 +3,22 @@
 //      extensions (SortPooling+WeightedVertices, Conv2D+AdaptiveMaxPooling);
 //   2. degree normalization: D^-1 (A+I) vs unnormalized A+I;
 //   3. attribute channels: full Table I vs code-only vs structure-only;
-//   4. graph-convolution depth h in {1, 2, 4}.
+//   4. graph-convolution depth h in {1, 2, 4};
+//   5. graph-convolution operator: paper (Eq. 1) vs SAGE vs TAG, on BOTH
+//      synthetic corpora (accuracy and per-epoch time per operator).
 //
 // Each variant is cross-validated on the same MSKCFG-scale corpus; higher
-// accuracy / lower loss means the design choice pulls its weight.
+// accuracy / lower loss means the design choice pulls its weight. The
+// operator sweep (section 5) additionally runs the YANCFG-style corpus so
+// an operator that only helps on one family mix shows up.
+//
+// Extra flags (before the common bench flags):
+//   --out FILE   JSON results path (default BENCH_ablation.json)
+//   --ops-only   skip the design-choice table, run only the operator sweep
+//                (the CI bench job uses this for a quick artifact)
+
+#include <cstring>
+#include <fstream>
 
 #include "bench_util.hpp"
 
@@ -43,15 +55,48 @@ data::Dataset mask_channels(const data::Dataset& d, const std::vector<bool>& kee
   return out;
 }
 
+struct RunRecord {
+  std::string name;
+  std::string corpus;
+  double accuracy = 0.0;
+  double log_loss = 0.0;
+  double macro_f1 = 0.0;
+  double seconds = 0.0;
+  double epoch_seconds = 0.0;
+};
+
+void append_json(std::ostream& os, const std::vector<RunRecord>& records) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << r.name << "\",\"corpus\":\"" << r.corpus
+       << "\",\"accuracy\":" << r.accuracy << ",\"log_loss\":" << r.log_loss
+       << ",\"macro_f1\":" << r.macro_f1 << ",\"seconds\":" << r.seconds
+       << ",\"epoch_seconds\":" << r.epoch_seconds << "}";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Bench-specific flags are stripped before the shared parser sees argv
+  // (the bench_table2 --full-grid pattern).
+  std::string out_path = "BENCH_ablation.json";
+  bool ops_only = false;
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops-only") == 0) ops_only = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else filtered.push_back(argv[i]);
+  }
   bench::BenchOptions defaults;
   defaults.scale = 0.006;
   defaults.epochs = 8;
   defaults.folds = 3;
-  const auto opt = bench::parse_options(argc, argv, defaults);
-  bench::banner("Ablation: heads, normalization, attributes, depth",
+  const auto opt = bench::parse_options(static_cast<int>(filtered.size()),
+                                        filtered.data(), defaults);
+  bench::banner("Ablation: heads, normalization, attributes, depth, operators",
                 "design-choice ablations for Yan et al., DSN 2019", opt);
 
   util::ThreadPool pool(opt.threads);
@@ -64,76 +109,138 @@ int main(int argc, char** argv) {
     const data::Dataset* dataset;
   };
 
-  // Attribute-mask datasets.
-  std::vector<bool> code_only(acfg::kNumChannels, true);
-  code_only[acfg::kOffspring] = false;
-  code_only[acfg::kVertexInsts] = false;
-  std::vector<bool> structure_only(acfg::kNumChannels, false);
-  structure_only[acfg::kOffspring] = true;
-  structure_only[acfg::kVertexInsts] = true;
-  data::Dataset d_code = mask_channels(d, code_only);
-  data::Dataset d_struct = mask_channels(d, structure_only);
+  std::vector<RunRecord> variant_records;
+  if (!ops_only) {
+    // Attribute-mask datasets.
+    std::vector<bool> code_only(acfg::kNumChannels, true);
+    code_only[acfg::kOffspring] = false;
+    code_only[acfg::kVertexInsts] = false;
+    std::vector<bool> structure_only(acfg::kNumChannels, false);
+    structure_only[acfg::kOffspring] = true;
+    structure_only[acfg::kVertexInsts] = true;
+    data::Dataset d_code = mask_channels(d, code_only);
+    data::Dataset d_struct = mask_channels(d, structure_only);
 
-  std::vector<Variant> variants;
-  {
-    core::DgcnnConfig c = base_config();
-    variants.push_back({"AMP head (paper ext. 2) [base]", c, &d});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    c.pooling = core::PoolingType::SortPooling;
-    c.remaining = core::RemainingLayer::Conv1D;
-    variants.push_back({"SortPool + Conv1D (original DGCNN)", c, &d});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    c.pooling = core::PoolingType::SortPooling;
-    c.remaining = core::RemainingLayer::WeightedVertices;
-    variants.push_back({"SortPool + WeightedVertices (paper ext. 1)", c, &d});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    c.normalize_propagation = false;
-    variants.push_back({"no D^-1 normalization (raw A+I)", c, &d});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    c.log1p_attributes = false;
-    variants.push_back({"no log1p attribute scaling", c, &d});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    variants.push_back({"code-sequence attributes only (9ch)", c, &d_code});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    variants.push_back({"structure attributes only (2ch)", c, &d_struct});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    c.graph_conv_channels = {32};
-    variants.push_back({"depth h=1", c, &d});
-  }
-  {
-    core::DgcnnConfig c = base_config();
-    c.graph_conv_channels = {32, 32};
-    variants.push_back({"depth h=2", c, &d});
+    std::vector<Variant> variants;
+    {
+      core::DgcnnConfig c = base_config();
+      variants.push_back({"AMP head (paper ext. 2) [base]", c, &d});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      c.pooling = core::PoolingType::SortPooling;
+      c.remaining = core::RemainingLayer::Conv1D;
+      variants.push_back({"SortPool + Conv1D (original DGCNN)", c, &d});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      c.pooling = core::PoolingType::SortPooling;
+      c.remaining = core::RemainingLayer::WeightedVertices;
+      variants.push_back({"SortPool + WeightedVertices (paper ext. 1)", c, &d});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      c.normalize_propagation = false;
+      variants.push_back({"no D^-1 normalization (raw A+I)", c, &d});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      c.log1p_attributes = false;
+      variants.push_back({"no log1p attribute scaling", c, &d});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      variants.push_back({"code-sequence attributes only (9ch)", c, &d_code});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      variants.push_back({"structure attributes only (2ch)", c, &d_struct});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      c.graph_conv_channels = {32};
+      variants.push_back({"depth h=1", c, &d});
+    }
+    {
+      core::DgcnnConfig c = base_config();
+      c.graph_conv_channels = {32, 32};
+      variants.push_back({"depth h=2", c, &d});
+    }
+
+    util::Table table({"Variant", "Accuracy", "Mean log loss", "Macro F1", "Time s"});
+    for (const auto& v : variants) {
+      util::Timer timer;
+      core::CvResult cv = bench::run_cv(v.config, *v.dataset, opt, pool);
+      const double seconds = timer.seconds();
+      table.add_row({v.name, util::format_fixed(cv.accuracy, 4),
+                     util::format_fixed(cv.mean_log_loss, 4),
+                     util::format_fixed(cv.confusion.macro_f1(), 4),
+                     util::format_fixed(seconds, 1)});
+      variant_records.push_back(
+          {v.name, "mskcfg", cv.accuracy, cv.mean_log_loss,
+           cv.confusion.macro_f1(), seconds,
+           seconds / static_cast<double>(opt.folds * opt.epochs)});
+      std::cout << "done: " << v.name << "\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nreading: the full-attribute, normalized, multi-layer variants\n"
+                 "should dominate the stripped ones; all three heads should be\n"
+                 "serviceable with AMP best (matching Table II's selection).\n\n";
   }
 
-  util::Table table({"Variant", "Accuracy", "Mean log loss", "Macro F1", "Time s"});
-  for (const auto& v : variants) {
-    util::Timer timer;
-    core::CvResult cv = bench::run_cv(v.config, *v.dataset, opt, pool);
-    table.add_row({v.name, util::format_fixed(cv.accuracy, 4),
-                   util::format_fixed(cv.mean_log_loss, 4),
-                   util::format_fixed(cv.confusion.macro_f1(), 4),
-                   util::format_fixed(timer.seconds(), 1)});
-    std::cout << "done: " << v.name << "\n";
+  // Operator sweep: the whole zoo on both synthetic corpora. The base head
+  // is fixed so the only moving part is the convolution formula.
+  data::Dataset y = data::yancfg_like_corpus(opt.scale, opt.seed + 1, pool);
+  std::cout << "operator sweep: yancfg corpus " << y.size() << " samples\n\n";
+  const struct {
+    nn::GraphConvOperator op;
+    const char* name;
+  } kOperators[] = {{nn::GraphConvOperator::Paper, "paper"},
+                    {nn::GraphConvOperator::Sage, "sage"},
+                    {nn::GraphConvOperator::Tag, "tag"}};
+  const struct {
+    const char* name;
+    const data::Dataset* dataset;
+  } kCorpora[] = {{"mskcfg", &d}, {"yancfg", &y}};
+
+  std::vector<RunRecord> op_records;
+  util::Table op_table(
+      {"Operator", "Corpus", "Accuracy", "Mean log loss", "Macro F1", "Epoch s"});
+  for (const auto& sweep_op : kOperators) {
+    for (const auto& corpus : kCorpora) {
+      core::DgcnnConfig c = base_config();
+      c.graph_conv_op = sweep_op.op;
+      util::Timer timer;
+      core::CvResult cv = bench::run_cv(c, *corpus.dataset, opt, pool);
+      const double seconds = timer.seconds();
+      const double epoch_seconds =
+          seconds / static_cast<double>(opt.folds * opt.epochs);
+      op_table.add_row({sweep_op.name, corpus.name,
+                        util::format_fixed(cv.accuracy, 4),
+                        util::format_fixed(cv.mean_log_loss, 4),
+                        util::format_fixed(cv.confusion.macro_f1(), 4),
+                        util::format_fixed(epoch_seconds, 2)});
+      op_records.push_back({sweep_op.name, corpus.name, cv.accuracy,
+                            cv.mean_log_loss, cv.confusion.macro_f1(), seconds,
+                            epoch_seconds});
+      std::cout << "done: op=" << sweep_op.name << " corpus=" << corpus.name << "\n";
+    }
   }
   std::cout << "\n";
-  table.print(std::cout);
-  std::cout << "\nreading: the full-attribute, normalized, multi-layer variants\n"
-               "should dominate the stripped ones; all three heads should be\n"
-               "serviceable with AMP best (matching Table II's selection).\n";
+  op_table.print(std::cout);
+  std::cout << "\nreading: paper (Eq. 1) is the reference; SAGE/TAG trade\n"
+               "parameters (2x / (K+1)x wider weights) for neighborhood\n"
+               "context, so watch epoch time alongside accuracy.\n";
+
+  std::ofstream out(out_path);
+  out << "{\"schema\":\"magic.bench.ablation.v1\",\"scale\":" << opt.scale
+      << ",\"epochs\":" << opt.epochs << ",\"folds\":" << opt.folds
+      << ",\"seed\":" << opt.seed << ",\"variants\":[";
+  append_json(out, variant_records);
+  out << "],\"operators\":[";
+  append_json(out, op_records);
+  out << "]}\n";
+  std::cout << "wrote " << out_path << "\n";
   return 0;
 }

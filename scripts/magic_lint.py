@@ -7,6 +7,11 @@ express (they are project conventions, not C++ rules):
   forward-contract   Every concrete nn::Module::forward body opens with a
                      shape contract (MAGIC_SHAPE_CONTRACT* or
                      check_shape_contract) within the first few lines.
+  conv-op-contract   The graph-convolution operator zoo (src/nn/graph_conv*)
+                     keeps the shape-contract-at-forward invariant on EVERY
+                     operator entry point, including the void-returning
+                     fused path forward_inference_into that forward-contract
+                     (which matches only `Tensor X::forward`) cannot see.
   mutex-annotation   No raw std::mutex member anywhere in src/ (util::Mutex
                      is the only allowed mutex type; it carries the
                      -Wthread-safety capability). Every util::Mutex
@@ -54,6 +59,7 @@ from pathlib import Path
 
 ALL_RULES = (
     "forward-contract",
+    "conv-op-contract",
     "mutex-annotation",
     "guard-names",
     "no-endl",
@@ -143,6 +149,43 @@ def check_forward_contract(src: Path) -> list[Finding]:
                         f"{match.group(1)}::forward does not open with a shape "
                         "contract (MAGIC_SHAPE_CONTRACT/check_shape_contract "
                         f"within the first {CONTRACT_WINDOW_LINES} code lines)",
+                    )
+                )
+    return findings
+
+
+def check_conv_op_contract(src: Path) -> list[Finding]:
+    """Every operator entry point in src/nn/graph_conv* opens with a shape
+    contract. Unlike forward-contract this also covers
+    `void X::forward_inference_into(` — the fused inference path writes
+    through a raw pointer, so a missing contract there corrupts memory
+    instead of throwing."""
+    findings = []
+    sig = re.compile(
+        r"\b(?:Tensor|void)\s+(\w+)::(forward|forward_inference_into)\s*\("
+    )
+    for path in iter_sources(src, (".cpp",)):
+        rel = path.relative_to(src).as_posix()
+        if not rel.startswith("nn/graph_conv"):
+            continue
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            match = sig.search(strip_line_comment(line))
+            if not match:
+                continue
+            window = effective_window(lines, i, CONTRACT_WINDOW_LINES)
+            if "magic-lint: no-contract(" in window:
+                continue
+            if not any(token in window for token in CONTRACT_TOKENS):
+                findings.append(
+                    Finding(
+                        "conv-op-contract",
+                        path,
+                        i + 1,
+                        f"{match.group(1)}::{match.group(2)} does not open "
+                        "with a shape contract (every GraphConvOp entry "
+                        "point must check its input within the first "
+                        f"{CONTRACT_WINDOW_LINES} code lines)",
                     )
                 )
     return findings
@@ -356,6 +399,8 @@ def main() -> int:
     findings: list[Finding] = []
     if "forward-contract" in rules:
         findings += check_forward_contract(src)
+    if "conv-op-contract" in rules:
+        findings += check_conv_op_contract(src)
     if "mutex-annotation" in rules:
         findings += check_mutex_annotation(src)
     if "guard-names" in rules:

@@ -129,6 +129,11 @@ grep -q '"reloads":1' "${REG_OUT}" || fail "registry stdio: stats missing reload
 grep -q '"shadow":{"version":"v1","fraction":1' "${REG_OUT}" \
   || fail "registry stdio: stats missing shadow config: $(tail -1 "${REG_OUT}")"
 grep -q '"mirrored":1' "${REG_OUT}" || fail "registry stdio: stats missing mirrored=1: $(tail -1 "${REG_OUT}")"
+# Each listed version carries its graph-conv operator (PR 10 zoo): the
+# parallel operators array must be present and name the paper operator for
+# the self-trained default model.
+grep -q '"operators":\["paper","paper"\]' "${REG_OUT}" \
+  || fail "registry stdio: stats missing per-version operators: $(tail -1 "${REG_OUT}")"
 echo "    reload + override + shadow ok, registry counters present"
 
 echo "==> socket mode: epoll daemon (+preloaded v2, shadow 0.5) + malware_scanner --serve client"

@@ -16,6 +16,16 @@ std::size_t DgcnnConfig::total_graph_channels() const {
   return total;
 }
 
+nn::GraphConvStackConfig DgcnnConfig::graph_conv_stack_config() const {
+  nn::GraphConvStackConfig sc;
+  sc.in_channels = input_channels;
+  sc.channels = graph_conv_channels;
+  sc.activation = graph_conv_activation;
+  sc.op.kind = graph_conv_op;
+  sc.op.tag_hops = tag_hops;
+  return sc;
+}
+
 std::size_t DgcnnConfig::adaptive_grid() const {
   // Ratio -> grid side. Floor of 3: a 2x2 grid retains too little of the
   // Z^{1:h} map for multi-family classification (the paper leaves the exact
@@ -34,6 +44,8 @@ std::string DgcnnConfig::describe() const {
     oss << graph_conv_channels[i];
   }
   oss << ")";
+  oss << " op=" << nn::graph_conv_operator_name(graph_conv_op);
+  if (graph_conv_op == nn::GraphConvOperator::Tag) oss << ':' << tag_hops;
   if (pooling == PoolingType::SortPooling) {
     if (remaining == RemainingLayer::Conv1D) {
       oss << " conv1d(k=" << conv1d_kernel << ")";
@@ -48,9 +60,7 @@ std::string DgcnnConfig::describe() const {
 }
 
 DgcnnModel::DgcnnModel(DgcnnConfig cfg, util::Rng& rng, std::size_t sort_k_hint)
-    : cfg_(cfg),
-      stack_(cfg.input_channels, cfg.graph_conv_channels,
-             cfg.graph_conv_activation, rng) {
+    : cfg_(cfg), stack_(cfg.graph_conv_stack_config(), rng) {
   if (cfg_.num_classes < 2) {
     throw std::invalid_argument("DgcnnModel: at least two classes required");
   }

@@ -46,6 +46,12 @@ struct DgcnnConfig {
 
   std::vector<std::size_t> graph_conv_channels = {32, 32, 32, 32};
   nn::Activation graph_conv_activation = nn::Activation::ReLU;
+  /// Which member of the convolution zoo every stack layer runs
+  /// (nn::GraphConvOperator::{Paper, Sage, Tag}; checkpoint token "op").
+  nn::GraphConvOperator graph_conv_op = nn::GraphConvOperator::Paper;
+  /// TagConv only: number of propagation hops K (>= 1; checkpoint token
+  /// "tag_hops"). Ignored by the other operators.
+  std::size_t tag_hops = 2;
 
   PoolingType pooling = PoolingType::AdaptivePooling;
   /// SortPooling: fraction controlling k (k = the vertex count at the
@@ -74,8 +80,15 @@ struct DgcnnConfig {
   /// (degree-normalization ablation, bench_ablation).
   bool normalize_propagation = true;
 
-  /// Total feature channels after the graph convolution stack.
+  /// Total feature channels after the graph convolution stack. Every zoo
+  /// operator emits exactly its configured layer width (wider operators
+  /// widen the weight, not the output), so this is the channel sum for all
+  /// of them.
   std::size_t total_graph_channels() const;
+  /// The stack-construction view of this config (operator, channels,
+  /// activation in one struct) — the single source for DgcnnModel and any
+  /// direct GraphConvStack builder.
+  nn::GraphConvStackConfig graph_conv_stack_config() const;
   /// Adaptive pooling grid side derived from pooling_ratio.
   std::size_t adaptive_grid() const;
   /// Short description like "AMP g6 gc=(128,64,32,32) do=0.1".

@@ -93,13 +93,15 @@ std::vector<GridPoint> reduced_grid() {
   std::vector<GridPoint> grid;
   auto add = [&grid](PoolingType pool, RemainingLayer rem, double ratio,
                      std::vector<std::size_t> conv, double dropout,
-                     std::size_t batch, double l2) {
+                     std::size_t batch, double l2,
+                     nn::GraphConvOperator op = nn::GraphConvOperator::Paper) {
     GridPoint p;
     p.config.pooling = pool;
     p.config.remaining = rem;
     p.config.pooling_ratio = ratio;
     p.config.graph_conv_channels = std::move(conv);
     p.config.dropout_rate = dropout;
+    p.config.graph_conv_op = op;
     p.batch_size = batch;
     p.weight_decay = l2;
     grid.push_back(p);
@@ -118,6 +120,12 @@ std::vector<GridPoint> reduced_grid() {
       {32, 32, 32, 32}, 0.1, 10, 0.0001);
   add(PoolingType::SortPooling, RemainingLayer::WeightedVertices, 0.2,
       {128, 64, 32, 32}, 0.5, 40, 0.0001);
+  // Operator axis (Table II is Paper-only; these probe the zoo on the
+  // best-YANCFG head so one sweep compares operators like-for-like).
+  add(PoolingType::AdaptivePooling, RemainingLayer::Conv1D, 0.2,
+      {32, 32, 32, 32}, 0.5, 40, 0.0005, nn::GraphConvOperator::Sage);
+  add(PoolingType::AdaptivePooling, RemainingLayer::Conv1D, 0.2,
+      {32, 32, 32, 32}, 0.5, 40, 0.0005, nn::GraphConvOperator::Tag);
   return grid;
 }
 

@@ -29,7 +29,10 @@ struct GridPoint {
 std::vector<GridPoint> full_table2_grid();
 
 /// A reduced grid (one point per structural family x a few knobs) that
-/// keeps every pooling/remaining-layer variant represented.
+/// keeps every pooling/remaining-layer variant represented, plus an
+/// operator axis: SAGE and TAG points on the best-YANCFG head so
+/// grid_search sweeps the convolution zoo without bespoke loops
+/// (full_table2_grid stays Paper-only for Table II fidelity).
 std::vector<GridPoint> reduced_grid();
 
 /// Search outcome for one grid point.

@@ -1,5 +1,5 @@
-// Text serialization for MagicClassifier (format "MAGIC-MODEL v2";
-// "MAGIC-MODEL v1" files still load).
+// Text serialization for MagicClassifier (format "MAGIC-MODEL v3";
+// "MAGIC-MODEL v1"/"v2" files still load).
 //
 // The file stores the config, the derived SortPooling k, the family-name
 // table and every parameter tensor in the deterministic order returned by
@@ -13,6 +13,15 @@
 // space and then cascaded the leftover tokens into later names; that is
 // the corruption this version fixes. The v1 reader is kept for old files
 // (correct for the space-free names v1 could actually round-trip).
+//
+// v3 adds the graph-convolution operator to the header ("op <name>
+// tag_hops <k>", between "act" and "classes"). v1/v2 files predate the
+// operator zoo and always meant Eq. 1, so they load as PaperGraphConv. A
+// hand-edited header naming the wrong operator for the stored weights is
+// rejected by the per-parameter name check below: every operator uses a
+// distinct weight name (graph_conv.weight / sage_conv.weight /
+// tag_conv.weight), so the mismatch surfaces as a loud name-mismatch error
+// instead of silently loading weights into a different formula.
 
 #include <istream>
 #include <limits>
@@ -69,7 +78,7 @@ nn::Activation parse_activation(const std::string& s) {
 void MagicClassifier::save(std::ostream& os) const {
   if (!fitted()) throw std::logic_error("MagicClassifier::save: not fitted");
   const DgcnnConfig& c = model_->config();
-  os << "MAGIC-MODEL v2\n";
+  os << "MAGIC-MODEL v3\n";
   os << "families " << family_names_.size() << "\n";
   // Length prefix in bytes, then exactly that many raw bytes: immune to
   // whitespace (and any other byte) inside the name.
@@ -81,7 +90,9 @@ void MagicClassifier::save(std::ostream& os) const {
      << c.hidden_dim << " dropout " << c.dropout_rate << " log1p "
      << (c.log1p_attributes ? 1 : 0) << " norm "
      << (c.normalize_propagation ? 1 : 0) << " act "
-     << activation_name(c.graph_conv_activation) << " classes " << c.num_classes
+     << activation_name(c.graph_conv_activation) << " op "
+     << nn::graph_conv_operator_name(c.graph_conv_op) << " tag_hops "
+     << c.tag_hops << " classes " << c.num_classes
      << " input_channels " << c.input_channels << "\n";
   os << "graph_conv " << c.graph_conv_channels.size();
   for (std::size_t ch : c.graph_conv_channels) os << " " << ch;
@@ -103,9 +114,9 @@ void MagicClassifier::save(std::ostream& os) const {
 MagicClassifier MagicClassifier::load(std::istream& is) {
   expect(is, "MAGIC-MODEL");
   std::string version;
-  if (!(is >> version) || (version != "v1" && version != "v2")) {
+  if (!(is >> version) || (version != "v1" && version != "v2" && version != "v3")) {
     throw std::runtime_error("MagicClassifier::load: unsupported version '" +
-                             version + "' (expected v1 or v2)");
+                             version + "' (expected v1, v2 or v3)");
   }
   expect(is, "families");
   std::size_t n_families = 0;
@@ -161,6 +172,13 @@ MagicClassifier MagicClassifier::load(std::istream& is) {
   expect(is, "act");
   is >> tok;
   cfg.graph_conv_activation = parse_activation(tok);
+  if (version == "v3") {
+    expect(is, "op");
+    is >> tok;
+    cfg.graph_conv_op = nn::parse_graph_conv_operator(tok);
+    expect(is, "tag_hops");
+    is >> cfg.tag_hops;
+  }  // v1/v2 predate the zoo: Eq. 1 (PaperGraphConv) is the only operator.
   expect(is, "classes");
   is >> cfg.num_classes;
   expect(is, "input_channels");

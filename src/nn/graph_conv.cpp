@@ -1,36 +1,76 @@
 #include "nn/graph_conv.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "nn/init.hpp"
 #include "nn/shape_contract.hpp"
 #include "util/check.hpp"
 
 namespace magic::nn {
+namespace {
 
-GraphConvLayer::GraphConvLayer(std::size_t in_channels, std::size_t out_channels,
+/// Shared geometry check: P must be (n x n) for an n-vertex input. Checked
+/// builds upgrade the failure to a CheckError with the full geometry;
+/// release builds fall through to the plain invalid_argument.
+void check_propagation(const char* what, const SparseMatrix& prop,
+                       const Tensor& z) {
+  if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
+    MAGIC_CHECK(false, what << ": propagation operator is " << prop.rows()
+                            << 'x' << prop.cols() << " but input has "
+                            << z.dim(0) << " vertices");
+    throw std::invalid_argument(std::string(what) + ": operator size mismatch");
+  }
+}
+
+/// Columns [col0, col0 + width) of a row-major (n x stride) tensor as a
+/// contiguous (n x width) tensor (backward-time block extraction).
+Tensor copy_block(const Tensor& src, std::size_t col0, std::size_t width) {
+  const std::size_t n = src.dim(0);
+  const std::size_t stride = src.dim(1);
+  Tensor out({n, width});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = src.data() + i * stride + col0;
+    std::copy(row, row + width, out.data() + i * width);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* graph_conv_operator_name(GraphConvOperator kind) noexcept {
+  switch (kind) {
+    case GraphConvOperator::Paper: return "paper";
+    case GraphConvOperator::Sage: return "sage";
+    case GraphConvOperator::Tag: return "tag";
+  }
+  return "paper";
+}
+
+GraphConvOperator parse_graph_conv_operator(const std::string& name) {
+  if (name == "paper") return GraphConvOperator::Paper;
+  if (name == "sage") return GraphConvOperator::Sage;
+  if (name == "tag") return GraphConvOperator::Tag;
+  throw std::runtime_error("unknown graph-conv operator '" + name +
+                           "' (expected paper, sage or tag)");
+}
+
+// ---- PaperGraphConv (Eq. 1; the pre-zoo GraphConvLayer verbatim) ----------
+
+PaperGraphConv::PaperGraphConv(std::size_t in_channels, std::size_t out_channels,
                                Activation activation, util::Rng& rng)
-    : in_(in_channels),
-      out_(out_channels),
-      activation_(activation),
-      weight_("graph_conv.weight",
-              xavier_uniform({in_channels, out_channels}, in_channels,
-                             out_channels, rng)) {}
+    : GraphConvOp(in_channels, out_channels, activation,
+                  Parameter("graph_conv.weight",
+                            xavier_uniform({in_channels, out_channels},
+                                           in_channels, out_channels, rng))) {}
 
-Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
+Tensor PaperGraphConv::forward(const SparseMatrix& prop, const Tensor& z) {
   // Single authoritative input check, live in checked AND release builds:
   // ShapeContractError derives from std::invalid_argument, so release-mode
   // callers catching invalid input keep working.
-  check_shape_contract("GraphConvLayer::forward", z,
+  check_shape_contract("PaperGraphConv::forward", z,
                        {shape::any("n"), shape::eq(in_)});
-  if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
-    // Checked builds upgrade this to a CheckError with the full geometry;
-    // release builds fall through to the plain invalid_argument.
-    MAGIC_CHECK(false, "GraphConvLayer::forward: propagation operator is "
-                           << prop.rows() << 'x' << prop.cols()
-                           << " but input has " << z.dim(0) << " vertices");
-    throw std::invalid_argument("GraphConvLayer::forward: operator size mismatch");
-  }
+  check_propagation("PaperGraphConv::forward", prop, z);
   if (!grad_enabled_) {
     cached_prop_ = nullptr;  // invalidate any stale training cache
     Tensor f = tensor::matmul(z, weight_.value);
@@ -48,18 +88,16 @@ Tensor GraphConvLayer::forward(const SparseMatrix& prop, const Tensor& z) {
   return y;
 }
 
-void GraphConvLayer::forward_inference_into(const SparseMatrix& prop,
+void PaperGraphConv::forward_inference_into(const SparseMatrix& prop,
                                             const Tensor& z, Tensor& f_scratch,
                                             double* out, std::size_t out_stride,
                                             Tensor* next_input) {
-  check_shape_contract("GraphConvLayer::forward", z,
+  check_shape_contract("PaperGraphConv::forward", z,
                        {shape::any("n"), shape::eq(in_)});
-  if (prop.rows() != z.dim(0) || prop.cols() != z.dim(0)) {
-    throw std::invalid_argument("GraphConvLayer::forward: operator size mismatch");
-  }
+  check_propagation("PaperGraphConv::forward", prop, z);
   if (grad_enabled_) {
     throw std::logic_error(
-        "GraphConvLayer::forward_inference_into: grad caching must be off");
+        "PaperGraphConv::forward_inference_into: grad caching must be off");
   }
   cached_prop_ = nullptr;  // invalidate any stale training cache
   const std::size_t n = z.dim(0);
@@ -79,15 +117,15 @@ void GraphConvLayer::forward_inference_into(const SparseMatrix& prop,
                      });
 }
 
-Tensor GraphConvLayer::backward(const Tensor& grad_output) {
+Tensor PaperGraphConv::backward(const Tensor& grad_output) {
   if (cached_prop_ == nullptr) {
     throw std::logic_error(
         grad_enabled_
-            ? "GraphConvLayer::backward before forward"
-            : "GraphConvLayer::backward: no cached forward (grad caching disabled)");
+            ? "PaperGraphConv::backward before forward"
+            : "PaperGraphConv::backward: no cached forward (grad caching disabled)");
   }
   if (!grad_output.same_shape(cached_preact_)) {
-    throw std::invalid_argument("GraphConvLayer::backward: grad shape mismatch");
+    throw std::invalid_argument("PaperGraphConv::backward: grad shape mismatch");
   }
   // dS = dY * f'(S)
   Tensor ds = grad_output;
@@ -101,28 +139,284 @@ Tensor GraphConvLayer::backward(const Tensor& grad_output) {
   return tensor::matmul_nt(df, weight_.value);
 }
 
-GraphConvStack::GraphConvStack(std::size_t in_channels,
-                               const std::vector<std::size_t>& channels,
-                               Activation activation, util::Rng& rng) {
-  if (channels.empty()) {
+// ---- SageConv (mean aggregator: Y = f([Z | P Z] W)) -----------------------
+
+namespace {
+
+/// Fills `h` (n x 2*in) with [Z | P Z]: the left block is a straight copy,
+/// the right block one SpMM into the column slice. `h` must arrive zeroed
+/// (multiply_into accumulates).
+void build_sage_concat(const SparseMatrix& prop, const Tensor& z,
+                       std::size_t in, Tensor& h) {
+  const std::size_t n = z.dim(0);
+  const std::size_t width = 2 * in;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = z.data() + i * in;
+    std::copy(row, row + in, h.data() + i * width);
+  }
+  prop.multiply_into(z, h.data() + in, width);
+}
+
+}  // namespace
+
+SageConv::SageConv(std::size_t in_channels, std::size_t out_channels,
+                   Activation activation, util::Rng& rng)
+    : GraphConvOp(in_channels, out_channels, activation,
+                  Parameter("sage_conv.weight",
+                            xavier_uniform({2 * in_channels, out_channels},
+                                           2 * in_channels, out_channels, rng))) {}
+
+Tensor SageConv::forward(const SparseMatrix& prop, const Tensor& z) {
+  check_shape_contract("SageConv::forward", z,
+                       {shape::any("n"), shape::eq(in_)});
+  check_propagation("SageConv::forward", prop, z);
+  const std::size_t n = z.dim(0);
+  Tensor h({n, 2 * in_});  // zero-init = spmm accumulator
+  build_sage_concat(prop, z, in_, h);
+  if (!grad_enabled_) {
+    cached_prop_ = nullptr;
+    Tensor y = tensor::matmul(h, weight_.value);
+    apply_activation(activation_, y.data(), y.size());
+    return y;
+  }
+  cached_prop_ = &prop;
+  cached_preact_ = tensor::matmul(h, weight_.value);
+  cached_input_ = std::move(h);
+  Tensor y = cached_preact_;
+  apply_activation(activation_, y.data(), y.size());
+  return y;
+}
+
+void SageConv::forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                                      Tensor& f_scratch, double* out,
+                                      std::size_t out_stride,
+                                      Tensor* next_input) {
+  check_shape_contract("SageConv::forward", z,
+                       {shape::any("n"), shape::eq(in_)});
+  check_propagation("SageConv::forward", prop, z);
+  if (grad_enabled_) {
+    throw std::logic_error(
+        "SageConv::forward_inference_into: grad caching must be off");
+  }
+  cached_prop_ = nullptr;
+  const std::size_t n = z.dim(0);
+  h_scratch_.resize({n, 2 * in_});
+  h_scratch_.fill(0.0);
+  build_sage_concat(prop, z, in_, h_scratch_);
+  // z is fully consumed; next_input may now alias it.
+  tensor::matmul_into(f_scratch, h_scratch_, weight_.value);
+  if (next_input != nullptr) next_input->resize({n, out_});
+  double* mirror = next_input != nullptr ? next_input->data() : nullptr;
+  for (std::size_t r = 0; r < n; ++r) {
+    double* row = f_scratch.data() + r * out_;
+    apply_activation(activation_, row, out_);
+    std::copy(row, row + out_, out + r * out_stride);
+    if (mirror != nullptr) std::copy(row, row + out_, mirror + r * out_);
+  }
+}
+
+Tensor SageConv::backward(const Tensor& grad_output) {
+  if (cached_prop_ == nullptr) {
+    throw std::logic_error(
+        grad_enabled_
+            ? "SageConv::backward before forward"
+            : "SageConv::backward: no cached forward (grad caching disabled)");
+  }
+  if (!grad_output.same_shape(cached_preact_)) {
+    throw std::invalid_argument("SageConv::backward: grad shape mismatch");
+  }
+  // dS = dY * f'(S); dW += H^T dS; dH = dS W^T.
+  Tensor ds = grad_output;
+  apply_activation_grad(activation_, ds.data(), cached_preact_.data(), ds.size());
+  tensor::matmul_tn_into(dw_scratch_, cached_input_, ds);
+  weight_.grad += dw_scratch_;
+  Tensor dh = tensor::matmul_nt(ds, weight_.value);
+  // dZ = dH_left + P^T dH_right (the self path plus the aggregated path).
+  Tensor dz = copy_block(dh, 0, in_);
+  dz += cached_prop_->multiply_transposed(copy_block(dh, in_, in_));
+  return dz;
+}
+
+// ---- TagConv (K-hop: Y = f([Z | P Z | ... | P^K Z] W)) --------------------
+
+namespace {
+
+/// Fills `h` (n x (hops+1)*in) with [Z | P Z | ... | P^K Z]. Hop k is one
+/// SpMM of the previous hop straight into its column block of `h`
+/// (multiply_into), with the finished rows mirrored into `hop_scratch` so
+/// the next hop has a contiguous operand. `h` must arrive zeroed.
+void build_tag_concat(const SparseMatrix& prop, const Tensor& z, std::size_t in,
+                      std::size_t hops, Tensor& h, Tensor& hop_scratch,
+                      Tensor& prev_scratch) {
+  const std::size_t n = z.dim(0);
+  const std::size_t width = (hops + 1) * in;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = z.data() + i * in;
+    std::copy(row, row + in, h.data() + i * width);
+  }
+  const Tensor* prev = &z;
+  for (std::size_t k = 1; k <= hops; ++k) {
+    hop_scratch.resize({n, in});
+    double* mirror = hop_scratch.data();
+    prop.multiply_into(*prev, h.data() + k * in, width,
+                       [mirror, in](std::size_t r, double* row) {
+                         std::copy(row, row + in, mirror + r * in);
+                       });
+    std::swap(hop_scratch, prev_scratch);
+    prev = &prev_scratch;
+  }
+}
+
+}  // namespace
+
+TagConv::TagConv(std::size_t in_channels, std::size_t out_channels,
+                 std::size_t hops, Activation activation, util::Rng& rng)
+    : GraphConvOp(in_channels, out_channels, activation,
+                  Parameter("tag_conv.weight",
+                            xavier_uniform({(hops + 1) * in_channels, out_channels},
+                                           (hops + 1) * in_channels, out_channels,
+                                           rng))),
+      hops_(hops) {
+  if (hops_ < 1) {
+    throw std::invalid_argument("TagConv: tag_hops must be >= 1");
+  }
+}
+
+Tensor TagConv::forward(const SparseMatrix& prop, const Tensor& z) {
+  check_shape_contract("TagConv::forward", z,
+                       {shape::any("n"), shape::eq(in_)});
+  check_propagation("TagConv::forward", prop, z);
+  const std::size_t n = z.dim(0);
+  Tensor h({n, (hops_ + 1) * in_});  // zero-init = spmm accumulator
+  Tensor prev;
+  build_tag_concat(prop, z, in_, hops_, h, hop_scratch_, prev);
+  if (!grad_enabled_) {
+    cached_prop_ = nullptr;
+    Tensor y = tensor::matmul(h, weight_.value);
+    apply_activation(activation_, y.data(), y.size());
+    return y;
+  }
+  cached_prop_ = &prop;
+  cached_preact_ = tensor::matmul(h, weight_.value);
+  cached_input_ = std::move(h);
+  Tensor y = cached_preact_;
+  apply_activation(activation_, y.data(), y.size());
+  return y;
+}
+
+void TagConv::forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                                     Tensor& f_scratch, double* out,
+                                     std::size_t out_stride, Tensor* next_input) {
+  check_shape_contract("TagConv::forward", z,
+                       {shape::any("n"), shape::eq(in_)});
+  check_propagation("TagConv::forward", prop, z);
+  if (grad_enabled_) {
+    throw std::logic_error(
+        "TagConv::forward_inference_into: grad caching must be off");
+  }
+  cached_prop_ = nullptr;
+  const std::size_t n = z.dim(0);
+  h_scratch_.resize({n, (hops_ + 1) * in_});
+  h_scratch_.fill(0.0);
+  Tensor prev;
+  build_tag_concat(prop, z, in_, hops_, h_scratch_, hop_scratch_, prev);
+  // z is fully consumed; next_input may now alias it.
+  tensor::matmul_into(f_scratch, h_scratch_, weight_.value);
+  if (next_input != nullptr) next_input->resize({n, out_});
+  double* mirror = next_input != nullptr ? next_input->data() : nullptr;
+  for (std::size_t r = 0; r < n; ++r) {
+    double* row = f_scratch.data() + r * out_;
+    apply_activation(activation_, row, out_);
+    std::copy(row, row + out_, out + r * out_stride);
+    if (mirror != nullptr) std::copy(row, row + out_, mirror + r * out_);
+  }
+}
+
+Tensor TagConv::backward(const Tensor& grad_output) {
+  if (cached_prop_ == nullptr) {
+    throw std::logic_error(
+        grad_enabled_
+            ? "TagConv::backward before forward"
+            : "TagConv::backward: no cached forward (grad caching disabled)");
+  }
+  if (!grad_output.same_shape(cached_preact_)) {
+    throw std::invalid_argument("TagConv::backward: grad shape mismatch");
+  }
+  // dS = dY * f'(S); dW += H^T dS; dH = dS W^T.
+  Tensor ds = grad_output;
+  apply_activation_grad(activation_, ds.data(), cached_preact_.data(), ds.size());
+  tensor::matmul_tn_into(dw_scratch_, cached_input_, ds);
+  weight_.grad += dw_scratch_;
+  Tensor dh = tensor::matmul_nt(ds, weight_.value);
+  // dZ = sum_k (P^T)^k dH_k, evaluated with Horner's scheme innermost-out:
+  // acc = dH_K; acc = dH_k + P^T acc for k = K-1 .. 0.
+  Tensor acc = copy_block(dh, hops_ * in_, in_);
+  for (std::size_t k = hops_; k-- > 0;) {
+    Tensor lifted = cached_prop_->multiply_transposed(acc);
+    acc = copy_block(dh, k * in_, in_);
+    acc += lifted;
+  }
+  return acc;
+}
+
+// ---- Factory --------------------------------------------------------------
+
+std::unique_ptr<GraphConvOp> make_graph_conv_op(const GraphConvOpOptions& options,
+                                                std::size_t in_channels,
+                                                std::size_t out_channels,
+                                                Activation activation,
+                                                util::Rng& rng) {
+  switch (options.kind) {
+    case GraphConvOperator::Paper:
+      return std::make_unique<PaperGraphConv>(in_channels, out_channels,
+                                              activation, rng);
+    case GraphConvOperator::Sage:
+      return std::make_unique<SageConv>(in_channels, out_channels, activation,
+                                        rng);
+    case GraphConvOperator::Tag:
+      return std::make_unique<TagConv>(in_channels, out_channels,
+                                       options.tag_hops, activation, rng);
+  }
+  throw std::invalid_argument("make_graph_conv_op: unknown operator");
+}
+
+// ---- GraphConvStack -------------------------------------------------------
+
+GraphConvStack::GraphConvStack(const GraphConvStackConfig& config, util::Rng& rng)
+    : op_options_(config.op) {
+  if (config.channels.empty()) {
     throw std::invalid_argument("GraphConvStack: at least one layer required");
   }
-  std::size_t prev = in_channels;
-  layers_.reserve(channels.size());
-  for (std::size_t c : channels) {
+  std::size_t prev = config.in_channels;
+  layers_.reserve(config.channels.size());
+  for (std::size_t c : config.channels) {
     if (c == 0) throw std::invalid_argument("GraphConvStack: zero-width layer");
-    layers_.emplace_back(prev, c, activation, rng);
+    layers_.push_back(
+        make_graph_conv_op(config.op, prev, c, config.activation, rng));
     prev = c;
     total_channels_ += c;
   }
 }
 
+GraphConvStack::GraphConvStack(std::size_t in_channels,
+                               const std::vector<std::size_t>& channels,
+                               Activation activation, util::Rng& rng)
+    : GraphConvStack(
+          [&] {
+            GraphConvStackConfig config;
+            config.in_channels = in_channels;
+            config.channels = channels;
+            config.activation = activation;
+            return config;
+          }(),
+          rng) {}
+
 Tensor GraphConvStack::forward(const SparseMatrix& prop, const Tensor& x) {
   MAGIC_SHAPE_CONTRACT("GraphConvStack::forward", x, shape::any("n"),
-                       shape::eq(layers_.front().in_channels()));
+                       shape::eq(layers_.front()->in_channels()));
   layer_outputs_.clear();
   last_n_ = x.dim(0);
-  if (!layers_.front().grad_enabled()) {
+  if (!layers_.front()->grad_enabled()) {
     // Inference fast path: each layer activates straight into its column
     // slice of the concatenated Z^{1:h}, so there are no per-layer output
     // tensors and no final concat copy. Bit-identical to the training path
@@ -133,10 +427,10 @@ Tensor GraphConvStack::forward(const SparseMatrix& prop, const Tensor& x) {
     std::size_t offset = 0;
     for (std::size_t t = 0; t < layers_.size(); ++t) {
       const bool last = t + 1 == layers_.size();
-      layers_[t].forward_inference_into(prop, *zin, f_scratch_,
-                                        concat.data() + offset, total_channels_,
-                                        last ? nullptr : &z_scratch_);
-      offset += layers_[t].out_channels();
+      layers_[t]->forward_inference_into(prop, *zin, f_scratch_,
+                                         concat.data() + offset, total_channels_,
+                                         last ? nullptr : &z_scratch_);
+      offset += layers_[t]->out_channels();
       zin = &z_scratch_;
     }
     return concat;
@@ -144,7 +438,7 @@ Tensor GraphConvStack::forward(const SparseMatrix& prop, const Tensor& x) {
   layer_outputs_.reserve(layers_.size());
   Tensor z = x;
   for (auto& layer : layers_) {
-    z = layer.forward(prop, z);
+    z = layer->forward(prop, z);
     layer_outputs_.push_back(z);
   }
   return tensor::concat_cols(layer_outputs_);
@@ -160,7 +454,7 @@ Tensor GraphConvStack::backward(const Tensor& grad_concat) {
   slices.reserve(layers_.size());
   std::size_t offset = 0;
   for (const auto& layer : layers_) {
-    const std::size_t c = layer.out_channels();
+    const std::size_t c = layer->out_channels();
     Tensor g({last_n_, c});
     for (std::size_t i = 0; i < last_n_; ++i) {
       for (std::size_t j = 0; j < c; ++j) {
@@ -173,7 +467,7 @@ Tensor GraphConvStack::backward(const Tensor& grad_concat) {
   // Each Z_t receives gradient both from the concat and from layer t+1.
   Tensor g = slices.back();
   for (std::size_t t = layers_.size(); t-- > 0;) {
-    Tensor gin = layers_[t].backward(g);
+    Tensor gin = layers_[t]->backward(g);
     if (t > 0) {
       g = slices[t - 1];
       g += gin;
@@ -185,13 +479,15 @@ Tensor GraphConvStack::backward(const Tensor& grad_concat) {
 }
 
 void GraphConvStack::set_grad_enabled(bool enabled) noexcept {
-  for (auto& layer : layers_) layer.set_grad_enabled(enabled);
+  for (auto& layer : layers_) layer->set_grad_enabled(enabled);
 }
 
 std::vector<Parameter*> GraphConvStack::parameters() {
   std::vector<Parameter*> params;
   params.reserve(layers_.size());
-  for (auto& layer : layers_) params.push_back(&layer.weight());
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
   return params;
 }
 

@@ -1,16 +1,38 @@
 #pragma once
-// Graph convolution (Eq. 1 of the paper):
+// Graph-convolution operator zoo.
+//
+// The paper's Eq. 1 convolution
 //
 //   Z_{t+1} = f( D^-1 * A_hat * Z_t * W_t )
 //
-// where A_hat = A + I is the augmented adjacency matrix of the (directed)
-// CFG and D its augmented diagonal degree matrix. The product D^-1 * A_hat
-// is precomputed once per graph as a sparse "propagation operator" P
-// (tensor::SparseMatrix::propagation_operator); each layer then computes
-// f(P Z W). Stacking h layers aggregates multi-scale substructure, and the
-// concatenation Z^{1:h} = [Z_1, ..., Z_h] feeds the pooling stage.
+// is one member of a family of `f(P Z W)`-shaped operators over the same
+// precomputed sparse propagation operator P = D^-1 * A_hat
+// (tensor::SparseMatrix::propagation_operator). The per-layer math lives
+// behind the GraphConvOp interface so the stack, the trainer, the packed
+// batch engine and the fused inference path are operator-generic:
+//
+//   PaperGraphConv  Eq. 1 exactly: Y = f(P Z W). Bit-identical to the
+//                   pre-zoo GraphConvLayer (same kernels in the same
+//                   order), pinned by the golden tests.
+//   SageConv        GraphSAGE-style mean aggregator: Y = f([Z | P Z] W),
+//                   i.e. the concatenation of the self features and the
+//                   mean-neighbor features through one fused weight.
+//   TagConv         K-hop topology-adaptive convolution:
+//                   Y = f([Z | P Z | ... | P^K Z] W) — the concat-weight
+//                   form of the usual sum over powers sum_k P^k Z W_k
+//                   (W stacks the per-hop blocks row-wise).
+//
+// Every operator owns exactly one weight tensor, shares the SpMM/GEMM SIMD
+// kernels, and provides the three entry points the surrounding system
+// needs: forward (training, caches for backward), backward, and
+// forward_inference_into (the fused inference path that activates straight
+// into a column slice of the concatenated Z^{1:h}). Stacking h layers
+// aggregates multi-scale substructure; the concatenation
+// Z^{1:h} = [Z_1, ..., Z_h] feeds the pooling stage.
 
+#include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/activations.hpp"
@@ -22,61 +44,209 @@ namespace magic::nn {
 
 using tensor::SparseMatrix;
 
-/// One graph-convolution layer with fused nonlinearity.
+/// Which per-layer convolution the stack runs (DgcnnConfig::graph_conv_op).
+enum class GraphConvOperator { Paper, Sage, Tag };
+
+/// Wire/checkpoint name: "paper", "sage" or "tag".
+const char* graph_conv_operator_name(GraphConvOperator kind) noexcept;
+
+/// Inverse of graph_conv_operator_name; throws std::runtime_error on an
+/// unknown name (checkpoint loaders and CLI flags want a loud failure).
+GraphConvOperator parse_graph_conv_operator(const std::string& name);
+
+/// Operator choice plus its per-operator knobs.
+struct GraphConvOpOptions {
+  GraphConvOperator kind = GraphConvOperator::Paper;
+  /// TagConv only: number of propagation hops K (>= 1; hop 0 is Z itself).
+  std::size_t tag_hops = 2;
+};
+
+/// One graph-convolution layer behind a uniform interface.
 ///
 /// Unlike plain Module, forward takes the per-graph propagation operator P;
 /// backward reuses the P from the last forward (the caller keeps it alive).
-class GraphConvLayer {
+/// Contract for implementations (DESIGN.md "Graph-convolution operators"):
+///  * forward/forward_inference_into open with a shape contract
+///    (magic_lint rule conv-op-contract) and reject a P whose side differs
+///    from the vertex count;
+///  * output width is exactly out_channels() — the stack's concat layout
+///    and DgcnnConfig::total_graph_channels() rely on it;
+///  * forward_inference_into is bit-identical to forward() and throws
+///    std::logic_error while grad caching is enabled;
+///  * parameters() order is deterministic (fixed-order gradient reduction
+///    in ParallelTrainer) and every parameter name is operator-specific so
+///    checkpoints cannot silently load across operators.
+class GraphConvOp {
  public:
-  GraphConvLayer(std::size_t in_channels, std::size_t out_channels,
-                 Activation activation, util::Rng& rng);
+  virtual ~GraphConvOp() = default;
 
-  /// Z_out = f(P Z W); caches Z, P and the pre-activation for backward.
-  Tensor forward(const SparseMatrix& prop, const Tensor& z);
+  virtual GraphConvOperator kind() const noexcept = 0;
+
+  /// Y = f(op(P, Z) W); caches what backward needs (input, pre-activation).
+  virtual Tensor forward(const SparseMatrix& prop, const Tensor& z) = 0;
 
   /// Accumulates dW into the parameter grad and returns dZ (w.r.t. input).
-  Tensor backward(const Tensor& grad_output);
+  virtual Tensor backward(const Tensor& grad_output) = 0;
 
-  /// Inference-only fused forward: computes f(P Z W) and writes the
-  /// activated rows directly into `out` (row stride `out_stride`, rows
+  /// Inference-only fused forward: computes the activated output and writes
+  /// its rows directly into `out` (row stride `out_stride`, rows
   /// zero-initialized by the caller) — typically a column slice of the
-  /// stack's concatenated Z^{1:h}, which skips the per-layer output
-  /// tensor and the final concat copy entirely. When `next_input` is
-  /// non-null the activated values are mirrored into it contiguously for
-  /// the next layer (it may alias `z`; `z` is fully consumed first).
-  /// `f_scratch` holds Z W and is reused across calls. Results are
-  /// bit-identical to forward(); throws std::logic_error while grad
-  /// caching is enabled.
-  void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
-                              Tensor& f_scratch, double* out,
-                              std::size_t out_stride, Tensor* next_input);
+  /// stack's concatenated Z^{1:h}, which skips the per-layer output tensor
+  /// and the final concat copy entirely. When `next_input` is non-null the
+  /// activated values are mirrored into it contiguously for the next layer
+  /// (it may alias `z`; `z` is fully consumed first). `f_scratch` is a
+  /// reusable workspace. Results are bit-identical to forward(); throws
+  /// std::logic_error while grad caching is enabled.
+  virtual void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                                      Tensor& f_scratch, double* out,
+                                      std::size_t out_stride,
+                                      Tensor* next_input) = 0;
 
   /// When disabled, forward skips the backward caches (inference mode);
   /// a subsequent backward throws std::logic_error.
   void set_grad_enabled(bool enabled) noexcept { grad_enabled_ = enabled; }
   bool grad_enabled() const noexcept { return grad_enabled_; }
 
+  /// Every zoo operator has exactly one weight; its name and shape are
+  /// operator-specific (see the concrete classes).
   Parameter& weight() noexcept { return weight_; }
+  const Parameter& weight() const noexcept { return weight_; }
+  std::vector<Parameter*> parameters() { return {&weight_}; }
+
   std::size_t in_channels() const noexcept { return in_; }
   std::size_t out_channels() const noexcept { return out_; }
 
- private:
+ protected:
+  GraphConvOp(std::size_t in_channels, std::size_t out_channels,
+              Activation activation, Parameter weight)
+      : in_(in_channels),
+        out_(out_channels),
+        activation_(activation),
+        weight_(std::move(weight)) {}
+
   std::size_t in_;
   std::size_t out_;
   Activation activation_;
   bool grad_enabled_ = true;
-  Parameter weight_;  // (in x out)
+  Parameter weight_;
+};
+
+/// Eq. 1 of the paper: Y = f(P Z W), weight "graph_conv.weight" (in x out).
+/// The kernel order (GEMM Z W, then SpMM P F, then the activation) is the
+/// pre-zoo GraphConvLayer's exactly — golden tests pin it bitwise.
+class PaperGraphConv final : public GraphConvOp {
+ public:
+  PaperGraphConv(std::size_t in_channels, std::size_t out_channels,
+                 Activation activation, util::Rng& rng);
+
+  GraphConvOperator kind() const noexcept override {
+    return GraphConvOperator::Paper;
+  }
+  Tensor forward(const SparseMatrix& prop, const Tensor& z) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                              Tensor& f_scratch, double* out,
+                              std::size_t out_stride,
+                              Tensor* next_input) override;
+
+ private:
   const SparseMatrix* cached_prop_ = nullptr;
   Tensor cached_input_;
   Tensor cached_preact_;  // S = P Z W before f
   Tensor dw_scratch_;     // reused (in x out) buffer for Z^T dF
 };
 
+/// GraphSAGE-style mean aggregator: Y = f(H W) with H = [Z | P Z]
+/// (self features next to mean-neighbor features; P's row-normalization is
+/// the mean, including the self loop of A_hat). Weight "sage_conv.weight"
+/// (2*in x out) fuses the self- and neighbor-transforms into one GEMM.
+class SageConv final : public GraphConvOp {
+ public:
+  SageConv(std::size_t in_channels, std::size_t out_channels,
+           Activation activation, util::Rng& rng);
+
+  GraphConvOperator kind() const noexcept override {
+    return GraphConvOperator::Sage;
+  }
+  Tensor forward(const SparseMatrix& prop, const Tensor& z) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                              Tensor& f_scratch, double* out,
+                              std::size_t out_stride,
+                              Tensor* next_input) override;
+
+ private:
+  const SparseMatrix* cached_prop_ = nullptr;
+  Tensor cached_input_;   // H = [Z | P Z] from the last forward
+  Tensor cached_preact_;  // H W before f
+  Tensor dw_scratch_;     // (2*in x out) buffer for H^T dS
+  Tensor h_scratch_;      // inference-path H workspace
+};
+
+/// K-hop topology-adaptive convolution: Y = f(H W) with
+/// H = [Z | P Z | ... | P^K Z]; the hops are built iteratively with
+/// SparseMatrix::multiply_into, each written straight into its column
+/// block of H. Weight "tag_conv.weight" ((K+1)*in x out) stacks the
+/// per-hop weight blocks, so H W = sum_k (P^k Z) W_k.
+class TagConv final : public GraphConvOp {
+ public:
+  /// Throws std::invalid_argument when hops < 1.
+  TagConv(std::size_t in_channels, std::size_t out_channels, std::size_t hops,
+          Activation activation, util::Rng& rng);
+
+  GraphConvOperator kind() const noexcept override {
+    return GraphConvOperator::Tag;
+  }
+  std::size_t hops() const noexcept { return hops_; }
+  Tensor forward(const SparseMatrix& prop, const Tensor& z) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                              Tensor& f_scratch, double* out,
+                              std::size_t out_stride,
+                              Tensor* next_input) override;
+
+ private:
+  std::size_t hops_;
+  const SparseMatrix* cached_prop_ = nullptr;
+  Tensor cached_input_;   // H = [Z | P Z | ... | P^K Z] from the last forward
+  Tensor cached_preact_;  // H W before f
+  Tensor dw_scratch_;     // ((K+1)*in x out) buffer for H^T dS
+  Tensor h_scratch_;      // inference-path H workspace
+  Tensor hop_scratch_;    // contiguous previous hop while building H
+};
+
+/// Builds the operator `options` names. Throws std::invalid_argument on
+/// invalid per-operator knobs (e.g. tag_hops == 0).
+std::unique_ptr<GraphConvOp> make_graph_conv_op(const GraphConvOpOptions& options,
+                                                std::size_t in_channels,
+                                                std::size_t out_channels,
+                                                Activation activation,
+                                                util::Rng& rng);
+
+/// Deprecated name of the Eq. 1 operator, kept for one release so existing
+/// call sites keep compiling; new code names PaperGraphConv (or builds
+/// through make_graph_conv_op). See README "Migration notes".
+using GraphConvLayer = PaperGraphConv;
+
+/// Everything the stack needs to build its layers, in one place.
+/// DgcnnConfig::graph_conv_stack_config() is the single producer — config,
+/// model and classifier no longer thread channels/activation separately.
+struct GraphConvStackConfig {
+  /// Input width of layer 1 (the ACFG attribute count).
+  std::size_t in_channels = 11;
+  /// {c_1, ..., c_h}: output width of each layer.
+  std::vector<std::size_t> channels = {32, 32, 32, 32};
+  Activation activation = Activation::ReLU;
+  GraphConvOpOptions op;
+};
+
 /// Stack of h graph-convolution layers producing Z^{1:h}.
 class GraphConvStack {
  public:
-  /// `channels` = {c_1, ..., c_h}: output width of each layer; the input
-  /// width of layer 1 is `in_channels` (the ACFG attribute count).
+  explicit GraphConvStack(const GraphConvStackConfig& config, util::Rng& rng);
+
+  /// Deprecated shim (one release): builds a PaperGraphConv stack from the
+  /// pre-zoo positional signature. Prefer the GraphConvStackConfig ctor.
   GraphConvStack(std::size_t in_channels, const std::vector<std::size_t>& channels,
                  Activation activation, util::Rng& rng);
 
@@ -86,7 +256,7 @@ class GraphConvStack {
   /// Takes d(loss)/d(Z^{1:h}) and returns d(loss)/d(X).
   Tensor backward(const Tensor& grad_concat);
 
-  /// Propagates to every layer (see GraphConvLayer::set_grad_enabled).
+  /// Propagates to every layer (see GraphConvOp::set_grad_enabled).
   void set_grad_enabled(bool enabled) noexcept;
 
   std::vector<Parameter*> parameters();
@@ -94,16 +264,22 @@ class GraphConvStack {
   std::size_t depth() const noexcept { return layers_.size(); }
   std::size_t total_channels() const noexcept { return total_channels_; }
   /// Output width of layer t (0-based).
-  std::size_t layer_channels(std::size_t t) const { return layers_.at(t).out_channels(); }
+  std::size_t layer_channels(std::size_t t) const {
+    return layers_.at(t)->out_channels();
+  }
+  /// The operator every layer runs (uniform across the stack).
+  GraphConvOperator op_kind() const noexcept { return op_options_.kind; }
+  const GraphConvOpOptions& op_options() const noexcept { return op_options_; }
 
  private:
-  std::vector<GraphConvLayer> layers_;
+  GraphConvOpOptions op_options_;
+  std::vector<std::unique_ptr<GraphConvOp>> layers_;
   std::vector<Tensor> layer_outputs_;  // Z_1..Z_h from the last forward
   std::size_t total_channels_ = 0;
   std::size_t last_n_ = 0;
   // Inference fast-path workspaces (see forward); reused across calls under
   // the one-instance-one-thread replica contract.
-  Tensor f_scratch_;  // Z W for the layer in flight
+  Tensor f_scratch_;  // per-layer GEMM output in flight
   Tensor z_scratch_;  // contiguous copy of the previous layer's output
 };
 

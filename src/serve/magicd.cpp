@@ -70,6 +70,8 @@ struct Options {
   serve::ServeConfig serve;
   double scale = 0.004;
   std::size_t epochs = 12;
+  /// Selftrain graph-convolution operator ("paper", "sage" or "tag").
+  std::string op = "paper";
   std::uint64_t seed = 13;
   /// Period of the stats flush to the log (0 = off).
   std::size_t stats_every_s = 0;
@@ -85,7 +87,7 @@ struct Options {
       << "           [--deadline-ms D] [--cache-bytes N] [--stats-every SECS]\n"
       << "           [--log-json]\n"
       << "       " << argv0 << " --selftrain FILE [--samples-dir DIR]\n"
-      << "           [--scale F] [--epochs N] [--seed S]\n";
+      << "           [--scale F] [--epochs N] [--seed S] [--op paper|sage|tag]\n";
   std::exit(2);
 }
 
@@ -154,6 +156,7 @@ Options parse(int argc, char** argv) {
     else if (arg == "--stats-every") opt.stats_every_s = as_ul(need_value(i));
     else if (arg == "--log-json") opt.log_json = true;
     else if (arg == "--epochs") opt.epochs = as_ul(need_value(i));
+    else if (arg == "--op") opt.op = need_value(i);
     else if (arg == "--seed")
       opt.seed = numeric([](const std::string& s, std::size_t* pos) { return std::stoull(s, pos); },
                          need_value(i));
@@ -177,6 +180,7 @@ int selftrain(const Options& opt) {
   config.pooling_ratio = 0.2;
   config.graph_conv_channels = {32, 32};
   config.dropout_rate = 0.5;
+  config.graph_conv_op = nn::parse_graph_conv_operator(opt.op);
   core::TrainOptions train;
   train.epochs = opt.epochs;
   train.batch_size = 10;
@@ -230,6 +234,8 @@ int main(int argc, char** argv) {
     auto clf = std::make_unique<core::MagicClassifier>(
         core::MagicClassifier::load_file(opt.model_path));
     const std::size_t families = clf->family_names().size();
+    const char* conv_op =
+        nn::graph_conv_operator_name(clf->config().graph_conv_op);
     serve::ModelRegistry registry(opt.model_version, std::move(clf), opt.serve);
     for (const auto& [name, path] : opt.preload) {
       registry.load_version(name, path, /*make_default=*/false);
@@ -250,7 +256,8 @@ int main(int argc, char** argv) {
                       ? std::string("off")
                       : std::to_string(opt.serve.cache_bytes >> 20) + " MiB")
               << ", simd "
-              << tensor::simd::level_name(tensor::simd::active_level()) << "\n";
+              << tensor::simd::level_name(tensor::simd::active_level())
+              << ", op " << conv_op << "\n";
 
     // Optional periodic stats flush: the same payload as the `stats` wire
     // command, logged at Info every --stats-every seconds. Stopped via a

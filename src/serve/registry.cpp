@@ -20,6 +20,11 @@ std::string RegistryStats::to_json() const {
     if (i > 0) os << ',';
     os << '"' << wire::json_escape(versions[i]) << '"';
   }
+  os << "],\"operators\":[";
+  for (std::size_t i = 0; i < operators.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << wire::json_escape(operators[i]) << '"';
+  }
   os << "],\"reloads\":" << reloads << ",\"shadow\":{\"version\":";
   if (shadow_version.empty()) {
     os << "null";
@@ -188,7 +193,11 @@ RegistryStats ModelRegistry::registry_stats() const {
   {
     util::MutexLock lock(mutex_);
     out.default_version = default_ ? default_->name : "";
-    for (const auto& [name, version] : versions_) out.versions.push_back(name);
+    for (const auto& [name, version] : versions_) {
+      out.versions.push_back(name);
+      out.operators.push_back(nn::graph_conv_operator_name(
+          version->model->config().graph_conv_op));
+    }
     out.reloads = reloads_;
     out.shadow_version = shadow_ ? shadow_->name : "";
     out.shadow_fraction = shadow_ ? shadow_fraction_ : 0.0;

@@ -39,6 +39,10 @@ namespace magic::serve {
 struct RegistryStats {
   std::string default_version;
   std::vector<std::string> versions;  ///< sorted by name
+  /// Graph-convolution operator of versions[i] ("paper"/"sage"/"tag"),
+  /// parallel to `versions` — an operator A/B shadow deployment reads which
+  /// formula each served version runs from here.
+  std::vector<std::string> operators;
   std::uint64_t reloads = 0;
   std::string shadow_version;  ///< empty when shadow mode is off
   double shadow_fraction = 0.0;

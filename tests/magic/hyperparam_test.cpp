@@ -82,6 +82,38 @@ TEST(HyperparamGrid, ReducedGridCoversAllVariants) {
   EXPECT_TRUE(has_wv);
 }
 
+TEST(HyperparamGrid, ReducedGridCoversOperatorZoo) {
+  // The reduced grid carries an operator axis: all three graph-conv
+  // operators appear, and the tag points are labelled in describe().
+  const auto grid = reduced_grid();
+  bool has_paper = false, has_sage = false, has_tag = false;
+  for (const auto& p : grid) {
+    switch (p.config.graph_conv_op) {
+      case nn::GraphConvOperator::Paper: has_paper = true; break;
+      case nn::GraphConvOperator::Sage: has_sage = true; break;
+      case nn::GraphConvOperator::Tag:
+        has_tag = true;
+        EXPECT_NE(p.describe().find("op=tag"), std::string::npos)
+            << p.describe();
+        break;
+    }
+    if (p.config.graph_conv_op != nn::GraphConvOperator::Paper) {
+      EXPECT_NE(p.describe().find("op="), std::string::npos) << p.describe();
+    }
+  }
+  EXPECT_TRUE(has_paper);
+  EXPECT_TRUE(has_sage);
+  EXPECT_TRUE(has_tag);
+}
+
+TEST(HyperparamGrid, FullGridStaysOnPaperOperator) {
+  // Table II is defined for the paper's Eq. 1 layer only — the 208-point
+  // grid must not silently grow an operator axis.
+  for (const auto& p : full_table2_grid()) {
+    EXPECT_EQ(p.config.graph_conv_op, nn::GraphConvOperator::Paper);
+  }
+}
+
 TEST(HyperparamGrid, ReducedGridIncludesPaperBestModels) {
   // Table II best models: MSKCFG = AMP/0.64/(128,64,32,32)/16/0.1/10/1e-4;
   // YANCFG = AMP/0.2/(32,32,32,32)/16/0.5/40/5e-4.

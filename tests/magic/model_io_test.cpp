@@ -39,10 +39,12 @@ TEST(ModelIo, HeaderCarriesConfigFlags) {
   std::stringstream ss;
   clf.save(ss);
   const std::string text = ss.str();
-  EXPECT_NE(text.find("MAGIC-MODEL v2"), std::string::npos);
+  EXPECT_NE(text.find("MAGIC-MODEL v3"), std::string::npos);
   EXPECT_NE(text.find("log1p 0"), std::string::npos);
   EXPECT_NE(text.find("norm 0"), std::string::npos);
   EXPECT_NE(text.find("pooling sort"), std::string::npos);
+  EXPECT_NE(text.find("op paper"), std::string::npos);
+  EXPECT_NE(text.find("tag_hops 2"), std::string::npos);
 
   MagicClassifier restored = MagicClassifier::load(ss);
   EXPECT_FALSE(restored.config().log1p_attributes);
@@ -149,14 +151,26 @@ TEST(ModelIo, Utf8FamilyNamesRoundTrip) {
   EXPECT_EQ(restored.family_names()[1], "良性 プログラム");
 }
 
+/// Strips the v3-only " op <name> tag_hops <k>" header tokens, producing the
+/// v1/v2 header layout.
+std::string strip_operator_tokens(std::string text) {
+  const auto op_pos = text.find(" op ");
+  EXPECT_NE(op_pos, std::string::npos);
+  const auto classes_pos = text.find(" classes ", op_pos);
+  EXPECT_NE(classes_pos, std::string::npos);
+  text.erase(op_pos, classes_pos - op_pos);
+  return text;
+}
+
 TEST(ModelIo, LoadsLegacyV1Checkpoint) {
-  // Rewrite a fresh v2 checkpoint into the v1 layout (bare names, which is
-  // all v1 could round-trip) and check the legacy reader still works.
+  // Rewrite a fresh v3 checkpoint into the v1 layout (bare names, which is
+  // all v1 could round-trip; no operator tokens) and check the legacy
+  // reader still works.
   MagicClassifier clf = fitted_classifier(wv_config(), 10);
   std::stringstream ss;
   clf.save(ss);
-  std::string text = ss.str();
-  const auto header = text.find("MAGIC-MODEL v2");
+  std::string text = strip_operator_tokens(ss.str());
+  const auto header = text.find("MAGIC-MODEL v3");
   ASSERT_NE(header, std::string::npos);
   text.replace(header, 14, "MAGIC-MODEL v1");
   for (const auto& name : clf.family_names()) {
@@ -183,7 +197,7 @@ TEST(ModelIo, RejectsUnsupportedVersion) {
   std::stringstream ss;
   clf.save(ss);
   std::string text = ss.str();
-  text.replace(text.find("MAGIC-MODEL v2"), 14, "MAGIC-MODEL v9");
+  text.replace(text.find("MAGIC-MODEL v3"), 14, "MAGIC-MODEL v9");
   std::stringstream corrupted(text);
   try {
     MagicClassifier::load(corrupted);
@@ -214,6 +228,99 @@ TEST(ModelIo, RejectsRenamedParameter) {
     const std::string what = e.what();
     EXPECT_NE(what.find("name mismatch"), std::string::npos) << what;
     EXPECT_NE(what.find("bogus_tensor"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelIo, LoadsV2CheckpointAsPaperOperator) {
+  // A pre-zoo v2 file (no operator tokens) must load as PaperGraphConv and
+  // predict bit-identically — the format bump cannot orphan old models.
+  MagicClassifier clf = fitted_classifier(wv_config(), 20);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = strip_operator_tokens(ss.str());
+  const auto header = text.find("MAGIC-MODEL v3");
+  ASSERT_NE(header, std::string::npos);
+  text.replace(header, 14, "MAGIC-MODEL v2");
+  std::stringstream legacy(text);
+  MagicClassifier restored = MagicClassifier::load(legacy);
+  EXPECT_EQ(restored.config().graph_conv_op, nn::GraphConvOperator::Paper);
+
+  util::Rng rng(21);
+  acfg::Acfg g = testing::make_graph(0, 6, false, rng);
+  const auto a = clf.predict(g);
+  const auto b = restored.predict(g);
+  ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+  for (std::size_t c = 0; c < a.probabilities.size(); ++c) {
+    EXPECT_EQ(a.probabilities[c], b.probabilities[c]);  // bitwise
+  }
+}
+
+TEST(ModelIo, SageAndTagCheckpointsRoundTripBitwise) {
+  for (auto kind : {nn::GraphConvOperator::Sage, nn::GraphConvOperator::Tag}) {
+    DgcnnConfig cfg = wv_config();
+    cfg.graph_conv_op = kind;
+    cfg.tag_hops = 3;
+    MagicClassifier clf = fitted_classifier(cfg, 22);
+    std::stringstream ss;
+    clf.save(ss);
+    const std::string text = ss.str();
+    const std::string tag =
+        std::string("op ") + nn::graph_conv_operator_name(kind);
+    EXPECT_NE(text.find(tag), std::string::npos) << text.substr(0, 200);
+    EXPECT_NE(text.find("tag_hops 3"), std::string::npos);
+
+    MagicClassifier restored = MagicClassifier::load(ss);
+    EXPECT_EQ(restored.config().graph_conv_op, kind);
+    EXPECT_EQ(restored.config().tag_hops, 3u);
+    util::Rng rng(23);
+    acfg::Acfg g = testing::make_graph(1, 9, true, rng);
+    const auto a = clf.predict(g);
+    const auto b = restored.predict(g);
+    EXPECT_EQ(a.family_index, b.family_index);
+    ASSERT_EQ(a.probabilities.size(), b.probabilities.size());
+    for (std::size_t c = 0; c < a.probabilities.size(); ++c) {
+      EXPECT_EQ(a.probabilities[c], b.probabilities[c]);  // bitwise
+    }
+  }
+}
+
+TEST(ModelIo, RejectsMismatchedOperator) {
+  // Header claims sage but the stored weights are the paper operator's: the
+  // rebuilt model expects 'sage_conv.weight' and the per-parameter name
+  // check must refuse to pour paper weights into a different formula.
+  MagicClassifier clf = fitted_classifier(wv_config(), 24);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  const auto pos = text.find("op paper");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "op sage");
+  std::stringstream corrupted(text);
+  try {
+    MagicClassifier::load(corrupted);
+    FAIL() << "expected rejection of operator/weights mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("name mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("graph_conv.weight"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelIo, RejectsUnknownOperatorToken) {
+  MagicClassifier clf = fitted_classifier(wv_config(), 25);
+  std::stringstream ss;
+  clf.save(ss);
+  std::string text = ss.str();
+  const auto pos = text.find("op paper");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "op gat  ");
+  std::stringstream corrupted(text);
+  try {
+    MagicClassifier::load(corrupted);
+    FAIL() << "expected rejection of unknown operator";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("operator"), std::string::npos)
+        << e.what();
   }
 }
 

@@ -52,10 +52,12 @@ TEST(ShapeContract, GraphConvLayerNamesLayerAndShapes) {
   util::Rng rng(7);
   GraphConvLayer layer(4, 8, Activation::ReLU, rng);
   const auto prop = SparseMatrix::propagation_operator({{1}, {0}, {}});
-  // 5 channels instead of the declared 4.
+  // 5 channels instead of the declared 4. GraphConvLayer is the alias for
+  // the paper operator since the PR-10 zoo, so the contract names the
+  // concrete class.
   expect_contract_violation(
       [&] { layer.forward(prop, Tensor::zeros({3, 5})); },
-      {"GraphConvLayer::forward", "(n x 4)", "Tensor[3x5]"});
+      {"PaperGraphConv::forward", "(n x 4)", "Tensor[3x5]"});
 }
 
 TEST(ShapeContract, GraphConvStackChecksFirstLayerWidth) {

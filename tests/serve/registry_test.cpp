@@ -70,6 +70,8 @@ TEST(ModelRegistry, ScansRouteToDefaultVersion) {
   EXPECT_EQ(stats.default_version, "v1");
   ASSERT_EQ(stats.versions.size(), 1u);
   EXPECT_EQ(stats.versions[0], "v1");
+  ASSERT_EQ(stats.operators.size(), 1u);
+  EXPECT_EQ(stats.operators[0], "paper");
   EXPECT_EQ(stats.reloads, 0u);
   EXPECT_TRUE(stats.shadow_version.empty());
   registry->drain();
@@ -97,6 +99,10 @@ TEST(ModelRegistry, ReloadSwapsDefaultAndKeepsOldVersionAddressable) {
   const RegistryStats stats = registry->registry_stats();
   EXPECT_EQ(stats.reloads, 1u);
   ASSERT_EQ(stats.versions.size(), 2u);
+  // The operator column stays parallel to the version listing.
+  ASSERT_EQ(stats.operators.size(), 2u);
+  EXPECT_EQ(stats.operators[0], "paper");
+  EXPECT_EQ(stats.operators[1], "paper");
   registry->drain();
 }
 

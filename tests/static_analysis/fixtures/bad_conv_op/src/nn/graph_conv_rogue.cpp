@@ -1,0 +1,28 @@
+// magic_lint fixture: a graph-conv operator whose void-returning fused
+// inference entry point has no shape contract. forward-contract cannot see
+// it (that rule matches only `Tensor X::forward`); the conv-op-contract
+// rule must flag this file.
+
+namespace fixture {
+
+struct Tensor {
+  int rows = 0;
+};
+struct SparseMatrix {};
+
+struct RogueConv {
+  void forward_inference_into(const SparseMatrix& prop, const Tensor& z,
+                              Tensor& f_scratch, double* out,
+                              unsigned long out_stride, Tensor* next_input);
+};
+
+void RogueConv::forward_inference_into(const SparseMatrix& /*prop*/,
+                                       const Tensor& z, Tensor& f_scratch,
+                                       double* out, unsigned long out_stride,
+                                       Tensor* next_input) {
+  f_scratch.rows = z.rows;
+  for (int r = 0; r < z.rows; ++r) out[r * out_stride] = 0.0;
+  if (next_input != nullptr) next_input->rows = z.rows;
+}
+
+}  // namespace fixture
